@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"p2pbound/internal/pcap"
+	"p2pbound/internal/trace"
+)
+
+func writeTestPcap(t *testing.T) string {
+	t.Helper()
+	tr, err := trace.Generate(trace.DefaultConfig(5*time.Second, 0.02, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.pcap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	base := time.Date(2006, 11, 15, 9, 0, 0, 0, time.UTC)
+	if err := pcap.WriteAll(f, tr.Packets, 0, base); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAnalyzesPcap(t *testing.T) {
+	path := writeTestPcap(t)
+	if err := run([]string{"-i", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithoutVerification(t *testing.T) {
+	path := writeTestPcap(t)
+	if err := run([]string{"-i", path, "-verify=false"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing -i accepted")
+	}
+	if err := run([]string{"-i", "missing.pcap"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	path := writeTestPcap(t)
+	if err := run([]string{"-i", path, "-net", "garbage"}); err == nil {
+		t.Fatal("bad network accepted")
+	}
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"p2pbound/internal/experiments"
+	"p2pbound/internal/stats"
+)
+
+// dataWriter materializes each figure's underlying series as plain
+// two-column .dat files (gnuplot/matplotlib ready) under one directory.
+// A nil dataWriter writes nothing.
+type dataWriter struct {
+	dir string
+}
+
+func newDataWriter(dir string) (*dataWriter, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("create data dir: %w", err)
+	}
+	return &dataWriter{dir: dir}, nil
+}
+
+// writePoints writes one (x, y) series with a comment header.
+func (d *dataWriter) writePoints(name, header string, pts []stats.Point) error {
+	if d == nil {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", header)
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%g\t%g\n", p.X, p.Y)
+	}
+	return os.WriteFile(filepath.Join(d.dir, name), []byte(b.String()), 0o644)
+}
+
+// writeSeries writes an indexed series (bucket number vs value).
+func (d *dataWriter) writeSeries(name, header string, values []float64) error {
+	if d == nil {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", header)
+	for i, v := range values {
+		fmt.Fprintf(&b, "%d\t%g\n", i, v)
+	}
+	return os.WriteFile(filepath.Join(d.dir, name), []byte(b.String()), 0o644)
+}
+
+// portCDFs writes one file per class for a Figure 2/3 result.
+func (d *dataWriter) portCDFs(res *experiments.PortCDFResult) error {
+	if d == nil {
+		return nil
+	}
+	classes := make([]string, 0, len(res.Classes))
+	for class := range res.Classes {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		name := fmt.Sprintf("%s_%s.dat", strings.ToLower(res.Figure),
+			strings.ToLower(strings.ReplaceAll(class, "-", "")))
+		header := fmt.Sprintf("%s port CDF, class %s: port, F(port)", res.Figure, class)
+		if err := d.writePoints(name, header, res.Classes[class]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// f8Scatter writes the SPI-vs-bitmap drop-rate scatter.
+func (d *dataWriter) f8Scatter(res *experiments.F8Result) error {
+	if d == nil {
+		return nil
+	}
+	return d.writePoints("f8_scatter.dat",
+		"per-second drop rates: SPI (x) vs bitmap (y)", res.Scatter)
+}
+
+// f9Series writes the original and filtered upload series.
+func (d *dataWriter) f9Series(res *experiments.F9Result) error {
+	if d == nil {
+		return nil
+	}
+	var b strings.Builder
+	b.WriteString("# second, original upload (bps), filtered upload (bps)\n")
+	for i, p := range res.UpSeries {
+		fmt.Fprintf(&b, "%d\t%g\t%g\n", i, p.X, p.Y)
+	}
+	return os.WriteFile(filepath.Join(d.dir, "f9_upload.dat"), []byte(b.String()), 0o644)
+}

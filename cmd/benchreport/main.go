@@ -1,0 +1,171 @@
+// Command benchreport regenerates every table and figure of the paper's
+// evaluation (plus this reproduction's ablations) from a freshly generated
+// synthetic trace and prints the rows the paper reports next to the
+// published values.
+//
+// Usage:
+//
+//	benchreport [-run T2,F2,F3,F4,F5,A1,F8,F9,X1,X2,X3] [-duration 120s]
+//	            [-scale 0.08] [-seed 42] [-low 4] [-high 8]
+//
+// The -low/-high flags are the Figure 9 thresholds in Mbps; the defaults
+// scale the paper's 50/100 Mbps to the default trace scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"p2pbound/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+}
+
+type renderer interface{ Render() string }
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
+	var (
+		runList  = fs.String("run", "all", "comma-separated experiment ids (S0,T1,T2,F2,F3,F4,F5,A1,F8,F9,X1,X2,X3,X4) or 'all'")
+		duration = fs.Duration("duration", 120*time.Second, "simulated trace duration")
+		scale    = fs.Float64("scale", 0.08, "load scale relative to the paper's 146.7 Mbps / 250 conns-per-second trace")
+		seed     = fs.Uint64("seed", 42, "deterministic generator seed")
+		lowMbps  = fs.Float64("low", 0, "Figure 9 low threshold L in Mbps (0 = 50 Mbps × scale)")
+		highMbps = fs.Float64("high", 0, "Figure 9 high threshold H in Mbps (0 = 100 Mbps × scale)")
+		dataDir  = fs.String("data", "", "directory to write plot-ready .dat series for each figure (empty = skip)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *lowMbps == 0 {
+		*lowMbps = 50 * *scale
+	}
+	if *highMbps == 0 {
+		*highMbps = 100 * *scale
+	}
+
+	want := make(map[string]bool)
+	all := *runList == "all"
+	for _, id := range strings.Split(*runList, ",") {
+		want[strings.ToUpper(strings.TrimSpace(id))] = true
+	}
+	sel := func(id string) bool { return all || want[id] }
+
+	fmt.Fprintf(out, "benchreport: duration=%v scale=%.3f seed=%d (L=%.1f Mbps, H=%.1f Mbps)\n\n",
+		*duration, *scale, *seed, *lowMbps, *highMbps)
+
+	suite, err := experiments.NewSuite(experiments.DefaultTraceConfig(*duration, *scale, *seed))
+	if err != nil {
+		return err
+	}
+	data, err := newDataWriter(*dataDir)
+	if err != nil {
+		return err
+	}
+
+	emit := func(id string, r renderer) {
+		fmt.Fprintln(out, r.Render())
+	}
+	if sel("S0") {
+		emit("S0", suite.RunSummary())
+	}
+	if sel("T1") {
+		emit("T1", suite.RunT1Accuracy())
+	}
+	if sel("T2") {
+		emit("T2", suite.RunT2())
+	}
+	if sel("F2") {
+		res := suite.RunF2()
+		if err := data.portCDFs(res); err != nil {
+			return err
+		}
+		emit("F2", res)
+	}
+	if sel("F3") {
+		res := suite.RunF3()
+		if err := data.portCDFs(res); err != nil {
+			return err
+		}
+		emit("F3", res)
+	}
+	if sel("F4") {
+		res := suite.RunF4()
+		if err := data.writePoints("f4_lifetime_cdf.dat", "connection lifetime CDF: seconds, F(t)", res.Histogram); err != nil {
+			return err
+		}
+		emit("F4", res)
+	}
+	if sel("F5") {
+		res := suite.RunF5()
+		if err := data.writePoints("f5_delay_cdf.dat", "out-in delay CDF: seconds, F(t)", res.CDF); err != nil {
+			return err
+		}
+		emit("F5", res)
+	}
+	if sel("A1") {
+		res, err := experiments.RunA1(*seed)
+		if err != nil {
+			return err
+		}
+		emit("A1", res)
+	}
+	if sel("F8") {
+		res, err := experiments.RunF8(suite.Trace.Packets, *seed)
+		if err != nil {
+			return err
+		}
+		if err := data.f8Scatter(res); err != nil {
+			return err
+		}
+		emit("F8", res)
+	}
+	if sel("F9") {
+		res, err := experiments.RunF9(suite.Trace.Packets, *lowMbps*1e6, *highMbps*1e6, *seed)
+		if err != nil {
+			return err
+		}
+		if err := data.f9Series(res); err != nil {
+			return err
+		}
+		emit("F9", res)
+	}
+	if sel("X1") {
+		res, err := experiments.RunX1(suite.Trace.Packets, *seed)
+		if err != nil {
+			return err
+		}
+		emit("X1", res)
+	}
+	if sel("X2") {
+		res, err := experiments.RunX2(suite.Trace.Packets, *seed)
+		if err != nil {
+			return err
+		}
+		emit("X2", res)
+	}
+	if sel("X4") {
+		res, err := experiments.RunX4(suite.Trace.Packets, *seed)
+		if err != nil {
+			return err
+		}
+		emit("X4", res)
+	}
+	if sel("X3") {
+		res, err := experiments.RunX3(10_000, *seed)
+		if err != nil {
+			return err
+		}
+		emit("X3", res)
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSelectedExperiments(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-run", "S0,T2,A1,X3",
+		"-duration", "20s",
+		"-scale", "0.03",
+		"-seed", "5",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"S0: trace aggregates",
+		"T2: protocol distribution",
+		"bittorrent",
+		"A1: capacity bounds",
+		"167000",
+		"X3: hole-punching",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	for _, skip := range []string{"F8:", "F9:", "X1:"} {
+		if strings.Contains(out, skip) {
+			t.Errorf("output contains unselected section %q", skip)
+		}
+	}
+}
+
+func TestRunUnknownFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &buf); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestRunReplayExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay experiments are slow")
+	}
+	var buf bytes.Buffer
+	err := run([]string{
+		"-run", "F8,F9,X2",
+		"-duration", "20s",
+		"-scale", "0.03",
+		"-seed", "5",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"F8: SPI vs bitmap", "F9: upload limiting", "X2: bitmap vs exact"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunWritesDataFiles(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	err := run([]string{
+		"-run", "F2,F3,F4,F5,F8,F9",
+		"-duration", "15s",
+		"-scale", "0.03",
+		"-seed", "5",
+		"-data", dir,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"f2_all.dat", "f2_p2p.dat", "f2_nonp2p.dat", "f2_unknown.dat",
+		"f3_all.dat",
+		"f4_lifetime_cdf.dat", "f5_delay_cdf.dat",
+		"f8_scatter.dat", "f9_upload.dat",
+	} {
+		st, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("missing data file %s: %v", name, err)
+			continue
+		}
+		if st.Size() < 20 {
+			t.Errorf("data file %s suspiciously small (%d bytes)", name, st.Size())
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"p2pbound/internal/pcap"
+	"p2pbound/internal/trace"
+)
+
+// writeTestPcap materializes a small synthetic trace for the CLI tests.
+func writeTestPcap(t *testing.T) string {
+	t.Helper()
+	tr, err := trace.Generate(trace.DefaultConfig(5*time.Second, 0.02, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.pcap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	base := time.Date(2006, 11, 15, 9, 0, 0, 0, time.UTC)
+	if err := pcap.WriteAll(f, tr.Packets, 0, base); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAllFilters(t *testing.T) {
+	path := writeTestPcap(t)
+	for _, filter := range []string{"bitmap", "spi", "naive"} {
+		if err := run([]string{"-i", path, "-filter", filter}); err != nil {
+			t.Errorf("filter %s: %v", filter, err)
+		}
+	}
+}
+
+func TestRunWithThresholdsAndBlocking(t *testing.T) {
+	path := writeTestPcap(t)
+	if err := run([]string{"-i", path, "-low", "1", "-high", "2", "-block", "-series"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCustomBitmapGeometry(t *testing.T) {
+	path := writeTestPcap(t)
+	if err := run([]string{"-i", path, "-k", "2", "-n", "14", "-m", "2", "-dt", "1s", "-holepunch"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing -i accepted")
+	}
+	if err := run([]string{"-i", "does-not-exist.pcap"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	path := writeTestPcap(t)
+	if err := run([]string{"-i", path, "-filter", "nonsense"}); err == nil {
+		t.Fatal("unknown filter accepted")
+	}
+	if err := run([]string{"-i", path, "-net", "garbage"}); err == nil {
+		t.Fatal("bad network accepted")
+	}
+	if err := run([]string{"-i", path, "-low", "5", "-high", "2"}); err == nil {
+		t.Fatal("inverted thresholds accepted")
+	}
+}

@@ -1,0 +1,174 @@
+// Command p2pboundd is the deployment form of the limiter: it consumes a
+// pcap stream (a file, or tcpdump piped to stdin), runs every packet
+// through a p2pbound.Limiter, and emits the verdict stream plus periodic
+// statistics. With -state it restores the bitmap filter from a previous
+// snapshot on startup and writes a fresh snapshot on exit, so restarts
+// keep admitting tracked flows.
+//
+// Usage:
+//
+//	tcpdump -i eth0 -w - | p2pboundd -net 140.112.0.0/16 -low 50 -high 100
+//	p2pboundd -i trace.pcap -net 140.112.0.0/16 -state /var/lib/p2pbound.state
+//
+// Output: one line per dropped packet (suppress with -quiet) and a stats
+// line every -report interval of trace time.
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+	"time"
+
+	"p2pbound"
+	"p2pbound/internal/packet"
+	"p2pbound/internal/pcap"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "p2pboundd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("p2pboundd", flag.ContinueOnError)
+	var (
+		in        = fs.String("i", "-", "input pcap path, or - for stdin")
+		netCIDR   = fs.String("net", "", "client network CIDR (required)")
+		lowMbps   = fs.Float64("low", 50, "P_d low threshold L in Mbps")
+		highMbps  = fs.Float64("high", 100, "P_d high threshold H in Mbps")
+		holePunch = fs.Bool("holepunch", false, "partial-tuple hashing for NAT traversal")
+		statePath = fs.String("state", "", "bitmap snapshot file: restored on start, written on exit")
+		report    = fs.Duration("report", 10*time.Second, "trace-time interval between stats lines")
+		quiet     = fs.Bool("quiet", false, "do not print per-drop lines")
+		seed      = fs.Uint64("seed", 0, "seed for probabilistic drops")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *netCIDR == "" {
+		return errors.New("missing -net client network")
+	}
+	clientNet, err := packet.ParseNetwork(*netCIDR)
+	if err != nil {
+		return err
+	}
+
+	limiter, err := p2pbound.New(p2pbound.Config{
+		ClientNetwork: *netCIDR,
+		LowMbps:       *lowMbps,
+		HighMbps:      *highMbps,
+		HolePunch:     *holePunch,
+		Seed:          *seed,
+	})
+	if err != nil {
+		return err
+	}
+	if *statePath != "" {
+		if err := restoreState(limiter, *statePath); err != nil {
+			return err
+		}
+	}
+
+	var src io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	reader, err := pcap.NewReader(bufio.NewReaderSize(src, 1<<20), clientNet)
+	if err != nil {
+		return err
+	}
+
+	var (
+		total, dropped int64
+		nextReport     = *report
+	)
+	for {
+		pkt, err := reader.ReadPacket()
+		switch {
+		case err == nil:
+		case errors.Is(err, io.EOF):
+			fmt.Fprintf(out, "done: %d packets, %d dropped\n", total, dropped)
+			if *statePath != "" {
+				return saveState(limiter, *statePath)
+			}
+			return nil
+		case errors.Is(err, pcap.ErrBadChecksum):
+			continue
+		default:
+			return err
+		}
+		total++
+
+		decision := limiter.Process(p2pbound.Packet{
+			Timestamp: pkt.TS,
+			Protocol:  p2pbound.Protocol(pkt.Pair.Proto),
+			SrcAddr:   toNetip(pkt.Pair.SrcAddr), SrcPort: pkt.Pair.SrcPort,
+			DstAddr: toNetip(pkt.Pair.DstAddr), DstPort: pkt.Pair.DstPort,
+			Size: pkt.Len,
+		})
+		if decision == p2pbound.Drop {
+			dropped++
+			if !*quiet {
+				fmt.Fprintf(out, "DROP %v %s\n", pkt.TS, pkt.Pair)
+			}
+		}
+		if *report > 0 && pkt.TS >= nextReport {
+			s := limiter.Stats()
+			fmt.Fprintf(out, "stats t=%v packets=%d dropped=%d uplink=%.2fMbps pd=%.2f matched=%d\n",
+				pkt.TS.Truncate(time.Second), total, dropped,
+				limiter.UplinkMbps(), limiter.DropProbability(), s.InboundMatched)
+			for pkt.TS >= nextReport {
+				nextReport += *report
+			}
+		}
+	}
+}
+
+func restoreState(l *p2pbound.Limiter, path string) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil // first boot
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return l.RestoreState(bufio.NewReader(f))
+}
+
+func saveState(l *p2pbound.Limiter, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := l.SaveState(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func toNetip(a packet.Addr) netip.Addr {
+	return netip.AddrFrom4([4]byte{byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)})
+}

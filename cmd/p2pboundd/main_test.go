@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"p2pbound/internal/pcap"
+	"p2pbound/internal/trace"
+)
+
+func writeTestPcap(t *testing.T, seed uint64) string {
+	t.Helper()
+	tr, err := trace.Generate(trace.DefaultConfig(15*time.Second, 0.03, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.pcap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	base := time.Date(2006, 11, 15, 9, 0, 0, 0, time.UTC)
+	if err := pcap.WriteAll(f, tr.Packets, 0, base); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunProcessesTrace(t *testing.T) {
+	path := writeTestPcap(t, 31)
+	var buf bytes.Buffer
+	err := run([]string{
+		"-i", path,
+		"-net", "140.112.0.0/16",
+		"-low", "0.5", "-high", "1",
+		"-report", "5s",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "done:") {
+		t.Fatalf("missing completion line:\n%s", out)
+	}
+	if !strings.Contains(out, "stats t=") {
+		t.Fatalf("missing periodic stats:\n%s", out)
+	}
+	if !strings.Contains(out, "DROP ") {
+		t.Fatalf("expected drops at these tiny thresholds:\n%s", out)
+	}
+}
+
+func TestRunQuietSuppressesDropLines(t *testing.T) {
+	path := writeTestPcap(t, 32)
+	var buf bytes.Buffer
+	err := run([]string{
+		"-i", path, "-net", "140.112.0.0/16",
+		"-low", "0.5", "-high", "1",
+		"-quiet", "-report", "0s",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "DROP ") {
+		t.Fatal("quiet mode printed drop lines")
+	}
+}
+
+func TestRunStateRoundTrip(t *testing.T) {
+	path := writeTestPcap(t, 33)
+	state := filepath.Join(t.TempDir(), "bitmap.state")
+
+	var buf bytes.Buffer
+	if err := run([]string{"-i", path, "-net", "140.112.0.0/16", "-quiet", "-state", state}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(state)
+	if err != nil {
+		t.Fatalf("state file not written: %v", err)
+	}
+	if st.Size() < 512*1024 {
+		t.Fatalf("state file too small: %d bytes", st.Size())
+	}
+	// A second run restores the snapshot without error.
+	buf.Reset()
+	if err := run([]string{"-i", path, "-net", "140.112.0.0/16", "-quiet", "-state", state}, &buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("missing -net accepted")
+	}
+	if err := run([]string{"-net", "garbage"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("bad network accepted")
+	}
+	if err := run([]string{"-net", "10.0.0.0/8", "-i", "missing.pcap"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("missing input accepted")
+	}
+	path := writeTestPcap(t, 34)
+	if err := run([]string{"-net", "10.0.0.0/8", "-i", path, "-low", "5", "-high", "2"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("inverted thresholds accepted")
+	}
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"p2pbound/internal/packet"
+	"p2pbound/internal/pcap"
+)
+
+func TestRunWritesReadablePcap(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.pcap")
+	err := run([]string{
+		"-o", out,
+		"-duration", "5s",
+		"-scale", "0.02",
+		"-seed", "3",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	clientNet := packet.CIDR(packet.AddrFrom4(140, 112, 0, 0), 16)
+	packets, err := pcap.ReadAll(bufio.NewReader(f), clientNet, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(packets) < 100 {
+		t.Fatalf("pcap holds only %d packets", len(packets))
+	}
+}
+
+func TestRunCustomNetwork(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.pcap")
+	err := run([]string{
+		"-o", out,
+		"-duration", "2s",
+		"-scale", "0.02",
+		"-net", "10.50.0.0/16",
+		"-clients", "10",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	clientNet := packet.CIDR(packet.AddrFrom4(10, 50, 0, 0), 16)
+	packets, err := pcap.ReadAll(bufio.NewReader(f), clientNet, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every packet must have exactly one endpoint inside the network.
+	for i := range packets {
+		p := &packets[i]
+		srcIn := clientNet.Contains(p.Pair.SrcAddr)
+		dstIn := clientNet.Contains(p.Pair.DstAddr)
+		if srcIn == dstIn {
+			t.Fatalf("packet %d does not cross the network edge: %v", i, p.Pair)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing -o accepted")
+	}
+	if err := run([]string{"-o", "x.pcap", "-net", "garbage"}); err == nil {
+		t.Fatal("bad network accepted")
+	}
+	if err := run([]string{"-o", filepath.Join(t.TempDir(), "nodir", "x.pcap"), "-duration", "1s", "-scale", "0.01"}); err == nil {
+		t.Fatal("unwritable path accepted")
+	}
+}

@@ -1,0 +1,101 @@
+package p2pbound_test
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"p2pbound"
+)
+
+// The basic flow: outbound requests always pass and create admission
+// state; once the uplink saturates, unsolicited inbound packets drop
+// while responses to the client's own traffic keep flowing.
+func Example() {
+	limiter, err := p2pbound.New(p2pbound.Config{
+		ClientNetwork: "192.168.0.0/16",
+		LowMbps:       0.001, // tiny thresholds so the example saturates
+		HighMbps:      0.002,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	client := netip.MustParseAddr("192.168.1.10")
+	server := netip.MustParseAddr("93.184.216.34")
+	stranger := netip.MustParseAddr("45.9.9.9")
+
+	// The client sends a request — heavy enough to saturate the uplink.
+	request := p2pbound.Packet{
+		Timestamp: 0, Protocol: p2pbound.TCP,
+		SrcAddr: client, SrcPort: 40000, DstAddr: server, DstPort: 80,
+		Size: 1_000_000,
+	}
+	fmt.Println("request:", limiter.Process(request))
+
+	// The server's response matches tracked state and passes.
+	response := p2pbound.Packet{
+		Timestamp: 50 * time.Millisecond, Protocol: p2pbound.TCP,
+		SrcAddr: server, SrcPort: 80, DstAddr: client, DstPort: 40000,
+		Size: 1500,
+	}
+	fmt.Println("response:", limiter.Process(response))
+
+	// A stranger's unsolicited connection attempt is dropped.
+	unsolicited := p2pbound.Packet{
+		Timestamp: 60 * time.Millisecond, Protocol: p2pbound.TCP,
+		SrcAddr: stranger, SrcPort: 50000, DstAddr: client, DstPort: 6881,
+		Size: 60,
+	}
+	fmt.Println("unsolicited:", limiter.Process(unsolicited))
+
+	// Output:
+	// request: PASS
+	// response: PASS
+	// unsolicited: DROP
+}
+
+// Custom geometry: a small filter for an embedded edge device — 2 vectors
+// of 2^14 bits with a 2-second rotation, 4 KiB in total.
+func ExampleNew_customGeometry() {
+	limiter, err := p2pbound.New(p2pbound.Config{
+		ClientNetwork: "10.0.0.0/8",
+		Vectors:       2,
+		VectorBits:    14,
+		HashFunctions: 4,
+		RotateEvery:   2 * time.Second,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%d KiB, T_e = %v\n", limiter.MemoryBytes()/1024, limiter.ExpiryHorizon())
+	// Output:
+	// 4 KiB, T_e = 4s
+}
+
+// Sharding for multi-queue pipelines: both directions of a connection
+// always land on the same shard.
+func ExampleShardedLimiter() {
+	sharded, err := p2pbound.NewSharded(p2pbound.Config{
+		ClientNetwork: "10.0.0.0/8",
+	}, 4)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fwd := p2pbound.Packet{
+		Protocol: p2pbound.TCP,
+		SrcAddr:  netip.MustParseAddr("10.1.2.3"), SrcPort: 40000,
+		DstAddr: netip.MustParseAddr("8.8.8.8"), DstPort: 443,
+	}
+	rev := p2pbound.Packet{
+		Protocol: p2pbound.TCP,
+		SrcAddr:  netip.MustParseAddr("8.8.8.8"), SrcPort: 443,
+		DstAddr: netip.MustParseAddr("10.1.2.3"), DstPort: 40000,
+	}
+	fmt.Println("same shard:", sharded.ShardOf(fwd) == sharded.ShardOf(rev))
+	// Output:
+	// same shard: true
+}

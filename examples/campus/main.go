@@ -1,0 +1,99 @@
+// Campus: the paper's end-to-end scenario on one machine. Generate a
+// synthetic campus trace with the Section 3.3 traffic mix, run the traffic
+// analyzer over it (Table 2 and the Figure 4/5 distributions), then replay
+// it through a p2pbound.Limiter and compare upload throughput before and
+// after filtering — the Figure 9 experiment against the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+	"time"
+
+	"p2pbound"
+	"p2pbound/internal/experiments"
+	"p2pbound/internal/packet"
+	"p2pbound/internal/stats"
+)
+
+func main() {
+	const (
+		duration = 90 * time.Second
+		scale    = 0.06 // ≈8.8 Mbps average load
+		seed     = 2006
+	)
+	fmt.Printf("generating %v campus trace at %.0f%% of the paper's load...\n\n", duration, scale*100)
+	suite, err := experiments.NewSuite(experiments.DefaultTraceConfig(duration, scale, seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Part 1: the measurement study of Section 3.3.
+	fmt.Println(suite.RunSummary().Render())
+	fmt.Println(suite.RunT2().Render())
+	fmt.Println(suite.RunF4().Render())
+	fmt.Println(suite.RunF5().Render())
+
+	// Part 2: bound the upload through the public limiter API.
+	low, high := 50*scale, 100*scale // the paper's 50/100 Mbps, scaled
+	limiter, err := p2pbound.New(p2pbound.Config{
+		ClientNetwork: suite.Trace.Config.ClientNet.String(),
+		LowMbps:       low,
+		HighMbps:      high,
+		Seed:          seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	before, err := stats.NewTimeSeries(time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := stats.NewTimeSeries(time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	blocked := make(map[packet.SocketPair]bool)
+	var dropped, blockedPkts int64
+	for i := range suite.Trace.Packets {
+		pkt := &suite.Trace.Packets[i]
+		isUp := pkt.Dir == packet.Outbound
+		if isUp {
+			before.Add(pkt.TS, pkt.Len)
+		}
+		// Blocked-connection memory (Section 5.3): a connection whose
+		// packet was dropped stays dropped, in both directions.
+		if blocked[pkt.Pair] || blocked[pkt.Pair.Inverse()] {
+			blockedPkts++
+			continue
+		}
+		decision := limiter.Process(p2pbound.Packet{
+			Timestamp: pkt.TS,
+			Protocol:  p2pbound.Protocol(pkt.Pair.Proto),
+			SrcAddr:   toNetip(pkt.Pair.SrcAddr), SrcPort: pkt.Pair.SrcPort,
+			DstAddr: toNetip(pkt.Pair.DstAddr), DstPort: pkt.Pair.DstPort,
+			Size: pkt.Len,
+		})
+		if decision == p2pbound.Drop {
+			dropped++
+			blocked[pkt.Pair] = true
+			continue
+		}
+		if isUp {
+			after.Add(pkt.TS, pkt.Len)
+		}
+	}
+
+	fmt.Printf("F9 (via public API): L=%.1f Mbps, H=%.1f Mbps\n", low, high)
+	fmt.Printf("  upload before filtering: mean %s, peak %s\n",
+		stats.Mbps(before.MeanRate()), stats.Mbps(before.MaxRate()))
+	fmt.Printf("  upload after  filtering: mean %s, peak %s\n",
+		stats.Mbps(after.MeanRate()), stats.Mbps(after.MaxRate()))
+	fmt.Printf("  limiter drops: %d, blocked-connection drops: %d\n", dropped, blockedPkts)
+}
+
+func toNetip(a packet.Addr) netip.Addr {
+	return netip.AddrFrom4([4]byte{byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)})
+}

@@ -1,0 +1,82 @@
+// Quickstart: build a limiter for a client network, feed it a handful of
+// packets, and watch the positive-listing behaviour — outbound requests
+// and their responses pass, unsolicited inbound requests are dropped once
+// the uplink is busy.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+	"time"
+
+	"p2pbound"
+)
+
+func main() {
+	limiter, err := p2pbound.New(p2pbound.Config{
+		ClientNetwork: "192.168.0.0/16",
+		// Drop probability ramps from 0 at 1 Mbps of upload to 1 at
+		// 2 Mbps (tiny thresholds so this demo saturates instantly).
+		LowMbps:  1,
+		HighMbps: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	client := netip.MustParseAddr("192.168.1.10")
+	webServer := netip.MustParseAddr("93.184.216.34")
+	peer := netip.MustParseAddr("81.40.2.17")
+
+	show := func(label string, pkt p2pbound.Packet) {
+		fmt.Printf("%-42s -> %s   (uplink %.2f Mbps, P_d %.2f)\n",
+			label, limiter.Process(pkt), limiter.UplinkMbps(), limiter.DropProbability())
+	}
+
+	// The client browses the web: outbound request, inbound response.
+	show("client -> web server (HTTP request)", p2pbound.Packet{
+		Timestamp: 0, Protocol: p2pbound.TCP,
+		SrcAddr: client, SrcPort: 40000, DstAddr: webServer, DstPort: 80,
+		Size: 400,
+	})
+	show("web server -> client (HTTP response)", p2pbound.Packet{
+		Timestamp: 50 * time.Millisecond, Protocol: p2pbound.TCP,
+		SrcAddr: webServer, SrcPort: 80, DstAddr: client, DstPort: 40000,
+		Size: 1500,
+	})
+
+	// The client seeds a torrent hard enough to saturate the uplink
+	// (≈2.9 Mbps over the 5-second measurement window, beyond H).
+	for i := 0; i < 1200; i++ {
+		limiter.Process(p2pbound.Packet{
+			Timestamp: 100*time.Millisecond + time.Duration(i)*time.Millisecond,
+			Protocol:  p2pbound.TCP,
+			SrcAddr:   client, SrcPort: 6881, DstAddr: peer, DstPort: 51234,
+			Size: 1500,
+		})
+	}
+	fmt.Printf("\nafter seeding a torrent for a while: uplink %.2f Mbps, P_d %.2f\n\n",
+		limiter.UplinkMbps(), limiter.DropProbability())
+
+	// A stranger peer now tries to open a connection to the client: this
+	// is the P2P upload trigger the filter exists to bound.
+	show("stranger peer -> client (unsolicited SYN)", p2pbound.Packet{
+		Timestamp: 2 * time.Second, Protocol: p2pbound.TCP,
+		SrcAddr: netip.MustParseAddr("45.9.9.9"), SrcPort: 50000,
+		DstAddr: client, DstPort: 6881,
+		Size: 60,
+	})
+	// The response to the client's own traffic still passes.
+	show("known peer -> client (ACK on seeded flow)", p2pbound.Packet{
+		Timestamp: 2 * time.Second, Protocol: p2pbound.TCP,
+		SrcAddr: peer, SrcPort: 51234, DstAddr: client, DstPort: 6881,
+		Size: 60,
+	})
+
+	s := limiter.Stats()
+	fmt.Printf("\nstats: %d outbound, %d inbound (%d matched), %d dropped, %d rotations\n",
+		s.OutboundPackets, s.InboundPackets, s.InboundMatched, s.Dropped, s.Rotations)
+	fmt.Printf("filter memory: %d KiB, expiry horizon: %v\n",
+		limiter.MemoryBytes()/1024, limiter.ExpiryHorizon())
+}

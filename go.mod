@@ -1,0 +1,3 @@
+module p2pbound
+
+go 1.22

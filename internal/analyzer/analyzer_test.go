@@ -1,0 +1,344 @@
+package analyzer
+
+import (
+	"testing"
+	"time"
+
+	"p2pbound/internal/l7"
+	"p2pbound/internal/packet"
+)
+
+var testNet = packet.CIDR(packet.AddrFrom4(140, 112, 0, 0), 16)
+
+func newAnalyzer(t *testing.T) *Analyzer {
+	t.Helper()
+	a, err := New(DefaultConfig(testNet))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+var (
+	client = packet.AddrFrom4(140, 112, 1, 1)
+	server = packet.AddrFrom4(8, 8, 4, 4)
+)
+
+// feedTCP replays a client-initiated TCP connection: handshake, the given
+// payload exchanges, and an optional close.
+func feedTCP(a *Analyzer, t0 time.Duration, pair packet.SocketPair, payloads [][]byte, closeAt time.Duration) {
+	dir := packet.Classify(pair, testNet)
+	rev := pair.Inverse()
+	revDir := packet.Inbound
+	if dir == packet.Inbound {
+		revDir = packet.Outbound
+	}
+	a.Feed(&packet.Packet{TS: t0, Pair: pair, Dir: dir, Len: 40, Flags: packet.SYN})
+	a.Feed(&packet.Packet{TS: t0 + 10*time.Millisecond, Pair: rev, Dir: revDir, Len: 40, Flags: packet.SYN | packet.ACK})
+	a.Feed(&packet.Packet{TS: t0 + 15*time.Millisecond, Pair: pair, Dir: dir, Len: 40, Flags: packet.ACK})
+	ts := t0 + 20*time.Millisecond
+	for i, p := range payloads {
+		// Alternate directions: even payloads from the initiator.
+		if i%2 == 0 {
+			a.Feed(&packet.Packet{TS: ts, Pair: pair, Dir: dir, Len: 40 + len(p), Flags: packet.ACK | packet.PSH, Payload: p})
+		} else {
+			a.Feed(&packet.Packet{TS: ts, Pair: rev, Dir: revDir, Len: 40 + len(p), Flags: packet.ACK | packet.PSH, Payload: p})
+		}
+		ts += 10 * time.Millisecond
+	}
+	if closeAt > 0 {
+		a.Feed(&packet.Packet{TS: closeAt, Pair: pair, Dir: dir, Len: 40, Flags: packet.FIN | packet.ACK})
+	}
+}
+
+func clientPair(srcPort, dstPort uint16) packet.SocketPair {
+	return packet.SocketPair{Proto: packet.TCP, SrcAddr: client, SrcPort: srcPort, DstAddr: server, DstPort: dstPort}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, mutate := range []func(*Config){
+		func(c *Config) { c.MaxPrefixPackets = 0 },
+		func(c *Config) { c.MaxPrefixBytes = 0 },
+		func(c *Config) { c.DelayExpiry = 0 },
+	} {
+		cfg := DefaultConfig(testNet)
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Fatal("invalid config accepted")
+		}
+	}
+}
+
+func TestPatternIdentification(t *testing.T) {
+	a := newAnalyzer(t)
+	feedTCP(a, 0, clientPair(40000, 28123), [][]byte{
+		[]byte("GNUTELLA CONNECT/0.6\r\n\r\n"),
+	}, time.Second)
+	conns := a.Connections()
+	if len(conns) != 1 {
+		t.Fatalf("connections = %d", len(conns))
+	}
+	c := conns[0]
+	if c.App != l7.Gnutella || c.Method != IdentPattern {
+		t.Fatalf("app=%v method=%v", c.App, c.Method)
+	}
+}
+
+// TestStreamPrefixConcatenation: a signature split across the first data
+// packets matches, but one arriving after the fourth data packet does not
+// (the paper concatenates at most four).
+func TestStreamPrefixConcatenation(t *testing.T) {
+	a := newAnalyzer(t)
+	feedTCP(a, 0, clientPair(40001, 28124), [][]byte{
+		[]byte("GNUTELLA CON"),
+		[]byte("NECT/0.6\r\n\r\n"),
+	}, 0)
+	if c := a.Connections()[0]; c.App != l7.Gnutella {
+		t.Fatalf("split signature not matched: %v", c.App)
+	}
+
+	b := newAnalyzer(t)
+	feedTCP(b, 0, clientPair(40002, 28125), [][]byte{
+		[]byte("xxxx"), []byte("yyyy"), []byte("zzzz"), []byte("wwww"),
+		[]byte("GNUTELLA CONNECT/0.6\r\n\r\n"), // fifth data packet: ignored
+	}, 0)
+	if c := b.Connections()[0]; c.App == l7.Gnutella {
+		t.Fatal("signature beyond the fourth data packet must not match")
+	}
+}
+
+// TestNoSYNNoPayloadExamination: TCP connections without an observed SYN
+// are not payload-identified (the paper requires an explicit TCP-SYN).
+func TestNoSYNNoPayloadExamination(t *testing.T) {
+	a := newAnalyzer(t)
+	pair := clientPair(40003, 28126)
+	a.Feed(&packet.Packet{TS: 0, Pair: pair, Dir: packet.Outbound, Len: 80, Flags: packet.ACK | packet.PSH,
+		Payload: []byte("GNUTELLA CONNECT/0.6\r\n\r\n")})
+	if c := a.Connections()[0]; c.App != l7.Unknown {
+		t.Fatalf("mid-stream connection identified as %v", c.App)
+	}
+}
+
+func TestUDPPerPacketIdentification(t *testing.T) {
+	a := newAnalyzer(t)
+	pair := packet.SocketPair{Proto: packet.UDP, SrcAddr: client, SrcPort: 40004, DstAddr: server, DstPort: 28127}
+	a.Feed(&packet.Packet{TS: 0, Pair: pair, Dir: packet.Outbound, Len: 80,
+		Payload: []byte("d1:ad2:id20:aaaaaaaaaaaaaaaaaaaae1:q4:ping1:t2:aa1:y1:qe")})
+	if c := a.Connections()[0]; c.App != l7.BitTorrent || c.Method != IdentPattern {
+		t.Fatalf("UDP DHT packet: app=%v method=%v", c.App, c.Method)
+	}
+}
+
+// TestPortFallback: an unidentified connection to a well-known port gets
+// identified in the FinalizePortIdent pass.
+func TestPortFallback(t *testing.T) {
+	a := newAnalyzer(t)
+	feedTCP(a, 0, clientPair(40005, 22), [][]byte{[]byte("SSH-2.0-OpenSSH\r\n")}, 0)
+	if c := a.Connections()[0]; c.App != l7.Unknown {
+		t.Fatalf("pre-finalize app = %v", c.App)
+	}
+	a.FinalizePortIdent()
+	c := a.Connections()[0]
+	if c.App != l7.SSH || c.Method != IdentPort {
+		t.Fatalf("post-finalize app=%v method=%v", c.App, c.Method)
+	}
+}
+
+// TestP2PServicePropagation (strategy 1): once a connection to B:y is
+// identified as P2P, a later connection to the same B:y inherits the
+// application without any payload.
+func TestP2PServicePropagation(t *testing.T) {
+	a := newAnalyzer(t)
+	feedTCP(a, 0, clientPair(40006, 31000), [][]byte{
+		append([]byte{0x13}, []byte("BitTorrent protocol........................................")...),
+	}, time.Second)
+	// Second connection, different client port, same B:y, opaque payload.
+	feedTCP(a, 2*time.Second, clientPair(40007, 31000), [][]byte{{0x7f, 0x00, 0x41}}, 0)
+
+	var propagated *Connection
+	for _, c := range a.Connections() {
+		if c.Pair.SrcPort == 40007 {
+			propagated = c
+		}
+	}
+	if propagated == nil {
+		t.Fatal("second connection missing")
+	}
+	if propagated.App != l7.BitTorrent || propagated.Method != IdentPropagated {
+		t.Fatalf("propagated: app=%v method=%v", propagated.App, propagated.Method)
+	}
+}
+
+// TestFTPDataConnection (strategy 2): the endpoint announced in a 227
+// passive reply identifies the subsequent data connection as FTP.
+func TestFTPDataConnection(t *testing.T) {
+	a := newAnalyzer(t)
+	ctl := clientPair(40010, 21)
+	// The server banner is the first payload on a real FTP control
+	// channel (payload slots alternate initiator/responder, so slot 0 is
+	// left empty).
+	feedTCP(a, 0, ctl, [][]byte{
+		nil,
+		[]byte("220 ProFTPD Server (FTP) ready.\r\n"),
+		[]byte("PASV\r\n"),
+		[]byte("227 Entering Passive Mode (8,8,4,4,78,32).\r\n"),
+	}, 0)
+	dataPort := uint16(78)<<8 | 32
+	feedTCP(a, time.Second, clientPair(40011, dataPort), [][]byte{{0x7f, 0x10, 0x32}}, 0)
+
+	var data *Connection
+	for _, c := range a.Connections() {
+		if c.Pair.DstPort == dataPort {
+			data = c
+		}
+	}
+	if data == nil {
+		t.Fatal("data connection missing")
+	}
+	if data.App != l7.FTP || data.Method != IdentFTPData {
+		t.Fatalf("ftp data: app=%v method=%v", data.App, data.Method)
+	}
+}
+
+func TestByteAndPacketAccounting(t *testing.T) {
+	a := newAnalyzer(t)
+	pair := clientPair(40020, 80)
+	a.Feed(&packet.Packet{TS: 0, Pair: pair, Dir: packet.Outbound, Len: 100, Flags: packet.SYN})
+	a.Feed(&packet.Packet{TS: time.Millisecond, Pair: pair.Inverse(), Dir: packet.Inbound, Len: 1500, Flags: packet.ACK})
+	a.Feed(&packet.Packet{TS: 2 * time.Millisecond, Pair: pair.Inverse(), Dir: packet.Inbound, Len: 500, Flags: packet.ACK})
+	c := a.Connections()[0]
+	if c.PktsOut != 1 || c.PktsIn != 2 || c.BytesOut != 100 || c.BytesIn != 2000 {
+		t.Fatalf("accounting: %+v", c)
+	}
+	if c.Initiator != packet.Outbound {
+		t.Fatalf("initiator = %v", c.Initiator)
+	}
+}
+
+// TestLifetime: SYN to first FIN/RST, only for closed connections.
+func TestLifetime(t *testing.T) {
+	a := newAnalyzer(t)
+	pair := clientPair(40021, 80)
+	feedTCP(a, time.Second, pair, nil, 31*time.Second)
+	c := a.Connections()[0]
+	lt, ok := c.Lifetime()
+	if !ok {
+		t.Fatal("closed connection has no lifetime")
+	}
+	if lt != 30*time.Second {
+		t.Fatalf("lifetime = %v, want 30s", lt)
+	}
+
+	// An open connection has no lifetime.
+	b := newAnalyzer(t)
+	feedTCP(b, 0, pair, nil, 0)
+	if _, ok := b.Connections()[0].Lifetime(); ok {
+		t.Fatal("open connection reported a lifetime")
+	}
+}
+
+// TestOutInDelay implements the Section 3.3 example: the delay is measured
+// from the last outbound packet of a socket pair to the next inbound
+// packet of its inverse.
+func TestOutInDelay(t *testing.T) {
+	a := newAnalyzer(t)
+	pair := clientPair(40022, 80)
+	a.Feed(&packet.Packet{TS: 10 * time.Second, Pair: pair, Dir: packet.Outbound, Len: 40, Flags: packet.SYN})
+	a.Feed(&packet.Packet{TS: 10*time.Second + 80*time.Millisecond, Pair: pair.Inverse(), Dir: packet.Inbound, Len: 40, Flags: packet.SYN | packet.ACK})
+	delays := a.Delays()
+	if len(delays) != 1 {
+		t.Fatalf("delays = %d", len(delays))
+	}
+	if delays[0] != 80*time.Millisecond {
+		t.Fatalf("delay = %v", delays[0])
+	}
+}
+
+// TestOutInDelayExpiry: a stale stamp beyond T_e records nothing and is
+// deleted.
+func TestOutInDelayExpiry(t *testing.T) {
+	cfg := DefaultConfig(testNet)
+	cfg.DelayExpiry = 100 * time.Second
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := clientPair(40023, 80)
+	a.Feed(&packet.Packet{TS: 0, Pair: pair, Dir: packet.Outbound, Len: 40})
+	a.Feed(&packet.Packet{TS: 200 * time.Second, Pair: pair.Inverse(), Dir: packet.Inbound, Len: 40})
+	if len(a.Delays()) != 0 {
+		t.Fatal("expired stamp produced a delay sample")
+	}
+	// The stale stamp was deleted, so a fresh inbound packet still
+	// records nothing.
+	a.Feed(&packet.Packet{TS: 201 * time.Second, Pair: pair.Inverse(), Dir: packet.Inbound, Len: 40})
+	if len(a.Delays()) != 0 {
+		t.Fatal("deleted stamp still matched")
+	}
+}
+
+// TestPortReuseDelayArtifact: an inbound packet on a reused tuple within
+// T_e records the large stale delay — the Figure 5 peak mechanism.
+func TestPortReuseDelayArtifact(t *testing.T) {
+	a := newAnalyzer(t)
+	pair := clientPair(40024, 31001)
+	a.Feed(&packet.Packet{TS: 0, Pair: pair, Dir: packet.Outbound, Len: 40})
+	// The remote "reuses" the pair 120 s later (within the 600 s T_e).
+	a.Feed(&packet.Packet{TS: 120 * time.Second, Pair: pair.Inverse(), Dir: packet.Inbound, Len: 40, Flags: packet.SYN})
+	delays := a.Delays()
+	if len(delays) != 1 || delays[0] != 120*time.Second {
+		t.Fatalf("stale delay not recorded: %v", delays)
+	}
+}
+
+func TestReportAggregates(t *testing.T) {
+	a := newAnalyzer(t)
+	// One HTTP download and one inbound-initiated upload.
+	feedTCP(a, 0, clientPair(40030, 80), [][]byte{
+		[]byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n"),
+		[]byte("HTTP/1.1 200 OK\r\n\r\n"),
+	}, time.Second)
+	inbound := packet.SocketPair{Proto: packet.TCP, SrcAddr: server, SrcPort: 50000, DstAddr: client, DstPort: 31999}
+	feedTCP(a, 2*time.Second, inbound, nil, 0)
+	// Upload data on the inbound-initiated connection.
+	up := inbound.Inverse()
+	a.Feed(&packet.Packet{TS: 3 * time.Second, Pair: up, Dir: packet.Outbound, Len: 1500, Flags: packet.ACK})
+	a.Feed(&packet.Packet{TS: 4 * time.Second, Pair: up, Dir: packet.Outbound, Len: 1500, Flags: packet.ACK})
+
+	a.FinalizePortIdent()
+	r := a.BuildReport()
+	if r.Summary.Connections != 2 {
+		t.Fatalf("connections = %d", r.Summary.Connections)
+	}
+	if r.Summary.TCPConnFrac != 1 {
+		t.Fatalf("tcp conn frac = %g", r.Summary.TCPConnFrac)
+	}
+	if r.Summary.UploadOnInbound < 0.9 {
+		t.Fatalf("upload on inbound = %g, want ≈1 (all bulk upload was inbound-initiated)", r.Summary.UploadOnInbound)
+	}
+	var httpRow *Table2Row
+	for i := range r.Table2 {
+		if r.Table2[i].Group == "HTTP" {
+			httpRow = &r.Table2[i]
+		}
+	}
+	if httpRow == nil || httpRow.Connections != 0.5 {
+		t.Fatalf("HTTP row: %+v", httpRow)
+	}
+}
+
+func TestIdentMethodString(t *testing.T) {
+	names := map[IdentMethod]string{
+		IdentNone:       "none",
+		IdentPattern:    "pattern",
+		IdentPort:       "port",
+		IdentPropagated: "propagated",
+		IdentFTPData:    "ftp-data",
+		IdentMethod(42): "method(42)",
+	}
+	for m, want := range names {
+		if got := m.String(); got != want {
+			t.Errorf("IdentMethod(%d) = %q, want %q", m, got, want)
+		}
+	}
+}

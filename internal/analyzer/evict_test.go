@@ -1,0 +1,143 @@
+package analyzer
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"p2pbound/internal/packet"
+	"p2pbound/internal/trace"
+)
+
+// TestEvictPreservesReport replays the same trace through two analyzers —
+// one evicting idle connections aggressively, one never — and requires
+// byte-identical reports: eviction bounds memory without losing a single
+// statistic.
+func TestEvictPreservesReport(t *testing.T) {
+	tr, err := trace.Generate(trace.DefaultConfig(60*time.Second, 0.04, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plain, err := New(DefaultConfig(tr.Config.ClientNet))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evicting, err := New(DefaultConfig(tr.Config.ClientNet))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	peak := 0
+	for i := range tr.Packets {
+		pkt := &tr.Packets[i]
+		plain.Feed(pkt)
+		evicting.Feed(pkt)
+		if i%2000 == 1999 {
+			// Evict anything idle for 30 s — long enough that no
+			// tracked statistic can still change for the connection
+			// except LastSeen updates, which only occur on non-idle
+			// connections.
+			evicting.Evict(30 * time.Second)
+		}
+		if n := evicting.Live(); n > peak {
+			peak = n
+		}
+	}
+	if evicting.Live() >= plain.Live() {
+		t.Fatalf("eviction kept the table at %d (plain %d)", evicting.Live(), plain.Live())
+	}
+	t.Logf("live tables: plain=%d evicting=%d (peak %d)", plain.Live(), evicting.Live(), peak)
+
+	a := plain.BuildReport()
+	b := evicting.BuildReport()
+
+	if a.Summary != b.Summary {
+		t.Fatalf("summaries diverge:\nplain   %+v\nevicted %+v", a.Summary, b.Summary)
+	}
+	if len(a.Table2) != len(b.Table2) {
+		t.Fatalf("table2 row counts diverge: %d vs %d", len(a.Table2), len(b.Table2))
+	}
+	for i := range a.Table2 {
+		ra, rb := a.Table2[i], b.Table2[i]
+		if ra.Group != rb.Group ||
+			math.Abs(ra.Connections-rb.Connections) > 1e-12 ||
+			math.Abs(ra.Utilization-rb.Utilization) > 1e-12 {
+			t.Fatalf("table2 row %d diverges: %+v vs %+v", i, ra, rb)
+		}
+	}
+	if a.Lifetimes.N() != b.Lifetimes.N() {
+		t.Fatalf("lifetime sample counts diverge: %d vs %d", a.Lifetimes.N(), b.Lifetimes.N())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if a.Lifetimes.Quantile(q) != b.Lifetimes.Quantile(q) {
+			t.Fatalf("lifetime q%.2f diverges", q)
+		}
+	}
+	for class := range a.TCPPorts {
+		if a.TCPPorts[class].N() != b.TCPPorts[class].N() {
+			t.Fatalf("tcp port class %d sample counts diverge", class)
+		}
+		if a.UDPPorts[class].N() != b.UDPPorts[class].N() {
+			t.Fatalf("udp port class %d sample counts diverge", class)
+		}
+	}
+	if a.DelayCDF.N() != b.DelayCDF.N() {
+		t.Fatalf("delay sample counts diverge: %d vs %d", a.DelayCDF.N(), b.DelayCDF.N())
+	}
+}
+
+// TestEvictRemovesIdleOnly: a connection still receiving packets must not
+// be evicted.
+func TestEvictRemovesIdleOnly(t *testing.T) {
+	a := newAnalyzer(t)
+	hot := clientPair(40100, 80)
+	cold := clientPair(40101, 81)
+	feedTCP(a, 0, cold, nil, 0)
+	feedTCP(a, 0, hot, nil, 0)
+	// Keep the hot connection alive for two minutes.
+	for s := 1; s <= 120; s++ {
+		pkt := packetAt(hot, time.Duration(s)*time.Second)
+		a.Feed(&pkt)
+	}
+	if n := a.Evict(60 * time.Second); n != 1 {
+		t.Fatalf("evicted %d connections, want 1 (the cold one)", n)
+	}
+	if a.Live() != 1 {
+		t.Fatalf("live = %d", a.Live())
+	}
+	// The report still counts both.
+	if r := a.BuildReport(); r.Summary.Connections != 2 {
+		t.Fatalf("report connections = %d, want 2", r.Summary.Connections)
+	}
+}
+
+// TestEvictPrunesDelayStamps: stale out-in stamps beyond the delay expiry
+// are dropped by Evict.
+func TestEvictPrunesDelayStamps(t *testing.T) {
+	cfg := DefaultConfig(testNet)
+	cfg.DelayExpiry = 10 * time.Second
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := clientPair(40102, 82)
+	pkt := packetAt(pair, 0)
+	a.Feed(&pkt)
+	if len(a.lastOut) != 1 {
+		t.Fatalf("stamps = %d", len(a.lastOut))
+	}
+	// Time passes far beyond the expiry; another connection advances now.
+	other := clientPair(40103, 83)
+	pkt2 := packetAt(other, 60*time.Second)
+	a.Feed(&pkt2)
+	a.Evict(time.Hour) // evict nothing by idleness, but prune stamps
+	if len(a.lastOut) != 1 {
+		t.Fatalf("stale stamp not pruned: %d stamps", len(a.lastOut))
+	}
+}
+
+// packetAt builds a bare outbound packet for pair at ts.
+func packetAt(pair packet.SocketPair, ts time.Duration) packet.Packet {
+	return packet.Packet{TS: ts, Pair: pair, Dir: packet.Outbound, Len: 60}
+}

@@ -1,0 +1,106 @@
+// Package bitvec provides the fixed-size bit vectors that back the bloom
+// filters composing a bitmap filter. Each column of the {k×N}-bitmap in
+// Figure 7 of the paper is one Vector.
+//
+// The implementation stores bits in 64-bit words so that the b.rotate
+// clean-up (Algorithm 1) clears a vector with a single memclr-style loop,
+// matching the paper's observation that the operation is simple and
+// efficient because "the memory space of a bit vector is fixed and
+// continuous".
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+const wordBits = 64
+
+// Vector is a fixed-size bit vector. The zero value is unusable; construct
+// with New.
+type Vector struct {
+	words []uint64
+	nbits uint
+}
+
+// New returns a Vector with capacity for nbits bits, all zero.
+func New(nbits uint) *Vector {
+	if nbits == 0 {
+		panic("bitvec: vector size must be positive")
+	}
+	return &Vector{
+		words: make([]uint64, (nbits+wordBits-1)/wordBits),
+		nbits: nbits,
+	}
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vector) Len() uint { return v.nbits }
+
+// Bytes returns the storage footprint of the vector in bytes.
+func (v *Vector) Bytes() int { return len(v.words) * 8 }
+
+// Set marks bit i as 1. Bits are addressed modulo the vector size, so a
+// hash output already truncated to n bits maps directly.
+func (v *Vector) Set(i uint32) {
+	j := uint(i) % v.nbits
+	v.words[j/wordBits] |= 1 << (j % wordBits)
+}
+
+// Get reports whether bit i is marked.
+func (v *Vector) Get(i uint32) bool {
+	j := uint(i) % v.nbits
+	return v.words[j/wordBits]&(1<<(j%wordBits)) != 0
+}
+
+// Clear resets every bit to zero. This is the per-Δt clean-up of the last
+// bit vector performed by b.rotate; its cost is O(N) in the vector size but
+// independent of the number of tracked connections.
+func (v *Vector) Clear() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// OnesCount returns the number of marked bits, the quantity b in the
+// utilization U = b/N of Equation 2.
+func (v *Vector) OnesCount() int {
+	n := 0
+	for _, w := range v.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Utilization returns the fraction of marked bits U = b/N.
+func (v *Vector) Utilization() float64 {
+	return float64(v.OnesCount()) / float64(v.nbits)
+}
+
+// CopyFrom overwrites this vector with the contents of src. Both vectors
+// must have the same size.
+func (v *Vector) CopyFrom(src *Vector) error {
+	if v.nbits != src.nbits {
+		return fmt.Errorf("bitvec: size mismatch: %d != %d", v.nbits, src.nbits)
+	}
+	copy(v.words, src.words)
+	return nil
+}
+
+// Equal reports whether two vectors have identical size and contents.
+func (v *Vector) Equal(o *Vector) bool {
+	if v.nbits != o.nbits {
+		return false
+	}
+	for i, w := range v.words {
+		if o.words[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// String summarizes the vector for debugging.
+func (v *Vector) String() string {
+	return fmt.Sprintf("bitvec(%d bits, %d set)", v.nbits, v.OnesCount())
+}

@@ -1,0 +1,153 @@
+package bitvec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestSetGet(t *testing.T) {
+	v := New(128)
+	for _, i := range []uint32{0, 1, 63, 64, 127} {
+		if v.Get(i) {
+			t.Fatalf("bit %d set in fresh vector", i)
+		}
+		v.Set(i)
+		if !v.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if got := v.OnesCount(); got != 5 {
+		t.Fatalf("OnesCount = %d, want 5", got)
+	}
+}
+
+func TestSetWrapsModuloSize(t *testing.T) {
+	v := New(100)
+	v.Set(100) // wraps to 0
+	if !v.Get(0) {
+		t.Fatal("Set(100) on a 100-bit vector should set bit 0")
+	}
+	v.Set(205) // wraps to 5
+	if !v.Get(105) {
+		t.Fatal("Get must wrap the same way as Set")
+	}
+}
+
+func TestClear(t *testing.T) {
+	v := New(512)
+	for i := uint32(0); i < 512; i += 3 {
+		v.Set(i)
+	}
+	if v.OnesCount() == 0 {
+		t.Fatal("nothing set")
+	}
+	v.Clear()
+	if got := v.OnesCount(); got != 0 {
+		t.Fatalf("OnesCount after Clear = %d", got)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	v := New(100)
+	for i := uint32(0); i < 25; i++ {
+		v.Set(i)
+	}
+	if got := v.Utilization(); got != 0.25 {
+		t.Fatalf("Utilization = %g, want 0.25", got)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	tests := []struct {
+		bits uint
+		want int
+	}{
+		{1, 8},
+		{64, 8},
+		{65, 16},
+		{1 << 20, 1 << 17},
+	}
+	for _, tt := range tests {
+		if got := New(tt.bits).Bytes(); got != tt.want {
+			t.Errorf("New(%d).Bytes() = %d, want %d", tt.bits, got, tt.want)
+		}
+	}
+}
+
+func TestCopyFromAndEqual(t *testing.T) {
+	a := New(256)
+	b := New(256)
+	a.Set(17)
+	a.Set(200)
+	if a.Equal(b) {
+		t.Fatal("different vectors reported equal")
+	}
+	if err := b.CopyFrom(a); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("copied vectors differ")
+	}
+	c := New(128)
+	if err := c.CopyFrom(a); err == nil {
+		t.Fatal("CopyFrom with size mismatch succeeded")
+	}
+	if a.Equal(c) {
+		t.Fatal("vectors of different sizes reported equal")
+	}
+}
+
+func TestString(t *testing.T) {
+	v := New(64)
+	v.Set(3)
+	if got := v.String(); got != "bitvec(64 bits, 1 set)" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+// TestOnesCountMatchesSetCardinality property: setting any set of bit
+// indices yields OnesCount equal to the number of distinct (wrapped)
+// positions.
+func TestOnesCountMatchesSetCardinality(t *testing.T) {
+	f := func(indices []uint32) bool {
+		const n = 4096
+		v := New(n)
+		distinct := make(map[uint32]struct{}, len(indices))
+		for _, i := range indices {
+			v.Set(i)
+			distinct[i%n] = struct{}{}
+		}
+		return v.OnesCount() == len(distinct)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGetOnlySetBits property: bits never set must read zero.
+func TestGetOnlySetBits(t *testing.T) {
+	f := func(set []uint32, probe uint32) bool {
+		const n = 1 << 14
+		v := New(n)
+		want := false
+		for _, i := range set {
+			v.Set(i)
+			if i%n == probe%n {
+				want = true
+			}
+		}
+		return v.Get(probe) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

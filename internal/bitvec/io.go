@@ -1,0 +1,35 @@
+package bitvec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// WriteTo serializes the vector's words in little-endian order. It
+// implements io.WriterTo.
+func (v *Vector) WriteTo(w io.Writer) (int64, error) {
+	buf := make([]byte, 8*len(v.words))
+	for i, word := range v.words {
+		binary.LittleEndian.PutUint64(buf[i*8:], word)
+	}
+	n, err := w.Write(buf)
+	if err != nil {
+		return int64(n), fmt.Errorf("bitvec: write: %w", err)
+	}
+	return int64(n), nil
+}
+
+// ReadFrom overwrites the vector's contents from a stream produced by
+// WriteTo on a vector of the same size. It implements io.ReaderFrom.
+func (v *Vector) ReadFrom(r io.Reader) (int64, error) {
+	buf := make([]byte, 8*len(v.words))
+	n, err := io.ReadFull(r, buf)
+	if err != nil {
+		return int64(n), fmt.Errorf("bitvec: read: %w", err)
+	}
+	for i := range v.words {
+		v.words[i] = binary.LittleEndian.Uint64(buf[i*8:])
+	}
+	return int64(n), nil
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"p2pbound/internal/packet"
+)
+
+// TestDifferentialAgainstExactTimers replays random traffic through the
+// bitmap filter and an exact per-pair timer model side by side and pins
+// the approximation contract of Algorithm 1/2:
+//
+//   - no false negatives while a pair's last outbound packet is younger
+//     than the retention floor (k−1)·Δt;
+//   - no retention beyond the ceiling T_e = k·Δt — up to hash false
+//     positives, which must stay rare at this table size;
+//   - in the ambiguous band between floor and ceiling either answer is
+//     legal (it depends on the rotation phase).
+func TestDifferentialAgainstExactTimers(t *testing.T) {
+	const (
+		k      = 4
+		deltaT = 2 * time.Second
+		floor  = time.Duration(k-1) * deltaT
+		ceil   = time.Duration(k) * deltaT
+	)
+	f, err := New(Config{K: k, NBits: 18, M: 3, DeltaT: deltaT, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewPCG(99, 7))
+	lastOut := make(map[packet.SocketPair]time.Duration)
+
+	var (
+		now            time.Duration
+		checks         int
+		falsePositives int
+	)
+	f.Advance(0)
+	for step := 0; step < 200_000; step++ {
+		now += time.Duration(rng.IntN(2000)) * time.Microsecond
+		f.Advance(now)
+
+		pair := packet.SocketPair{
+			Proto:   packet.TCP,
+			SrcAddr: packet.AddrFrom4(140, 112, byte(rng.IntN(4)), byte(rng.IntN(64))),
+			SrcPort: uint16(30000 + rng.IntN(256)),
+			DstAddr: packet.AddrFrom4(9, 9, byte(rng.IntN(4)), byte(rng.IntN(64))),
+			DstPort: uint16(10000 + rng.IntN(256)),
+		}
+
+		if rng.IntN(2) == 0 {
+			f.Process(&packet.Packet{TS: now, Pair: pair, Dir: packet.Outbound, Len: 60}, 0)
+			lastOut[pair] = now
+			continue
+		}
+
+		// Query the inbound view of the pair.
+		admitted := f.Contains(pair.Inverse())
+		t0, seen := lastOut[pair]
+		checks++
+		switch {
+		case seen && now-t0 <= floor:
+			if !admitted {
+				t.Fatalf("false negative: pair %v, age %v <= floor %v", pair, now-t0, floor)
+			}
+		case !seen || now-t0 > ceil:
+			if admitted {
+				falsePositives++
+			}
+		default:
+			// Ambiguous band — both answers are legal.
+		}
+	}
+	if checks == 0 {
+		t.Fatal("no inbound checks performed")
+	}
+	// 2^18 bits with a few thousand live marks: false positives must be
+	// well under a tenth of a percent.
+	if rate := float64(falsePositives) / float64(checks); rate > 0.001 {
+		t.Fatalf("false positive rate %.5f over %d checks", rate, checks)
+	}
+}
+
+// TestRetentionPhaseSweep pins the exact retention behaviour across every
+// rotation phase: for each offset of the mark within its Δt period, the
+// pair must be admitted at age floor and forgotten just past T_e.
+func TestRetentionPhaseSweep(t *testing.T) {
+	const (
+		k      = 4
+		deltaT = time.Second
+	)
+	for phaseMs := 0; phaseMs < 1000; phaseMs += 97 {
+		f, err := New(Config{K: k, NBits: 16, M: 3, DeltaT: deltaT})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pair := packet.SocketPair{
+			Proto:   packet.UDP,
+			SrcAddr: packet.AddrFrom4(140, 112, 0, 1), SrcPort: 1111,
+			DstAddr: packet.AddrFrom4(8, 8, 8, 8), DstPort: 2222,
+		}
+		f.Advance(0)
+		markAt := time.Duration(phaseMs) * time.Millisecond
+		f.Advance(markAt)
+		f.Mark(pair)
+
+		// At age just under (k−1)·Δt the pair must still be admitted.
+		f.Advance(markAt + 3*deltaT - time.Millisecond)
+		if !f.Contains(pair.Inverse()) {
+			t.Fatalf("phase %dms: forgotten before the floor", phaseMs)
+		}
+		// At age just past k·Δt it must be gone.
+		f.Advance(markAt + 4*deltaT + time.Millisecond)
+		if f.Contains(pair.Inverse()) {
+			t.Fatalf("phase %dms: retained past T_e", phaseMs)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+// Package core implements the paper's primary contribution: the
+// {k×N}-bitmap filter of Section 4, a composite of k equal-size bloom
+// filter bit vectors sharing m hash functions.
+//
+// Outbound packets mark their socket pair in all k bit vectors (so a flow
+// stays admitted for between T_e − Δt and T_e = k·Δt after its last
+// outbound packet); inbound packets are looked up in the current bit
+// vector only; every Δt the b.rotate algorithm clears the oldest vector
+// and makes it current. An inbound packet whose inverse socket pair is not
+// marked is dropped with probability P_d supplied by the caller — in the
+// full system, a RED-style ramp over the measured uplink throughput.
+//
+// All operations are constant time in the number of tracked connections;
+// only the Δt-periodic rotation is O(N) in the vector size.
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"p2pbound/internal/bitvec"
+	"p2pbound/internal/hashes"
+	"p2pbound/internal/packet"
+)
+
+// Verdict is the filtering decision for a packet.
+type Verdict int
+
+// Filtering decisions. Outbound packets are always passed; inbound packets
+// may be dropped.
+const (
+	Pass Verdict = iota + 1
+	Drop
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Pass:
+		return "PASS"
+	case Drop:
+		return "DROP"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// Config parameterizes a bitmap filter. The paper's simulation setup
+// (Section 5.3) is NBits=20, K=4, DeltaT=5s, M=3: a 512 KiB filter with
+// T_e = 20 s.
+type Config struct {
+	// K is the number of bit vectors (columns in Figure 7).
+	K int
+	// NBits is n: each bit vector holds N = 2^n bits.
+	NBits uint
+	// M is the number of shared hash functions.
+	M int
+	// DeltaT is the rotation period Δt.
+	DeltaT time.Duration
+	// HashKind selects the hash construction; zero value means FNVDouble.
+	HashKind hashes.Kind
+	// HolePunch enables partial-tuple hashing (remote port excluded) so
+	// NAT hole punching keeps working behind the filter (Section 4.2).
+	HolePunch bool
+	// Seed seeds the deterministic random source used for P_d draws.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's Section 5.3 configuration.
+func DefaultConfig() Config {
+	return Config{K: 4, NBits: 20, M: 3, DeltaT: 5 * time.Second}
+}
+
+// Stats counts filter activity since construction.
+type Stats struct {
+	OutboundPackets int64 // outbound packets marked and passed
+	InboundPackets  int64 // inbound packets inspected
+	InboundHits     int64 // inbound packets fully marked in the current vector
+	InboundMisses   int64 // inbound packets with at least one unmarked bit
+	Dropped         int64 // inbound packets dropped
+	Rotations       int64 // b.rotate invocations
+}
+
+// Filter is a {k×N}-bitmap filter. It is driven by simulated packet
+// timestamps via Advance and is not safe for concurrent use; wrap it or
+// shard per flow hash for multi-queue deployments.
+type Filter struct {
+	cfg     Config
+	vectors []*bitvec.Vector
+	idx     int // index of the current bit vector
+	family  *hashes.Family
+	rng     *rand.Rand
+	sums    []uint32
+	keyBuf  []byte
+	next    time.Duration // simulated time of the next rotation
+	started bool
+	stats   Stats
+}
+
+// New builds a bitmap filter from cfg.
+func New(cfg Config) (*Filter, error) {
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("core: K must be positive, got %d", cfg.K)
+	}
+	if cfg.NBits == 0 || cfg.NBits > 32 {
+		return nil, fmt.Errorf("core: NBits must be in [1,32], got %d", cfg.NBits)
+	}
+	if cfg.M <= 0 {
+		return nil, fmt.Errorf("core: M must be positive, got %d", cfg.M)
+	}
+	if cfg.DeltaT <= 0 {
+		return nil, fmt.Errorf("core: DeltaT must be positive, got %v", cfg.DeltaT)
+	}
+	kind := cfg.HashKind
+	if kind == 0 {
+		kind = hashes.FNVDouble
+	}
+	family, err := hashes.NewFamily(kind, cfg.M, cfg.NBits)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	vectors := make([]*bitvec.Vector, cfg.K)
+	for i := range vectors {
+		vectors[i] = bitvec.New(1 << cfg.NBits)
+	}
+	return &Filter{
+		cfg:     cfg,
+		vectors: vectors,
+		family:  family,
+		rng:     rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15)),
+		sums:    make([]uint32, 0, cfg.M),
+		keyBuf:  make([]byte, 0, packet.KeySize),
+	}, nil
+}
+
+// Config returns the filter's configuration.
+func (f *Filter) Config() Config { return f.cfg }
+
+// TE returns the effective expiry timer T_e = k·Δt (Section 4.3).
+func (f *Filter) TE() time.Duration {
+	return f.cfg.DeltaT * time.Duration(f.cfg.K)
+}
+
+// Bytes returns the memory footprint of the bitmap, (k×N)/8 bytes.
+func (f *Filter) Bytes() int {
+	return f.cfg.K * f.vectors[0].Bytes()
+}
+
+// Stats returns a snapshot of the activity counters.
+func (f *Filter) Stats() Stats { return f.stats }
+
+// Utilization returns the marked-bit fraction of the current bit vector,
+// the U = b/N of Equation 2.
+func (f *Filter) Utilization() float64 {
+	return f.vectors[f.idx].Utilization()
+}
+
+// Advance performs every rotation due at simulated time ts. It must be
+// called with non-decreasing timestamps; the replay engine calls it once
+// per packet.
+func (f *Filter) Advance(ts time.Duration) {
+	if !f.started {
+		f.started = true
+		f.next = ts - ts%f.cfg.DeltaT + f.cfg.DeltaT
+		return
+	}
+	for ts >= f.next {
+		f.Rotate()
+		f.next += f.cfg.DeltaT
+	}
+}
+
+// Rotate implements Algorithm 1 (the timer handler b.rotate): the vector
+// that was current becomes "last" and is cleared, and the index advances
+// to the next bit vector, which — having been cleared k rotations ago and
+// marked by every outbound packet since — carries the marks of the
+// previous k−1 periods. A flow therefore stays admitted for between
+// (k−1)·Δt and k·Δt after its last outbound packet.
+func (f *Filter) Rotate() {
+	last := f.idx
+	f.idx = (f.idx + 1) % f.cfg.K
+	f.vectors[last].Clear()
+	f.stats.Rotations++
+}
+
+// Process implements Algorithm 2 (the filtering function b.filter) for one
+// packet, with the conditional dropping probability pd supplied by the
+// caller. Outbound packets mark all bit vectors and pass; inbound packets
+// are looked up in the current bit vector and each unmarked bit triggers an
+// independent P_d drop draw, exactly as in the paper's pseudocode.
+func (f *Filter) Process(pkt *packet.Packet, pd float64) Verdict {
+	if pkt.Dir == packet.Outbound {
+		f.stats.OutboundPackets++
+		f.Mark(pkt.Pair)
+		return Pass
+	}
+	f.stats.InboundPackets++
+	f.sums = f.family.Sum(f.sums[:0], f.inboundKey(pkt.Pair))
+	cur := f.vectors[f.idx]
+	miss := false
+	for _, h := range f.sums {
+		if cur.Get(h) {
+			continue
+		}
+		miss = true
+		if pd > 0 && f.rng.Float64() < pd {
+			f.stats.InboundMisses++
+			f.stats.Dropped++
+			return Drop
+		}
+	}
+	if miss {
+		f.stats.InboundMisses++
+	} else {
+		f.stats.InboundHits++
+	}
+	return Pass
+}
+
+// Mark records an outbound socket pair in all k bit vectors.
+func (f *Filter) Mark(pair packet.SocketPair) {
+	f.sums = f.family.Sum(f.sums[:0], f.outboundKey(pair))
+	for _, h := range f.sums {
+		for _, v := range f.vectors {
+			v.Set(h)
+		}
+	}
+}
+
+// Contains reports whether every hash bit of the inverse of an inbound
+// socket pair is marked in the current bit vector — i.e. whether an inbound
+// packet with this pair would be admitted unconditionally.
+func (f *Filter) Contains(inboundPair packet.SocketPair) bool {
+	f.sums = f.family.Sum(f.sums[:0], f.inboundKey(inboundPair))
+	cur := f.vectors[f.idx]
+	for _, h := range f.sums {
+		if !cur.Get(h) {
+			return false
+		}
+	}
+	return true
+}
+
+// outboundKey encodes the hash key for an outbound packet's socket pair:
+// the full tuple, or {proto, saddr, sport, daddr} in hole-punch mode.
+func (f *Filter) outboundKey(pair packet.SocketPair) []byte {
+	if f.cfg.HolePunch {
+		f.keyBuf = pair.AppendHolePunchKey(f.keyBuf[:0])
+	} else {
+		f.keyBuf = pair.AppendKey(f.keyBuf[:0])
+	}
+	return f.keyBuf
+}
+
+// inboundKey encodes the hash key for an inbound packet's socket pair: the
+// inverse tuple σ̄, whose encoding coincides with the matching outbound
+// key in both full and hole-punch modes ({proto, daddr, dport, saddr} of
+// the inbound packet equals {proto, saddr, sport, daddr} of the outbound
+// one).
+func (f *Filter) inboundKey(pair packet.SocketPair) []byte {
+	inv := pair.Inverse()
+	if f.cfg.HolePunch {
+		f.keyBuf = inv.AppendHolePunchKey(f.keyBuf[:0])
+	} else {
+		f.keyBuf = inv.AppendKey(f.keyBuf[:0])
+	}
+	return f.keyBuf
+}

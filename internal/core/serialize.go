@@ -1,0 +1,102 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"p2pbound/internal/hashes"
+)
+
+// Snapshot format constants. The format is versioned so deployed state
+// files survive library upgrades that do not touch the layout.
+const (
+	snapshotMagic   = 0x424d4631 // "BMF1"
+	snapshotVersion = 1
+)
+
+// WriteTo serializes the filter — configuration, rotation state, and all
+// k bit vectors — so a restarted edge router can resume admitting the
+// flows it was already tracking instead of challenging every client for
+// the first T_e after boot. Counters are not persisted. It implements
+// io.WriterTo.
+func (f *Filter) WriteTo(w io.Writer) (int64, error) {
+	var hdr [56]byte
+	binary.LittleEndian.PutUint32(hdr[0:], snapshotMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], snapshotVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(f.cfg.K))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(f.cfg.NBits))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(f.cfg.M))
+	binary.LittleEndian.PutUint64(hdr[20:], uint64(f.cfg.DeltaT))
+	kind := f.cfg.HashKind
+	if kind == 0 {
+		kind = hashes.FNVDouble
+	}
+	binary.LittleEndian.PutUint32(hdr[28:], uint32(kind))
+	if f.cfg.HolePunch {
+		hdr[32] = 1
+	}
+	if f.started {
+		hdr[33] = 1
+	}
+	binary.LittleEndian.PutUint32(hdr[36:], uint32(f.idx))
+	binary.LittleEndian.PutUint64(hdr[40:], uint64(f.next))
+	binary.LittleEndian.PutUint64(hdr[48:], f.cfg.Seed)
+
+	total := int64(0)
+	n, err := w.Write(hdr[:])
+	total += int64(n)
+	if err != nil {
+		return total, fmt.Errorf("core: write snapshot header: %w", err)
+	}
+	for _, v := range f.vectors {
+		m, err := v.WriteTo(w)
+		total += m
+		if err != nil {
+			return total, fmt.Errorf("core: write snapshot vectors: %w", err)
+		}
+	}
+	return total, nil
+}
+
+// ReadFilter reconstructs a filter from a WriteTo stream. The embedded
+// configuration is authoritative; the returned filter continues rotating
+// on the schedule the snapshot recorded.
+func ReadFilter(r io.Reader) (*Filter, error) {
+	var hdr [56]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("core: read snapshot header: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[0:]); got != snapshotMagic {
+		return nil, fmt.Errorf("core: bad snapshot magic %#x", got)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[4:]); got != snapshotVersion {
+		return nil, fmt.Errorf("core: unsupported snapshot version %d", got)
+	}
+	cfg := Config{
+		K:         int(binary.LittleEndian.Uint32(hdr[8:])),
+		NBits:     uint(binary.LittleEndian.Uint32(hdr[12:])),
+		M:         int(binary.LittleEndian.Uint32(hdr[16:])),
+		DeltaT:    time.Duration(binary.LittleEndian.Uint64(hdr[20:])),
+		HashKind:  hashes.Kind(binary.LittleEndian.Uint32(hdr[28:])),
+		HolePunch: hdr[32] == 1,
+		Seed:      binary.LittleEndian.Uint64(hdr[48:]),
+	}
+	f, err := New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot config: %w", err)
+	}
+	f.started = hdr[33] == 1
+	f.idx = int(binary.LittleEndian.Uint32(hdr[36:]))
+	if f.idx < 0 || f.idx >= cfg.K {
+		return nil, fmt.Errorf("core: snapshot index %d out of range", f.idx)
+	}
+	f.next = time.Duration(binary.LittleEndian.Uint64(hdr[40:]))
+	for _, v := range f.vectors {
+		if _, err := v.ReadFrom(r); err != nil {
+			return nil, fmt.Errorf("core: read snapshot vectors: %w", err)
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"p2pbound/internal/l7"
+	"p2pbound/internal/stats"
+)
+
+// T2Result reproduces Table 2: the protocol distribution of the trace.
+type T2Result struct {
+	Rows  []T2Row
+	Total int
+}
+
+// T2Row pairs the measured shares with the published values.
+type T2Row struct {
+	Group         string
+	ConnFrac      float64
+	ByteFrac      float64
+	PaperConnFrac float64
+	PaperByteFrac float64
+}
+
+// paperTable2 holds the published Table 2 values.
+var paperTable2 = map[string][2]float64{
+	"HTTP":       {0.0217, 0.05},
+	"bittorrent": {0.4790, 0.18},
+	"gnutella":   {0.0756, 0.16},
+	"edonkey":    {0.2200, 0.21},
+	"UNKNOWN":    {0.1755, 0.35},
+	"Others":     {0.0282, 0.05},
+}
+
+// RunT2 derives the Table 2 distribution from the suite's report.
+func (s *Suite) RunT2() *T2Result {
+	res := &T2Result{Total: s.Report.Summary.Connections}
+	for _, row := range s.Report.Table2 {
+		paper := paperTable2[row.Group]
+		res.Rows = append(res.Rows, T2Row{
+			Group:         row.Group,
+			ConnFrac:      row.Connections,
+			ByteFrac:      row.Utilization,
+			PaperConnFrac: paper[0],
+			PaperByteFrac: paper[1],
+		})
+	}
+	return res
+}
+
+// Render prints the Table 2 reproduction.
+func (r *T2Result) Render() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Group,
+			stats.Pct(row.ConnFrac), stats.Pct(row.PaperConnFrac),
+			stats.Pct(row.ByteFrac), stats.Pct(row.PaperByteFrac),
+		})
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "T2: protocol distribution (%d connections)\n", r.Total)
+	b.WriteString(stats.Table(
+		[]string{"Protocol", "Conns", "(paper)", "Bytes", "(paper)"}, rows))
+	return b.String()
+}
+
+// PortCDFResult reproduces Figure 2 (TCP) or Figure 3 (UDP): the port
+// number CDF per class.
+type PortCDFResult struct {
+	Figure  string
+	Classes map[string][]stats.Point
+	// Checkpoints samples F(port) at structurally meaningful ports.
+	Checkpoints []PortCheckpoint
+}
+
+// PortCheckpoint is F(port) for one class at one port.
+type PortCheckpoint struct {
+	Class string
+	Port  int
+	Frac  float64
+}
+
+// RunF2 builds the TCP port CDFs of Figure 2.
+func (s *Suite) RunF2() *PortCDFResult { return s.portCDF("F2", true) }
+
+// RunF3 builds the UDP port CDFs of Figure 3.
+func (s *Suite) RunF3() *PortCDFResult { return s.portCDF("F3", false) }
+
+func (s *Suite) portCDF(figure string, tcp bool) *PortCDFResult {
+	res := &PortCDFResult{Figure: figure, Classes: make(map[string][]stats.Point, l7.NumClasses)}
+	src := &s.Report.UDPPorts
+	if tcp {
+		src = &s.Report.TCPPorts
+	}
+	for class := l7.Class(0); int(class) < l7.NumClasses; class++ {
+		cdf := &src[class]
+		if cdf.N() == 0 {
+			continue
+		}
+		res.Classes[class.String()] = cdf.Points(40)
+		for _, port := range []int{443, 1024, 4662, 6881, 10000, 40000} {
+			res.Checkpoints = append(res.Checkpoints, PortCheckpoint{
+				Class: class.String(), Port: port, Frac: cdf.At(float64(port)),
+			})
+		}
+	}
+	return res
+}
+
+// Render prints the checkpoint table (the CDF curves are in Classes for
+// plotting).
+func (r *PortCDFResult) Render() string {
+	byClass := make(map[string][]PortCheckpoint)
+	var order []string
+	for _, cp := range r.Checkpoints {
+		if _, ok := byClass[cp.Class]; !ok {
+			order = append(order, cp.Class)
+		}
+		byClass[cp.Class] = append(byClass[cp.Class], cp)
+	}
+	rows := make([][]string, 0, len(order))
+	for _, class := range order {
+		row := []string{class}
+		for _, cp := range byClass[class] {
+			row = append(row, fmt.Sprintf("%.3f", cp.Frac))
+		}
+		rows = append(rows, row)
+	}
+	proto := "TCP destination ports"
+	if r.Figure == "F3" {
+		proto = "UDP ports (src+dst)"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: cumulative port distribution, %s — F(port)\n", r.Figure, proto)
+	b.WriteString(stats.Table(
+		[]string{"Class", "≤443", "≤1024", "≤4662", "≤6881", "≤10000", "≤40000"}, rows))
+	return b.String()
+}
+
+// F4Result reproduces Figure 4: the connection lifetime distribution.
+type F4Result struct {
+	N          int
+	Mean       float64
+	F45        float64 // paper: ≈0.90
+	F240       float64 // paper: ≈0.95
+	TailBeyond float64 // fraction > 810 s; paper: < 0.01
+	Histogram  []stats.Point
+}
+
+// RunF4 summarizes the lifetime CDF.
+func (s *Suite) RunF4() *F4Result {
+	lt := &s.Report.Lifetimes
+	return &F4Result{
+		N:          lt.N(),
+		Mean:       lt.Mean(),
+		F45:        lt.At(45),
+		F240:       lt.At(240),
+		TailBeyond: 1 - lt.At(810),
+		Histogram:  lt.Points(30),
+	}
+}
+
+// Render prints the Figure 4 summary with the paper's milestones and the
+// lifetime CDF curve.
+func (r *F4Result) Render() string {
+	plot := stats.AsciiPlot{Width: 56, Height: 10, XLabel: "lifetime (s)", YLabel: "F(t)"}
+	curve := plot.Lines([]stats.Series{{Name: "lifetime CDF", Glyph: '*', Points: r.Histogram}})
+	return fmt.Sprintf(
+		"F4: connection lifetime (n=%d closed TCP connections)\n"+
+			"  mean lifetime       %8.2f s   (paper: 45.84 s)\n"+
+			"  F(45 s)             %8.3f     (paper: ≈0.90)\n"+
+			"  F(240 s)            %8.3f     (paper: ≈0.95)\n"+
+			"  fraction > 810 s    %8.4f     (paper: <0.01)\n%s",
+		r.N, r.Mean, r.F45, r.F240, r.TailBeyond, curve)
+}
+
+// F5Result reproduces Figure 5: the out-in packet delay distribution and
+// its port-reuse peaks.
+type F5Result struct {
+	N    int
+	P50  float64
+	P99  float64
+	F2p8 float64 // paper: 0.99 of delays under 2.8 s
+	// MinutePeaks counts delay samples within ±5 s of each whole minute
+	// (the Figure 5-a port-reuse peaks).
+	MinutePeaks map[int]int
+	CDF         []stats.Point
+}
+
+// RunF5 summarizes the delay CDF.
+func (s *Suite) RunF5() *F5Result {
+	d := &s.Report.DelayCDF
+	res := &F5Result{
+		N:           d.N(),
+		P50:         d.Quantile(0.5),
+		P99:         d.Quantile(0.99),
+		F2p8:        d.At(2.8),
+		MinutePeaks: make(map[int]int),
+		CDF:         d.Points(40),
+	}
+	for k := 1; k <= 9; k++ {
+		m := float64(k * 60)
+		count := int(float64(d.N()) * (d.At(m+5) - d.At(m-5)))
+		if count > 0 {
+			res.MinutePeaks[k] = count
+		}
+	}
+	return res
+}
+
+// Render prints the Figure 5 summary.
+func (r *F5Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b,
+		"F5: out-in packet delay (n=%d samples)\n"+
+			"  median delay  %8.3f s\n"+
+			"  p99 delay     %8.3f s\n"+
+			"  F(2.8 s)      %8.4f    (paper: 0.99)\n",
+		r.N, r.P50, r.P99, r.F2p8)
+	if len(r.MinutePeaks) > 0 {
+		b.WriteString("  port-reuse peaks (samples within ±5 s of k·60 s):\n")
+		for k := 1; k <= 9; k++ {
+			if n, ok := r.MinutePeaks[k]; ok {
+				fmt.Fprintf(&b, "    %3d s: %d\n", k*60, n)
+			}
+		}
+	}
+	return b.String()
+}
+
+// SummaryResult reports the headline Section 3.3 aggregates.
+type SummaryResult struct {
+	Connections     int
+	TCPConnFrac     float64
+	TCPByteFrac     float64
+	UploadByteFrac  float64
+	UploadOnInbound float64
+	MeanMbps        float64
+}
+
+// RunSummary extracts the aggregate statistics.
+func (s *Suite) RunSummary() *SummaryResult {
+	sum := s.Report.Summary
+	return &SummaryResult{
+		Connections:     sum.Connections,
+		TCPConnFrac:     sum.TCPConnFrac,
+		TCPByteFrac:     sum.TCPByteFrac,
+		UploadByteFrac:  sum.UploadByteFrac,
+		UploadOnInbound: sum.UploadOnInbound,
+		MeanMbps:        sum.MeanMbps,
+	}
+}
+
+// Render prints the aggregates next to the published ones.
+func (r *SummaryResult) Render() string {
+	return fmt.Sprintf(
+		"S0: trace aggregates (%d connections, %.1f Mbps mean)\n"+
+			"  TCP connection share   %7s  (paper: 29.8%%)\n"+
+			"  TCP byte share         %7s  (paper: 99.5%%)\n"+
+			"  upload byte share      %7s  (paper: 89.8%%)\n"+
+			"  upload on inbound-init %7s  (paper: 80%%)\n",
+		r.Connections, r.MeanMbps,
+		stats.Pct(r.TCPConnFrac), stats.Pct(r.TCPByteFrac),
+		stats.Pct(r.UploadByteFrac), stats.Pct(r.UploadOnInbound))
+}

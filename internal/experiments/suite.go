@@ -1,0 +1,65 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (see the per-experiment index in DESIGN.md): T2 and
+// F2–F5 reproduce the Section 3.3 trace measurements, A1 the Section 5.1
+// false-positive analysis, F8 and F9 the Section 5.3 simulations, and
+// X1–X3 are the ablations this reproduction adds.
+//
+// Every driver returns a structured result with a Render method that
+// prints the same rows or series the paper reports, paired with the
+// published values where the paper states them.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"p2pbound/internal/analyzer"
+	"p2pbound/internal/packet"
+	"p2pbound/internal/trace"
+)
+
+// Suite bundles a generated trace with its analyzer report so the
+// measurement experiments share one pass.
+type Suite struct {
+	Trace  *trace.Trace
+	Report *analyzer.Report
+}
+
+// NewSuite generates the trace for cfg and runs the traffic analyzer over
+// it.
+func NewSuite(cfg trace.Config) (*Suite, error) {
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	a, err := analyzer.New(analyzer.DefaultConfig(cfg.ClientNet))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	for i := range tr.Packets {
+		a.Feed(&tr.Packets[i])
+	}
+	a.FinalizePortIdent()
+	return &Suite{Trace: tr, Report: a.BuildReport()}, nil
+}
+
+// SuiteFromPackets analyzes an existing packet stream (e.g. one read back
+// from a pcap file); the Trace field stays nil.
+func SuiteFromPackets(packets []packet.Packet, clientNet packet.Network) (*Suite, error) {
+	a, err := analyzer.New(analyzer.DefaultConfig(clientNet))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	for i := range packets {
+		a.Feed(&packets[i])
+	}
+	a.FinalizePortIdent()
+	return &Suite{Report: a.BuildReport()}, nil
+}
+
+// DefaultTraceConfig is the standard experiment workload: the paper's
+// distribution shapes at the given scale of its 146.7 Mbps / 250 conns-per-
+// second load.
+func DefaultTraceConfig(duration time.Duration, scale float64, seed uint64) trace.Config {
+	return trace.DefaultConfig(duration, scale, seed)
+}

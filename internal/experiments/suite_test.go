@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"p2pbound/internal/trace"
+)
+
+func TestSuiteFromPackets(t *testing.T) {
+	tr, err := trace.Generate(trace.DefaultConfig(10*time.Second, 0.03, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := SuiteFromPackets(tr.Packets, tr.Config.ClientNet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Trace != nil {
+		t.Fatal("packet-built suite must not claim a trace")
+	}
+	if got := s.RunSummary().Connections; got < 50 {
+		t.Fatalf("connections = %d", got)
+	}
+	// Measurement experiments work without a trace...
+	if len(s.RunT2().Rows) == 0 {
+		t.Fatal("T2 empty")
+	}
+	if s.RunF4().N == 0 {
+		t.Fatal("F4 empty")
+	}
+	// ...and the ground-truth experiment degrades gracefully.
+	if acc := s.RunT1Accuracy(); acc.Matched != 0 {
+		t.Fatalf("accuracy without ground truth matched %d", acc.Matched)
+	}
+}
+
+func TestNewSuiteRejectsBadConfig(t *testing.T) {
+	cfg := DefaultTraceConfig(0, 1, 1) // zero duration
+	if _, err := NewSuite(cfg); err == nil {
+		t.Fatal("invalid trace config accepted")
+	}
+}
+
+// TestSuiteDeterminism: two suites over the same config agree on the
+// headline report numbers.
+func TestSuiteDeterminism(t *testing.T) {
+	cfg := DefaultTraceConfig(10*time.Second, 0.03, 99)
+	a, err := NewSuite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSuite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Report.Summary != b.Report.Summary {
+		t.Fatalf("summaries differ:\n%+v\n%+v", a.Report.Summary, b.Report.Summary)
+	}
+}

@@ -1,0 +1,235 @@
+// Package hashes implements the m hash functions shared by all bloom
+// filters in a bitmap filter (Section 4.2: "All the bloom filters in the
+// bitmap share the same m hash functions, each of which should only output
+// an n-bit value. An output that exceeds n bits should be truncated.").
+//
+// Three independent from-scratch hash constructions are provided —
+// an FNV-1a based Kirsch–Mitzenmacher double-hashing family, Bob Jenkins'
+// lookup3, and a Murmur3-style finalizer hash — so the filter's false
+// positive behaviour can be validated across hash families.
+package hashes
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Kind selects a hash construction for a Family.
+type Kind int
+
+// Supported hash constructions.
+const (
+	// FNVDouble derives the i-th hash as h1 + i·h2 from two FNV-1a
+	// passes (Kirsch–Mitzenmacher double hashing). This is the default:
+	// two hash computations serve any m.
+	FNVDouble Kind = iota + 1
+	// Jenkins uses Bob Jenkins' lookup3 with m distinct seeds.
+	Jenkins
+	// Mix uses a Murmur3-style avalanche mix with m distinct seeds.
+	Mix
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case FNVDouble:
+		return "fnv-double"
+	case Jenkins:
+		return "jenkins"
+	case Mix:
+		return "mix"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Family computes m independent n-bit hash values per key.
+type Family struct {
+	kind Kind
+	m    int
+	mask uint32
+}
+
+// NewFamily builds a family of m hash functions truncated to nbits-bit
+// outputs. nbits must be in [1, 32]; m must be positive.
+func NewFamily(kind Kind, m int, nbits uint) (*Family, error) {
+	switch kind {
+	case FNVDouble, Jenkins, Mix:
+	default:
+		return nil, fmt.Errorf("hashes: unknown kind %d", int(kind))
+	}
+	if m <= 0 {
+		return nil, fmt.Errorf("hashes: m must be positive, got %d", m)
+	}
+	if nbits == 0 || nbits > 32 {
+		return nil, fmt.Errorf("hashes: nbits must be in [1,32], got %d", nbits)
+	}
+	var mask uint32 = ^uint32(0)
+	if nbits < 32 {
+		mask = 1<<nbits - 1
+	}
+	return &Family{kind: kind, m: m, mask: mask}, nil
+}
+
+// M returns the number of hash functions in the family.
+func (f *Family) M() int { return f.m }
+
+// Kind returns the construction used by the family.
+func (f *Family) Kind() Kind { return f.kind }
+
+// Sum appends the m truncated hash values of key to dst and returns the
+// extended slice. Passing a reusable dst[:0] keeps the hot path
+// allocation-free.
+func (f *Family) Sum(dst []uint32, key []byte) []uint32 {
+	switch f.kind {
+	case FNVDouble:
+		// One 64-bit FNV-1a pass finalized with the splitmix64 mixer;
+		// the low and high words give the two independent hashes of the
+		// Kirsch–Mitzenmacher construction. (Two 32-bit FNV passes with
+		// different bases are affinely related for equal-length keys
+		// and collide structurally.)
+		h := FNV1a64(key)
+		h ^= h >> 30
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+		h ^= h >> 31
+		h1 := uint32(h)
+		h2 := uint32(h>>32) | 1 // odd so strides cover the table
+		for i := 0; i < f.m; i++ {
+			dst = append(dst, (h1+uint32(i)*h2)&f.mask)
+		}
+	case Jenkins:
+		for i := 0; i < f.m; i++ {
+			dst = append(dst, Lookup3(uint32(i)*0x9e3779b9+1, key)&f.mask)
+		}
+	case Mix:
+		for i := 0; i < f.m; i++ {
+			dst = append(dst, MixHash(uint32(i)*0x85ebca6b+1, key)&f.mask)
+		}
+	}
+	return dst
+}
+
+// FNV1a64 is the 64-bit Fowler–Noll–Vo 1a hash.
+func FNV1a64(key []byte) uint64 {
+	const (
+		basis = 0xcbf29ce484222325
+		prime = 0x100000001b3
+	)
+	h := uint64(basis)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return h
+}
+
+// FNV1a is the 32-bit Fowler–Noll–Vo 1a hash with a custom basis.
+func FNV1a(basis uint32, key []byte) uint32 {
+	const prime = 16777619
+	h := basis
+	for _, b := range key {
+		h ^= uint32(b)
+		h *= prime
+	}
+	return h
+}
+
+// MixHash hashes key with a Murmur3-style body and avalanche finalizer.
+func MixHash(seed uint32, key []byte) uint32 {
+	const (
+		c1 = 0xcc9e2d51
+		c2 = 0x1b873593
+	)
+	h := seed
+	n := len(key)
+	for len(key) >= 4 {
+		k := binary.LittleEndian.Uint32(key)
+		key = key[4:]
+		k *= c1
+		k = k<<15 | k>>17
+		k *= c2
+		h ^= k
+		h = h<<13 | h>>19
+		h = h*5 + 0xe6546b64
+	}
+	var k uint32
+	switch len(key) {
+	case 3:
+		k ^= uint32(key[2]) << 16
+		fallthrough
+	case 2:
+		k ^= uint32(key[1]) << 8
+		fallthrough
+	case 1:
+		k ^= uint32(key[0])
+		k *= c1
+		k = k<<15 | k>>17
+		k *= c2
+		h ^= k
+	}
+	h ^= uint32(n)
+	h ^= h >> 16
+	h *= 0x85ebca6b
+	h ^= h >> 13
+	h *= 0xc2b2ae35
+	h ^= h >> 16
+	return h
+}
+
+// Lookup3 is Bob Jenkins' lookup3 hashlittle function over key with the
+// given seed.
+func Lookup3(seed uint32, key []byte) uint32 {
+	a := uint32(0xdeadbeef) + uint32(len(key)) + seed
+	b, c := a, a
+	for len(key) > 12 {
+		a += binary.LittleEndian.Uint32(key[0:4])
+		b += binary.LittleEndian.Uint32(key[4:8])
+		c += binary.LittleEndian.Uint32(key[8:12])
+		// mix
+		a -= c
+		a ^= c<<4 | c>>28
+		c += b
+		b -= a
+		b ^= a<<6 | a>>26
+		a += c
+		c -= b
+		c ^= b<<8 | b>>24
+		b += a
+		a -= c
+		a ^= c<<16 | c>>16
+		c += b
+		b -= a
+		b ^= a<<19 | a>>13
+		a += c
+		c -= b
+		c ^= b<<4 | b>>28
+		b += a
+		key = key[12:]
+	}
+	if len(key) == 0 {
+		return c
+	}
+	var tail [12]byte
+	copy(tail[:], key)
+	a += binary.LittleEndian.Uint32(tail[0:4])
+	b += binary.LittleEndian.Uint32(tail[4:8])
+	c += binary.LittleEndian.Uint32(tail[8:12])
+	// final
+	c ^= b
+	c -= b<<14 | b>>18
+	a ^= c
+	a -= c<<11 | c>>21
+	b ^= a
+	b -= a<<25 | a>>7
+	c ^= b
+	c -= b<<16 | b>>16
+	a ^= c
+	a -= c<<4 | c>>28
+	b ^= a
+	b -= a<<14 | a>>18
+	c ^= b
+	c -= b<<24 | b>>8
+	return c
+}

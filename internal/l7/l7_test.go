@@ -1,0 +1,259 @@
+package l7
+
+import (
+	"testing"
+
+	"p2pbound/internal/packet"
+)
+
+// TestTable1Signatures exercises every Table 1 pattern with payloads shaped
+// like the real protocols emit them.
+func TestTable1Signatures(t *testing.T) {
+	lib := NewLibrary()
+	tests := []struct {
+		name    string
+		payload []byte
+		want    App
+	}{
+		{
+			name:    "bittorrent peer-wire handshake",
+			payload: append([]byte{0x13}, []byte("BitTorrent protocol\x00\x00\x00\x00\x00\x00\x00\x00infohashinfohashinf.peeridpeeridpeerid..")...),
+			want:    BitTorrent,
+		},
+		{
+			name:    "bittorrent DHT query",
+			payload: []byte("d1:ad2:id20:abcdefghij0123456789e1:q4:ping1:t2:aa1:y1:qe"),
+			want:    BitTorrent,
+		},
+		{
+			name:    "bittorrent azureus keepalive",
+			payload: []byte("AZVER\x01"),
+			want:    BitTorrent,
+		},
+		{
+			name:    "bittorrent tracker scrape",
+			payload: []byte("GET /scrape?info_hash=xyzzy HTTP/1.0\r\n\r\n"),
+			want:    BitTorrent,
+		},
+		{
+			name:    "edonkey hello frame",
+			payload: []byte{0xe3, 0x29, 0x00, 0x00, 0x00, 0x01, 0x10, 0x0f},
+			want:    EDonkey,
+		},
+		{
+			name:    "edonkey emule extension frame",
+			payload: []byte{0xc5, 0x05, 0x00, 0x00, 0x00, 0x92, 0xff},
+			want:    EDonkey,
+		},
+		{
+			name:    "edonkey udp get-sources",
+			payload: []byte{0xe3, 0x00, 0x00, 0x00, 0x00, 0x46, 0xaa, 0xbb},
+			want:    EDonkey,
+		},
+		{
+			name:    "gnutella connect",
+			payload: []byte("GNUTELLA CONNECT/0.6\r\nUser-Agent: LimeWire\r\n\r\n"),
+			want:    Gnutella,
+		},
+		{
+			name:    "gnutella GND udp frame",
+			payload: []byte{'G', 'N', 'D', 0x01, 0x41, 0x42, 0x01, 0x00},
+			want:    Gnutella,
+		},
+		{
+			name:    "gnutella uri-res request",
+			payload: []byte("GET /uri-res/N2R?urn:sha1:PLSTHIPQGSSZTS5FJUPAKUZWUGYQYPFB HTTP/1.1\r\n\r\n"),
+			want:    Gnutella,
+		},
+		{
+			name:    "gnutella user-agent request",
+			payload: []byte("GET /get/1/file.mp3 HTTP/1.1\r\nUser-Agent: BearShare 5.1\r\n\r\n"),
+			want:    Gnutella,
+		},
+		{
+			name:    "gnutella giv response",
+			payload: []byte("GIV 42:ABCDEF0123456789ABCDEF0123456789/file.mp3\n\n"),
+			want:    Gnutella,
+		},
+		{
+			name:    "fasttrack supernode request",
+			payload: []byte("GET /.supernode HTTP/1.1\r\n\r\n"),
+			want:    FastTrack,
+		},
+		{
+			name:    "fasttrack give",
+			payload: []byte("GIVE 1234567890"),
+			want:    FastTrack,
+		},
+		{
+			name:    "http get",
+			payload: []byte("GET /index.html HTTP/1.1\r\nHost: example.com\r\n\r\n"),
+			want:    HTTP,
+		},
+		{
+			name:    "http response",
+			payload: []byte("HTTP/1.1 200 OK\r\nContent-Type: text/html\r\n\r\n<html>"),
+			want:    HTTP,
+		},
+		{
+			name:    "ftp banner",
+			payload: []byte("220 ProFTPD 1.3.0 Server (FTP) ready.\r\n"),
+			want:    FTP,
+		},
+		{
+			name:    "smtp banner is not ftp",
+			payload: []byte("220 mail.example.com ESMTP Postfix\r\n"),
+			want:    Unknown,
+		},
+		{
+			name:    "encrypted noise",
+			payload: []byte{0x7f, 0x01, 0x9a, 0x44, 0x31, 0x5c, 0xee, 0x02, 0x88},
+			want:    Unknown,
+		},
+		{
+			name:    "empty payload",
+			payload: nil,
+			want:    Unknown,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := lib.MatchPayload(tt.payload); got != tt.want {
+				t.Fatalf("MatchPayload = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+// TestHighBytePatternsMatchRawBytes guards the Latin-1 widening: raw wire
+// bytes ≥ 0x80 must match their \xNN pattern escapes.
+func TestHighBytePatternsMatchRawBytes(t *testing.T) {
+	lib := NewLibrary()
+	for _, marker := range []byte{0xc5, 0xd4, 0xe3, 0xe4, 0xe5} {
+		payload := []byte{marker, 0x01, 0x00, 0x00, 0x00, 0x01}
+		if got := lib.MatchPayload(payload); got != EDonkey {
+			t.Fatalf("marker %#x: MatchPayload = %v, want edonkey", marker, got)
+		}
+	}
+}
+
+func TestMatchPort(t *testing.T) {
+	lib := NewLibrary()
+	tests := []struct {
+		proto packet.Proto
+		port  uint16
+		want  App
+	}{
+		{packet.TCP, 80, HTTP},
+		{packet.TCP, 8080, HTTP},
+		{packet.TCP, 3128, HTTP},
+		{packet.TCP, 21, FTP},
+		{packet.TCP, 4662, EDonkey},
+		{packet.TCP, 6881, BitTorrent},
+		{packet.TCP, 6346, Gnutella},
+		{packet.TCP, 22, SSH},
+		{packet.TCP, 443, HTTPS},
+		{packet.TCP, 31337, Unknown},
+		{packet.UDP, 53, DNS},
+		{packet.UDP, 123, NTP},
+		{packet.UDP, 4672, EDonkey},
+		{packet.UDP, 80, Unknown}, // HTTP is not registered for UDP
+		{packet.Proto(47), 80, Unknown},
+	}
+	for _, tt := range tests {
+		if got := lib.MatchPort(tt.proto, tt.port); got != tt.want {
+			t.Errorf("MatchPort(%v, %d) = %v, want %v", tt.proto, tt.port, got, tt.want)
+		}
+	}
+}
+
+func TestIsP2P(t *testing.T) {
+	for _, app := range []App{BitTorrent, EDonkey, Gnutella, FastTrack} {
+		if !app.IsP2P() {
+			t.Errorf("%v.IsP2P() = false", app)
+		}
+	}
+	for _, app := range []App{HTTP, FTP, DNS, SSH, Unknown} {
+		if app.IsP2P() {
+			t.Errorf("%v.IsP2P() = true", app)
+		}
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	tests := []struct {
+		give App
+		want Class
+	}{
+		{BitTorrent, ClassP2P},
+		{HTTP, ClassNonP2P},
+		{Unknown, ClassUnknown},
+	}
+	for _, tt := range tests {
+		if got := ClassOf(tt.give); got != tt.want {
+			t.Errorf("ClassOf(%v) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestTable2Group(t *testing.T) {
+	tests := []struct {
+		give App
+		want string
+	}{
+		{HTTP, "HTTP"},
+		{BitTorrent, "bittorrent"},
+		{Gnutella, "gnutella"},
+		{EDonkey, "edonkey"},
+		{Unknown, "UNKNOWN"},
+		{FTP, "Others"},
+		{FastTrack, "Others"},
+		{DNS, "Others"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.Table2Group(); got != tt.want {
+			t.Errorf("%v.Table2Group() = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestAppString(t *testing.T) {
+	if BitTorrent.String() != "bittorrent" || Unknown.String() != "UNKNOWN" {
+		t.Fatal("app names wrong")
+	}
+	if App(99).String() != "app(99)" {
+		t.Fatal("unknown app name wrong")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	names := map[Class]string{
+		ClassAll:     "ALL",
+		ClassP2P:     "P2P",
+		ClassNonP2P:  "Non-P2P",
+		ClassUnknown: "UNKNOWN",
+	}
+	for class, want := range names {
+		if got := class.String(); got != want {
+			t.Errorf("Class(%d).String() = %q, want %q", class, got, want)
+		}
+	}
+	if Class(9).String() != "class(9)" {
+		t.Fatal("unknown class name wrong")
+	}
+}
+
+// TestStreamPrefixMatching: a signature split across concatenated packets
+// still matches — the reason the analyzer concatenates up to four data
+// packets.
+func TestStreamPrefixMatching(t *testing.T) {
+	lib := NewLibrary()
+	part1 := []byte("GNUTELLA CON")
+	part2 := []byte("NECT/0.6\r\n\r\n")
+	if got := lib.MatchPayload(part1); got != Unknown {
+		t.Fatalf("first fragment alone matched %v", got)
+	}
+	if got := lib.MatchPayload(append(part1, part2...)); got != Gnutella {
+		t.Fatalf("concatenated stream = %v, want gnutella", got)
+	}
+}

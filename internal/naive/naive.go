@@ -1,0 +1,120 @@
+// Package naive implements the exact solution sketched at the start of
+// Section 4.2, before the paper replaces it with the bitmap filter: every
+// outbound socket pair is stored with a timer initialized to T and reset on
+// every outbound packet; inbound packets pass if the inverse socket pair is
+// still live, and otherwise are dropped with probability P_d.
+//
+// Its storage and per-packet cost grow with the number of concurrent
+// connections — the very problem the bitmap filter removes — but its
+// admission decisions are exact, which makes it the semantic reference for
+// the differential tests and the X2 ablation.
+package naive
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"p2pbound/internal/core"
+	"p2pbound/internal/packet"
+)
+
+// Filter is the exact per-socket-pair timer table.
+type Filter struct {
+	timeout   time.Duration
+	holePunch bool
+	entries   map[string]time.Duration // key -> expiry time
+	rng       *rand.Rand
+	keyBuf    []byte
+	now       time.Duration
+	lastSweep time.Duration
+	stats     Stats
+}
+
+// Stats counts filter activity since construction.
+type Stats struct {
+	OutboundPackets int64
+	InboundPackets  int64
+	InboundHits     int64
+	InboundMisses   int64
+	Dropped         int64
+}
+
+// New builds an exact timer-table filter with expiry timer T. In the
+// bitmap-filter correspondence, T plays the role of T_e = k·Δt.
+func New(timeout time.Duration, holePunch bool, seed uint64) (*Filter, error) {
+	if timeout <= 0 {
+		return nil, fmt.Errorf("naive: timeout must be positive, got %v", timeout)
+	}
+	return &Filter{
+		timeout:   timeout,
+		holePunch: holePunch,
+		entries:   make(map[string]time.Duration, 1024),
+		rng:       rand.New(rand.NewPCG(seed, seed^0xda942042e4dd58b5)),
+	}, nil
+}
+
+// Len returns the number of live socket-pair entries (including entries
+// that have expired but not yet been swept).
+func (f *Filter) Len() int { return len(f.entries) }
+
+// Stats returns a snapshot of the activity counters.
+func (f *Filter) Stats() Stats { return f.stats }
+
+// Advance moves the filter's clock to simulated time ts and sweeps expired
+// entries at most once per timeout period, bounding the table size.
+func (f *Filter) Advance(ts time.Duration) {
+	f.now = ts
+	if ts-f.lastSweep >= f.timeout {
+		for k, expiry := range f.entries {
+			if ts > expiry {
+				delete(f.entries, k)
+			}
+		}
+		f.lastSweep = ts
+	}
+}
+
+// Process applies the naive algorithm to one packet with drop probability
+// pd for stateless inbound packets.
+func (f *Filter) Process(pkt *packet.Packet, pd float64) core.Verdict {
+	if pkt.Dir == packet.Outbound {
+		f.stats.OutboundPackets++
+		f.entries[f.key(pkt.Pair, packet.Outbound)] = pkt.TS + f.timeout
+		return core.Pass
+	}
+	f.stats.InboundPackets++
+	expiry, ok := f.entries[f.key(pkt.Pair, packet.Inbound)]
+	if ok && pkt.TS <= expiry {
+		f.stats.InboundHits++
+		return core.Pass
+	}
+	f.stats.InboundMisses++
+	if pd > 0 && f.rng.Float64() < pd {
+		f.stats.Dropped++
+		return core.Drop
+	}
+	return core.Pass
+}
+
+// Contains reports whether an inbound packet with this socket pair at time
+// ts would find live state.
+func (f *Filter) Contains(inboundPair packet.SocketPair, ts time.Duration) bool {
+	expiry, ok := f.entries[f.key(inboundPair, packet.Inbound)]
+	return ok && ts <= expiry
+}
+
+// key encodes the table key: the outbound tuple for outbound packets, the
+// inverse tuple for inbound ones, honouring hole-punch mode exactly as the
+// bitmap filter does.
+func (f *Filter) key(pair packet.SocketPair, dir packet.Direction) string {
+	if dir == packet.Inbound {
+		pair = pair.Inverse()
+	}
+	if f.holePunch {
+		f.keyBuf = pair.AppendHolePunchKey(f.keyBuf[:0])
+	} else {
+		f.keyBuf = pair.AppendKey(f.keyBuf[:0])
+	}
+	return string(f.keyBuf)
+}

@@ -1,0 +1,131 @@
+package naive
+
+import (
+	"testing"
+	"time"
+
+	"p2pbound/internal/core"
+	"p2pbound/internal/packet"
+)
+
+func pairN(i uint32) packet.SocketPair {
+	return packet.SocketPair{
+		Proto:   packet.TCP,
+		SrcAddr: packet.AddrFrom4(140, 112, byte(i>>8), byte(i)),
+		SrcPort: uint16(20000 + i%20000),
+		DstAddr: packet.AddrFrom4(7, byte(i>>16), byte(i>>8), byte(i)),
+		DstPort: uint16(1 + i%60000),
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, false, 0); err == nil {
+		t.Fatal("zero timeout accepted")
+	}
+	if _, err := New(-time.Second, false, 0); err == nil {
+		t.Fatal("negative timeout accepted")
+	}
+}
+
+func TestExactTimerSemantics(t *testing.T) {
+	f, err := New(20*time.Second, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := pairN(1)
+	f.Process(&packet.Packet{TS: 0, Pair: pair, Dir: packet.Outbound}, 1)
+
+	// Exactly at T: still admitted (timer reaches zero at T).
+	if !f.Contains(pair.Inverse(), 20*time.Second) {
+		t.Fatal("entry expired before T")
+	}
+	// Just past T: expired.
+	if f.Contains(pair.Inverse(), 20*time.Second+time.Nanosecond) {
+		t.Fatal("entry survives past T")
+	}
+}
+
+func TestOutboundResetsTimer(t *testing.T) {
+	f, err := New(10*time.Second, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := pairN(2)
+	f.Process(&packet.Packet{TS: 0, Pair: pair, Dir: packet.Outbound}, 1)
+	f.Process(&packet.Packet{TS: 8 * time.Second, Pair: pair, Dir: packet.Outbound}, 1)
+	if !f.Contains(pair.Inverse(), 17*time.Second) {
+		t.Fatal("timer not reset by second outbound packet")
+	}
+}
+
+func TestInboundVerdicts(t *testing.T) {
+	f, err := New(10*time.Second, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := pairN(3)
+	f.Process(&packet.Packet{TS: 0, Pair: pair, Dir: packet.Outbound}, 1)
+	in := &packet.Packet{TS: time.Second, Pair: pair.Inverse(), Dir: packet.Inbound}
+	if v := f.Process(in, 1); v != core.Pass {
+		t.Fatalf("matched inbound = %v", v)
+	}
+	stranger := &packet.Packet{TS: time.Second, Pair: pairN(4), Dir: packet.Inbound}
+	if v := f.Process(stranger, 1); v != core.Drop {
+		t.Fatalf("unmatched inbound = %v", v)
+	}
+	s := f.Stats()
+	if s.InboundHits != 1 || s.InboundMisses != 1 || s.Dropped != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestSweepBoundsTable(t *testing.T) {
+	f, err := New(5*time.Second, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 100; i++ {
+		f.Process(&packet.Packet{TS: 0, Pair: pairN(i), Dir: packet.Outbound}, 1)
+	}
+	if f.Len() != 100 {
+		t.Fatalf("len = %d", f.Len())
+	}
+	f.Advance(6 * time.Second)
+	if f.Len() != 0 {
+		t.Fatalf("len after sweep = %d", f.Len())
+	}
+}
+
+func TestHolePunchMode(t *testing.T) {
+	f, err := New(10*time.Second, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := packet.SocketPair{
+		Proto:   packet.UDP,
+		SrcAddr: packet.AddrFrom4(140, 112, 0, 1), SrcPort: 4000,
+		DstAddr: packet.AddrFrom4(5, 5, 5, 5), DstPort: 9000,
+	}
+	f.Process(&packet.Packet{TS: 0, Pair: out, Dir: packet.Outbound}, 1)
+	shifted := packet.SocketPair{
+		Proto:   packet.UDP,
+		SrcAddr: out.DstAddr, SrcPort: 9777, // different remote port
+		DstAddr: out.SrcAddr, DstPort: out.SrcPort,
+	}
+	if !f.Contains(shifted, time.Second) {
+		t.Fatal("hole-punch mode must admit shifted remote ports")
+	}
+}
+
+func TestPdZeroPassesEverything(t *testing.T) {
+	f, err := New(time.Second, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 100; i++ {
+		in := &packet.Packet{TS: 0, Pair: pairN(i), Dir: packet.Inbound}
+		if f.Process(in, 0) == core.Drop {
+			t.Fatal("dropped with P_d = 0")
+		}
+	}
+}

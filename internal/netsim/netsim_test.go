@@ -1,0 +1,225 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"p2pbound/internal/core"
+	"p2pbound/internal/naive"
+	"p2pbound/internal/packet"
+	"p2pbound/internal/red"
+	"p2pbound/internal/spi"
+)
+
+var (
+	clientNet = packet.CIDR(packet.AddrFrom4(140, 112, 0, 0), 16)
+	client    = packet.AddrFrom4(140, 112, 0, 10)
+	remote    = packet.AddrFrom4(99, 1, 2, 3)
+)
+
+func mkPair(cp, rp uint16) packet.SocketPair {
+	return packet.SocketPair{Proto: packet.TCP, SrcAddr: client, SrcPort: cp, DstAddr: remote, DstPort: rp}
+}
+
+func out(ts time.Duration, pair packet.SocketPair, n int) packet.Packet {
+	return packet.Packet{TS: ts, Pair: pair, Dir: packet.Outbound, Len: n}
+}
+
+func in(ts time.Duration, pair packet.SocketPair, n int) packet.Packet {
+	return packet.Packet{TS: ts, Pair: pair.Inverse(), Dir: packet.Inbound, Len: n}
+}
+
+func newBitmap(t *testing.T) *core.Filter {
+	t.Helper()
+	f, err := core.New(core.Config{K: 4, NBits: 16, M: 3, DeltaT: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestReplayCountsAndSeries(t *testing.T) {
+	pair := mkPair(40000, 80)
+	packets := []packet.Packet{
+		out(0, pair, 1000),
+		in(100*time.Millisecond, pair, 2000),
+		out(time.Second, pair, 500),
+	}
+	res, err := Replay(packets, newBitmap(t), Config{Prober: red.Always(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalPackets != 3 || res.OutboundPackets != 2 || res.InboundPackets != 1 {
+		t.Fatalf("counts: %+v", res)
+	}
+	if res.FilterDropped != 0 {
+		t.Fatalf("response dropped: %d", res.FilterDropped)
+	}
+	if got := res.OriginalUp.TotalBytes(); got != 1500 {
+		t.Fatalf("original up bytes = %d", got)
+	}
+	if got := res.FilteredUp.TotalBytes(); got != 1500 {
+		t.Fatalf("filtered up bytes = %d", got)
+	}
+	if got := res.OriginalDown.TotalBytes(); got != 2000 {
+		t.Fatalf("original down bytes = %d", got)
+	}
+}
+
+func TestReplayDropsUnsolicited(t *testing.T) {
+	var packets []packet.Packet
+	for i := 0; i < 200; i++ {
+		packets = append(packets, in(time.Duration(i)*time.Millisecond, mkPair(uint16(41000+i), 80), 1500))
+	}
+	res, err := Replay(packets, newBitmap(t), Config{Prober: red.Always(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FilterDropped < 195 {
+		t.Fatalf("dropped %d/200 unsolicited packets", res.FilterDropped)
+	}
+	if res.FilteredDown.TotalBytes() >= res.OriginalDown.TotalBytes() {
+		t.Fatal("filtered series not reduced")
+	}
+	if got := res.DropRate(); got < 0.97 {
+		t.Fatalf("drop rate = %g", got)
+	}
+}
+
+// TestBlockedConnectionMemory reproduces the Section 5.3 rule: once an
+// inbound packet of a connection is dropped, every later packet matching
+// σ or σ̄ — in both directions — is dropped without consulting the filter.
+func TestBlockedConnectionMemory(t *testing.T) {
+	pair := mkPair(42000, 6881)
+	inboundInit := pair.Inverse() // remote initiates
+	packets := []packet.Packet{
+		{TS: 0, Pair: inboundInit, Dir: packet.Inbound, Len: 40, Flags: packet.SYN},
+		// The client's SYN-ACK (outbound) must also be dropped once the
+		// connection is blocked.
+		{TS: 10 * time.Millisecond, Pair: pair, Dir: packet.Outbound, Len: 40, Flags: packet.SYN | packet.ACK},
+		{TS: 20 * time.Millisecond, Pair: inboundInit, Dir: packet.Inbound, Len: 40, Flags: packet.ACK},
+		{TS: 30 * time.Millisecond, Pair: pair, Dir: packet.Outbound, Len: 1500},
+	}
+	res, err := Replay(packets, newBitmap(t), Config{Prober: red.Always(1), BlockConnections: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FilterDropped != 1 {
+		t.Fatalf("filter dropped = %d, want 1 (the SYN)", res.FilterDropped)
+	}
+	if res.Blocked != 3 {
+		t.Fatalf("blocked = %d, want 3 (every later packet of the connection)", res.Blocked)
+	}
+	if got := res.FilteredUp.TotalBytes(); got != 0 {
+		t.Fatalf("upload leaked through a blocked connection: %d bytes", got)
+	}
+}
+
+// TestProberSeesFilteredUplink: P_d is driven by the post-filter uplink
+// throughput, so drops begin only after measured upload exceeds L.
+func TestProberSeesFilteredUplink(t *testing.T) {
+	prober, err := red.NewLinear(1e6, 2e6) // L=1 Mbps, H=2 Mbps
+	if err != nil {
+		t.Fatal(err)
+	}
+	established := mkPair(43000, 80)
+	var packets []packet.Packet
+	// Seed the filter with an outbound flow, then upload heavily on it
+	// while unsolicited inbound packets arrive each second.
+	packets = append(packets, out(0, established, 100))
+	for s := 1; s <= 20; s++ {
+		ts := time.Duration(s) * time.Second
+		for i := 0; i < 40; i++ {
+			packets = append(packets, out(ts+time.Duration(i)*10*time.Millisecond, established, 1500))
+		}
+		packets = append(packets, in(ts+900*time.Millisecond, mkPair(uint16(44000+s), 80), 40))
+	}
+	res, err := Replay(packets, newBitmap(t), Config{Prober: prober})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Upload runs at ≈0.48 Mbps per second window... with 40×1500 B/s =
+	// 0.48 Mbps < L, nothing drops; the established flow must never drop
+	// regardless.
+	if res.FilterDropped != 0 && res.FilterDropped == res.InboundPackets {
+		t.Fatalf("all inbound dropped despite low uplink: %d", res.FilterDropped)
+	}
+}
+
+func TestDropRateSeries(t *testing.T) {
+	var packets []packet.Packet
+	// Second 0: two admitted outbound packets. Second 1: two unsolicited
+	// inbound drops.
+	pair := mkPair(45000, 80)
+	packets = append(packets,
+		out(0, pair, 100),
+		out(100*time.Millisecond, pair, 100),
+		in(time.Second, mkPair(45001, 81), 100),
+		in(time.Second+100*time.Millisecond, mkPair(45002, 82), 100),
+	)
+	res, err := Replay(packets, newBitmap(t), Config{Prober: red.Always(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := res.DropRateSeries()
+	if len(series) != 2 {
+		t.Fatalf("series buckets = %d", len(series))
+	}
+	if series[0] != 0 || series[1] < 0.99 {
+		t.Fatalf("series = %v", series)
+	}
+}
+
+func TestReplayDefaults(t *testing.T) {
+	// Nil prober and zero windows must apply the Figure 8 defaults.
+	res, err := Replay([]packet.Packet{in(0, mkPair(46000, 80), 40)}, newBitmap(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FilterDropped != 1 {
+		t.Fatalf("default prober did not drop: %+v", res)
+	}
+}
+
+// TestFilterConformance replays the same stream through all three filter
+// implementations: each must satisfy the Filter contract (outbound always
+// passes; solicited inbound passes; unsolicited inbound drops at P_d=1).
+func TestFilterConformance(t *testing.T) {
+	mk := map[string]func(t *testing.T) Filter{
+		"bitmap": func(t *testing.T) Filter { return newBitmap(t) },
+		"spi": func(t *testing.T) Filter {
+			f, err := spi.New(spi.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return f
+		},
+		"naive": func(t *testing.T) Filter {
+			f, err := naive.New(20*time.Second, false, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return f
+		},
+	}
+	solicited := mkPair(47000, 80)
+	packets := []packet.Packet{
+		out(0, solicited, 100),
+		in(50*time.Millisecond, solicited, 1500),
+		in(100*time.Millisecond, mkPair(47001, 81), 1500), // unsolicited
+	}
+	for name, build := range mk {
+		t.Run(name, func(t *testing.T) {
+			res, err := Replay(packets, build(t), Config{Prober: red.Always(1)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.FilterDropped != 1 {
+				t.Fatalf("%s dropped %d packets, want exactly the unsolicited one", name, res.FilterDropped)
+			}
+			if res.FilteredUp.TotalBytes() != 100 {
+				t.Fatalf("%s mangled outbound traffic", name)
+			}
+		})
+	}
+}

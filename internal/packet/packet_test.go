@@ -1,0 +1,237 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestProtoString(t *testing.T) {
+	tests := []struct {
+		give Proto
+		want string
+	}{
+		{TCP, "TCP"},
+		{UDP, "UDP"},
+		{Proto(47), "proto(47)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("Proto(%d).String() = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestAddrRoundTrip(t *testing.T) {
+	tests := []string{"0.0.0.1", "10.0.0.1", "140.112.3.4", "255.255.255.255"}
+	for _, tt := range tests {
+		addr, err := ParseAddr(tt)
+		if err != nil {
+			t.Fatalf("ParseAddr(%q): %v", tt, err)
+		}
+		if got := addr.String(); got != tt {
+			t.Errorf("ParseAddr(%q).String() = %q", tt, got)
+		}
+		if got := addr.IP().String(); got != tt {
+			t.Errorf("ParseAddr(%q).IP() = %q", tt, got)
+		}
+	}
+}
+
+func TestParseAddrErrors(t *testing.T) {
+	for _, give := range []string{"", "nonsense", "1.2.3", "::1", "256.1.1.1"} {
+		if _, err := ParseAddr(give); err == nil {
+			t.Errorf("ParseAddr(%q) succeeded, want error", give)
+		}
+	}
+}
+
+func TestAddrFrom4(t *testing.T) {
+	addr := AddrFrom4(140, 112, 1, 2)
+	if got := addr.String(); got != "140.112.1.2" {
+		t.Fatalf("AddrFrom4 = %s", got)
+	}
+}
+
+func TestNetworkContains(t *testing.T) {
+	net, err := ParseNetwork("140.112.0.0/16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		give string
+		want bool
+	}{
+		{"140.112.0.1", true},
+		{"140.112.255.255", true},
+		{"140.113.0.1", false},
+		{"8.8.8.8", false},
+	}
+	for _, tt := range tests {
+		addr, err := ParseAddr(tt.give)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := net.Contains(addr); got != tt.want {
+			t.Errorf("%s in %s = %v, want %v", tt.give, net, got, tt.want)
+		}
+	}
+}
+
+func TestNetworkString(t *testing.T) {
+	net := CIDR(AddrFrom4(10, 0, 0, 0), 8)
+	if got := net.String(); got != "10.0.0.0/8" {
+		t.Fatalf("Network.String() = %q", got)
+	}
+}
+
+func TestNetworkZeroBits(t *testing.T) {
+	net := CIDR(AddrFrom4(10, 0, 0, 0), 0)
+	if !net.Contains(AddrFrom4(8, 8, 8, 8)) {
+		t.Fatal("a /0 network must contain every address")
+	}
+}
+
+func TestParseNetworkErrors(t *testing.T) {
+	for _, give := range []string{"", "140.112.0.0", "140.112.0.0/33", "::/64"} {
+		if _, err := ParseNetwork(give); err == nil {
+			t.Errorf("ParseNetwork(%q) succeeded, want error", give)
+		}
+	}
+}
+
+func TestSocketPairInverse(t *testing.T) {
+	s := SocketPair{Proto: TCP, SrcAddr: 1, SrcPort: 2, DstAddr: 3, DstPort: 4}
+	inv := s.Inverse()
+	want := SocketPair{Proto: TCP, SrcAddr: 3, SrcPort: 4, DstAddr: 1, DstPort: 2}
+	if inv != want {
+		t.Fatalf("Inverse() = %+v, want %+v", inv, want)
+	}
+}
+
+// TestSocketPairInverseInvolution property: the inverse of the inverse is
+// the original pair.
+func TestSocketPairInverseInvolution(t *testing.T) {
+	f := func(proto uint8, sa, da uint32, sp, dp uint16) bool {
+		s := SocketPair{Proto: Proto(proto), SrcAddr: Addr(sa), SrcPort: sp, DstAddr: Addr(da), DstPort: dp}
+		return s.Inverse().Inverse() == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKeyInjective property: distinct socket pairs produce distinct keys,
+// and a pair and its inverse differ unless the pair is symmetric.
+func TestKeyInjective(t *testing.T) {
+	f := func(proto uint8, sa, da uint32, sp, dp uint16) bool {
+		s := SocketPair{Proto: Proto(proto), SrcAddr: Addr(sa), SrcPort: sp, DstAddr: Addr(da), DstPort: dp}
+		symmetric := sa == da && sp == dp
+		return (s.Key() == s.Inverse().Key()) == symmetric
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyEncoding(t *testing.T) {
+	s := SocketPair{Proto: TCP, SrcAddr: AddrFrom4(1, 2, 3, 4), SrcPort: 0x1234, DstAddr: AddrFrom4(5, 6, 7, 8), DstPort: 0x5678}
+	key := s.Key()
+	want := [KeySize]byte{6, 1, 2, 3, 4, 0x12, 0x34, 5, 6, 7, 8, 0x56, 0x78}
+	if key != want {
+		t.Fatalf("Key() = %v, want %v", key, want)
+	}
+}
+
+// TestHolePunchKeyCorrespondence checks the Section 4.2 property the
+// bitmap filter relies on: the outbound partial tuple of σ equals the
+// partial tuple of σ̄ for the matching inbound packet.
+func TestHolePunchKeyCorrespondence(t *testing.T) {
+	f := func(proto uint8, sa, da uint32, sp, dp, rewrittenPort uint16) bool {
+		out := SocketPair{Proto: Proto(proto), SrcAddr: Addr(sa), SrcPort: sp, DstAddr: Addr(da), DstPort: dp}
+		// Inbound reply from the same remote host but any source port.
+		in := SocketPair{Proto: Proto(proto), SrcAddr: Addr(da), SrcPort: rewrittenPort, DstAddr: Addr(sa), DstPort: sp}
+		outKey := out.AppendHolePunchKey(nil)
+		inKey := in.Inverse().AppendHolePunchKey(nil)
+		return string(outKey) == string(inKey)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHolePunchKeySize(t *testing.T) {
+	var s SocketPair
+	if got := len(s.AppendHolePunchKey(nil)); got != HolePunchKeySize {
+		t.Fatalf("hole-punch key length = %d, want %d", got, HolePunchKeySize)
+	}
+	if got := len(s.AppendKey(nil)); got != KeySize {
+		t.Fatalf("full key length = %d, want %d", got, KeySize)
+	}
+}
+
+func TestTCPFlags(t *testing.T) {
+	tests := []struct {
+		give TCPFlags
+		want string
+	}{
+		{SYN, "S"},
+		{SYN | ACK, "SA"},
+		{FIN | ACK, "FA"},
+		{RST, "R"},
+		{0, "."},
+		{FIN | SYN | RST | PSH | ACK | URG, "FSRPAU"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("TCPFlags(%08b).String() = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+	if !(SYN | ACK).Has(SYN) || (SYN | ACK).Has(FIN) {
+		t.Fatal("Has misbehaves")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	net := CIDR(AddrFrom4(140, 112, 0, 0), 16)
+	inside := AddrFrom4(140, 112, 9, 9)
+	outside := AddrFrom4(9, 9, 9, 9)
+	if got := Classify(SocketPair{SrcAddr: inside, DstAddr: outside}, net); got != Outbound {
+		t.Fatalf("packet from inside = %v, want outbound", got)
+	}
+	if got := Classify(SocketPair{SrcAddr: outside, DstAddr: inside}, net); got != Inbound {
+		t.Fatalf("packet from outside = %v, want inbound", got)
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Outbound.String() != "outbound" || Inbound.String() != "inbound" {
+		t.Fatal("direction names wrong")
+	}
+	if Direction(9).String() != "direction(9)" {
+		t.Fatal("unknown direction name wrong")
+	}
+}
+
+func TestIsTCPData(t *testing.T) {
+	p := Packet{Pair: SocketPair{Proto: TCP}, Payload: []byte("x")}
+	if !p.IsTCPData() {
+		t.Fatal("TCP packet with payload should be data")
+	}
+	p.Payload = nil
+	if p.IsTCPData() {
+		t.Fatal("TCP packet without payload is not data")
+	}
+	p.Pair.Proto = UDP
+	p.Payload = []byte("x")
+	if p.IsTCPData() {
+		t.Fatal("UDP packet is never TCP data")
+	}
+}
+
+func TestSocketPairString(t *testing.T) {
+	s := SocketPair{Proto: UDP, SrcAddr: AddrFrom4(1, 2, 3, 4), SrcPort: 53, DstAddr: AddrFrom4(5, 6, 7, 8), DstPort: 9999}
+	want := "UDP 1.2.3.4:53 -> 5.6.7.8:9999"
+	if got := s.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

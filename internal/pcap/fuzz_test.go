@@ -1,0 +1,76 @@
+package pcap
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"p2pbound/internal/packet"
+)
+
+// FuzzReadPacket feeds arbitrary bytes to the reader; it must never panic
+// and must terminate — either with packets, an error, or EOF. Run the
+// fuzzer with `go test -fuzz FuzzReadPacket ./internal/pcap`.
+func FuzzReadPacket(f *testing.F) {
+	// Seed with a valid two-packet capture and a few mutations.
+	var buf bytes.Buffer
+	seedPackets := []packet.Packet{
+		{
+			TS: 0,
+			Pair: packet.SocketPair{
+				Proto:   packet.TCP,
+				SrcAddr: packet.AddrFrom4(140, 112, 1, 1), SrcPort: 40000,
+				DstAddr: packet.AddrFrom4(8, 8, 8, 8), DstPort: 80,
+			},
+			Dir: packet.Outbound, Len: 60, Flags: packet.SYN,
+			Payload: []byte("GET / HTTP/1.1\r\n\r\n"),
+		},
+		{
+			TS: time.Second,
+			Pair: packet.SocketPair{
+				Proto:   packet.UDP,
+				SrcAddr: packet.AddrFrom4(9, 9, 9, 9), SrcPort: 53,
+				DstAddr: packet.AddrFrom4(140, 112, 1, 1), DstPort: 5353,
+			},
+			Dir: packet.Inbound, Len: 40,
+			Payload: []byte{1, 2, 3},
+		},
+	}
+	if err := WriteAll(&buf, seedPackets, 0, time.Unix(1_163_000_000, 0)); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:30])
+	truncated := append([]byte(nil), valid...)
+	truncated[0] ^= 0xff
+	f.Add(truncated)
+	f.Add([]byte{})
+
+	clientNet := packet.CIDR(packet.AddrFrom4(140, 112, 0, 0), 16)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, verify := range []bool{false, true} {
+			r, err := NewReader(bytes.NewReader(data), clientNet)
+			if err != nil {
+				continue
+			}
+			r.VerifyChecksums = verify
+			for i := 0; i < 10_000; i++ {
+				pkt, err := r.ReadPacket()
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				if err != nil {
+					// Corrupt records may error; the reader must stay
+					// usable for the next record or report EOF later.
+					continue
+				}
+				if pkt.Len < 0 {
+					t.Fatalf("negative packet length %d", pkt.Len)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,214 @@
+package pcap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"p2pbound/internal/packet"
+)
+
+// Reader streams packets out of a pcap file written by this package (or
+// any libpcap-compatible Ethernet capture of IPv4 TCP/UDP traffic).
+type Reader struct {
+	r         io.Reader
+	order     binary.ByteOrder
+	snaplen   int
+	clientNet packet.Network
+	base      time.Time
+	baseSet   bool
+	// VerifyChecksums rejects packets whose IP or transport checksum is
+	// wrong with ErrBadChecksum, as the paper's analyzer does. Frames
+	// truncated by the snap length cannot be verified and are accepted.
+	VerifyChecksums bool
+	buf             []byte
+}
+
+// NewReader parses the global header. clientNet classifies each packet's
+// direction. Packet TS values are offsets from the first packet's capture
+// time.
+func NewReader(r io.Reader, clientNet packet.Network) (*Reader, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: read global header: %w", err)
+	}
+	var order binary.ByteOrder
+	switch binary.LittleEndian.Uint32(hdr[0:]) {
+	case magicLE:
+		order = binary.LittleEndian
+	default:
+		if binary.BigEndian.Uint32(hdr[0:]) != magicLE {
+			return nil, fmt.Errorf("pcap: bad magic %#x", binary.LittleEndian.Uint32(hdr[0:]))
+		}
+		order = binary.BigEndian
+	}
+	if lt := order.Uint32(hdr[20:]); lt != linkEthernet {
+		return nil, fmt.Errorf("pcap: unsupported link type %d", lt)
+	}
+	return &Reader{
+		r:         r,
+		order:     order,
+		snaplen:   int(order.Uint32(hdr[16:])),
+		clientNet: clientNet,
+	}, nil
+}
+
+// ReadPacket returns the next packet, io.EOF at the end of the file, or
+// ErrBadChecksum (wrapped) for corrupt packets when verification is on;
+// callers may skip those and continue reading.
+func (r *Reader) ReadPacket() (*packet.Packet, error) {
+	var rec [16]byte
+	if _, err := io.ReadFull(r.r, rec[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("pcap: read record header: %w", err)
+	}
+	sec := r.order.Uint32(rec[0:])
+	usec := r.order.Uint32(rec[4:])
+	inclLen := int(r.order.Uint32(rec[8:]))
+	origLen := int(r.order.Uint32(rec[12:]))
+	if inclLen < 0 || inclLen > r.snaplen+ethHeaderLen || inclLen > 1<<20 {
+		return nil, fmt.Errorf("pcap: implausible record length %d", inclLen)
+	}
+	if len(r.buf) < inclLen {
+		r.buf = make([]byte, inclLen)
+	}
+	frame := r.buf[:inclLen]
+	if _, err := io.ReadFull(r.r, frame); err != nil {
+		return nil, fmt.Errorf("pcap: read frame: %w", err)
+	}
+
+	ts := time.Unix(int64(sec), int64(usec)*1000)
+	if !r.baseSet {
+		r.base = ts
+		r.baseSet = true
+	}
+
+	pkt, err := r.decodeFrame(frame, origLen)
+	if err != nil {
+		return nil, err
+	}
+	pkt.TS = ts.Sub(r.base)
+	pkt.Dir = packet.Classify(pkt.Pair, r.clientNet)
+	return pkt, nil
+}
+
+// decodeFrame parses Ethernet+IPv4+L4 headers into a Packet.
+func (r *Reader) decodeFrame(frame []byte, origLen int) (*packet.Packet, error) {
+	if len(frame) < ethHeaderLen+ipv4HeaderLen {
+		return nil, fmt.Errorf("pcap: frame too short: %d bytes", len(frame))
+	}
+	if frame[12] != 0x08 || frame[13] != 0x00 {
+		return nil, fmt.Errorf("pcap: not IPv4 (ethertype %#x)", uint16(frame[12])<<8|uint16(frame[13]))
+	}
+	ip := frame[ethHeaderLen:]
+	ihl := int(ip[0]&0x0f) * 4
+	if ip[0]>>4 != 4 || ihl < ipv4HeaderLen || len(ip) < ihl {
+		return nil, fmt.Errorf("pcap: bad IPv4 header")
+	}
+	if r.VerifyChecksums && checksum(ip[:ihl], 0) != 0 {
+		return nil, fmt.Errorf("%w: IPv4 header", ErrBadChecksum)
+	}
+
+	pair := packet.SocketPair{
+		Proto:   packet.Proto(ip[9]),
+		SrcAddr: packet.AddrFrom4(ip[12], ip[13], ip[14], ip[15]),
+		DstAddr: packet.AddrFrom4(ip[16], ip[17], ip[18], ip[19]),
+	}
+	l4 := ip[ihl:]
+	pkt := &packet.Packet{Len: origLen - ethHeaderLen}
+
+	switch pair.Proto {
+	case packet.TCP:
+		if len(l4) < tcpHeaderLen {
+			return nil, fmt.Errorf("pcap: truncated TCP header")
+		}
+		pair.SrcPort = binary.BigEndian.Uint16(l4[0:])
+		pair.DstPort = binary.BigEndian.Uint16(l4[2:])
+		pkt.Flags = packet.TCPFlags(l4[13])
+		dataOff := int(l4[12]>>4) * 4
+		if dataOff < tcpHeaderLen || dataOff > len(l4) {
+			return nil, fmt.Errorf("pcap: bad TCP data offset")
+		}
+		pkt.Payload = clonePayload(l4[dataOff:])
+		if r.VerifyChecksums && !r.truncated(ip, ihl, len(l4)) {
+			if checksum(l4, pseudoSum(pair, len(l4))) != 0 {
+				return nil, fmt.Errorf("%w: TCP segment", ErrBadChecksum)
+			}
+		}
+	case packet.UDP:
+		if len(l4) < udpHeaderLen {
+			return nil, fmt.Errorf("pcap: truncated UDP header")
+		}
+		pair.SrcPort = binary.BigEndian.Uint16(l4[0:])
+		pair.DstPort = binary.BigEndian.Uint16(l4[2:])
+		pkt.Payload = clonePayload(l4[udpHeaderLen:])
+		if r.VerifyChecksums && !r.truncated(ip, ihl, len(l4)) {
+			if checksum(l4, pseudoSum(pair, len(l4))) != 0 {
+				return nil, fmt.Errorf("%w: UDP datagram", ErrBadChecksum)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("pcap: unsupported protocol %d", pair.Proto)
+	}
+	pkt.Pair = pair
+	return pkt, nil
+}
+
+// truncated reports whether the captured bytes cover less than the IP
+// total length (snap-length truncation), in which case checksums cannot
+// be verified.
+func (r *Reader) truncated(ip []byte, ihl, l4Len int) bool {
+	total := int(binary.BigEndian.Uint16(ip[2:]))
+	return ihl+l4Len < total
+}
+
+func clonePayload(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// WriteAll writes a full packet slice to w.
+func WriteAll(w io.Writer, packets []packet.Packet, snaplen int, base time.Time) error {
+	pw, err := NewWriter(w, snaplen, base)
+	if err != nil {
+		return err
+	}
+	for i := range packets {
+		if err := pw.WritePacket(&packets[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadAll reads every packet from rd, skipping checksum failures when
+// verify is enabled.
+func ReadAll(rd io.Reader, clientNet packet.Network, verify bool) ([]packet.Packet, error) {
+	r, err := NewReader(rd, clientNet)
+	if err != nil {
+		return nil, err
+	}
+	r.VerifyChecksums = verify
+	var out []packet.Packet
+	for {
+		pkt, err := r.ReadPacket()
+		switch {
+		case err == nil:
+			out = append(out, *pkt)
+		case errors.Is(err, io.EOF):
+			return out, nil
+		case errors.Is(err, ErrBadChecksum):
+			continue
+		default:
+			return out, err
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package red computes the conditional dropping probability P_d applied to
+// inbound packets that miss the bitmap filter.
+//
+// Equation 1 of the paper defines P_d as a RED-like linear ramp between a
+// low threshold L and a high threshold H of measured uplink throughput:
+//
+//	P_d = 0            if b ≤ L
+//	P_d = (b−L)/(H−L)  if L < b < H
+//	P_d = 1            if b ≥ H
+//
+// An EWMA-smoothed variant in the style of the original RED gateway
+// (Floyd & Jacobson, the paper's reference [10]) is provided as an
+// extension for ablation X1.
+package red
+
+import "fmt"
+
+// Prober yields the drop probability for the current uplink throughput in
+// bits per second. Implementations must return values in [0, 1].
+type Prober interface {
+	Pd(throughputBps float64) float64
+}
+
+// Linear is the Equation 1 ramp. The zero value (L = H = 0) always
+// returns 1 for positive throughput; construct with NewLinear.
+type Linear struct {
+	low  float64
+	high float64
+}
+
+// NewLinear builds the Equation 1 prober with the given low and high
+// uplink-throughput thresholds in bits per second. The paper's Figure 9
+// simulation uses L = 50 Mbps and H = 100 Mbps.
+func NewLinear(lowBps, highBps float64) (*Linear, error) {
+	if lowBps < 0 || highBps <= lowBps {
+		return nil, fmt.Errorf("red: need 0 <= L < H, got L=%g H=%g", lowBps, highBps)
+	}
+	return &Linear{low: lowBps, high: highBps}, nil
+}
+
+// Pd implements Prober with the Equation 1 piecewise-linear ramp.
+func (l *Linear) Pd(throughputBps float64) float64 {
+	switch {
+	case throughputBps <= l.low:
+		return 0
+	case throughputBps >= l.high:
+		return 1
+	default:
+		return (throughputBps - l.low) / (l.high - l.low)
+	}
+}
+
+// Low returns the L threshold in bits per second.
+func (l *Linear) Low() float64 { return l.low }
+
+// High returns the H threshold in bits per second.
+func (l *Linear) High() float64 { return l.high }
+
+// Always is a constant prober. Always(1) reproduces the Figure 8
+// configuration, which drops every inbound packet without state.
+type Always float64
+
+// Pd implements Prober with a constant probability.
+func (a Always) Pd(float64) float64 {
+	switch {
+	case a < 0:
+		return 0
+	case a > 1:
+		return 1
+	default:
+		return float64(a)
+	}
+}
+
+// EWMA smooths the instantaneous throughput with an exponentially weighted
+// moving average before applying the linear ramp, in the manner of the RED
+// gateway's average queue estimator. This damps reaction to bursts.
+type EWMA struct {
+	ramp   Linear
+	weight float64
+	avg    float64
+	primed bool
+}
+
+// NewEWMA builds a smoothed prober. weight is the EWMA gain w in
+// avg ← (1−w)·avg + w·sample, with 0 < w ≤ 1; the RED paper suggests
+// small weights such as 0.002 for per-packet updates, but per-window
+// updates (as used here) tolerate larger weights such as 0.25.
+func NewEWMA(lowBps, highBps, weight float64) (*EWMA, error) {
+	ramp, err := NewLinear(lowBps, highBps)
+	if err != nil {
+		return nil, err
+	}
+	if weight <= 0 || weight > 1 {
+		return nil, fmt.Errorf("red: EWMA weight must be in (0,1], got %g", weight)
+	}
+	return &EWMA{ramp: *ramp, weight: weight}, nil
+}
+
+// Pd implements Prober: it folds the sample into the moving average and
+// ramps on the average.
+func (e *EWMA) Pd(throughputBps float64) float64 {
+	if !e.primed {
+		e.avg = throughputBps
+		e.primed = true
+	} else {
+		e.avg = (1-e.weight)*e.avg + e.weight*throughputBps
+	}
+	return e.ramp.Pd(e.avg)
+}
+
+// Average returns the current smoothed throughput estimate.
+func (e *EWMA) Average() float64 { return e.avg }

@@ -1,0 +1,156 @@
+package red
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewLinearValidation(t *testing.T) {
+	tests := []struct {
+		low, high float64
+		ok        bool
+	}{
+		{50e6, 100e6, true},
+		{0, 100e6, true},
+		{-1, 100e6, false},
+		{100e6, 100e6, false},
+		{100e6, 50e6, false},
+	}
+	for _, tt := range tests {
+		_, err := NewLinear(tt.low, tt.high)
+		if (err == nil) != tt.ok {
+			t.Errorf("NewLinear(%g, %g) error = %v, want ok=%v", tt.low, tt.high, err, tt.ok)
+		}
+	}
+}
+
+// TestLinearEquation1 pins the three branches of Equation 1.
+func TestLinearEquation1(t *testing.T) {
+	l, err := NewLinear(50e6, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		b    float64
+		want float64
+	}{
+		{0, 0},
+		{50e6, 0},   // b ≤ L
+		{75e6, 0.5}, // midpoint of the ramp
+		{60e6, 0.2}, // (60−50)/(100−50)
+		{100e6, 1},  // b ≥ H
+		{500e6, 1},
+	}
+	for _, tt := range tests {
+		if got := l.Pd(tt.b); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Pd(%g) = %g, want %g", tt.b, got, tt.want)
+		}
+	}
+	if l.Low() != 50e6 || l.High() != 100e6 {
+		t.Fatal("threshold accessors wrong")
+	}
+}
+
+// TestLinearRange property: P_d is always in [0,1] and non-decreasing in
+// the throughput.
+func TestLinearRange(t *testing.T) {
+	l, err := NewLinear(10, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b float64) bool {
+		a, b = math.Abs(a), math.Abs(b)
+		if a > b {
+			a, b = b, a
+		}
+		pa, pb := l.Pd(a), l.Pd(b)
+		return pa >= 0 && pb <= 1 && pa <= pb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlways(t *testing.T) {
+	if Always(1).Pd(123) != 1 || Always(0).Pd(123) != 0 {
+		t.Fatal("Always constant wrong")
+	}
+	if Always(0.3).Pd(0) != 0.3 {
+		t.Fatal("Always fractional wrong")
+	}
+	if Always(-2).Pd(0) != 0 || Always(7).Pd(0) != 1 {
+		t.Fatal("Always must clamp to [0,1]")
+	}
+}
+
+func TestNewEWMAValidation(t *testing.T) {
+	if _, err := NewEWMA(50, 100, 0); err == nil {
+		t.Fatal("weight 0 accepted")
+	}
+	if _, err := NewEWMA(50, 100, 1.5); err == nil {
+		t.Fatal("weight > 1 accepted")
+	}
+	if _, err := NewEWMA(100, 50, 0.5); err == nil {
+		t.Fatal("inverted thresholds accepted")
+	}
+}
+
+func TestEWMAPrimesOnFirstSample(t *testing.T) {
+	e, err := NewEWMA(50, 100, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Pd(80)
+	if got := e.Average(); got != 80 {
+		t.Fatalf("first sample should prime the average, got %g", got)
+	}
+}
+
+func TestEWMADampsBursts(t *testing.T) {
+	e, err := NewEWMA(50, 100, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Steady low traffic...
+	for i := 0; i < 20; i++ {
+		e.Pd(10)
+	}
+	// ...then a single burst above H must not yield P_d = 1 immediately:
+	// the smoothed average (0.75·10 + 0.25·150 = 45) stays below L.
+	if got := e.Pd(150); got != 0 {
+		t.Fatalf("one burst moved the smoothed P_d to %g, want 0", got)
+	}
+	// But a sustained overload must converge to 1.
+	var got float64
+	for i := 0; i < 100; i++ {
+		got = e.Pd(150)
+	}
+	if got != 1 {
+		t.Fatalf("sustained overload: P_d = %g, want 1", got)
+	}
+}
+
+// TestEWMAConvergesToLinear property: under a constant input the smoothed
+// prober converges to the same value as the plain ramp.
+func TestEWMAConvergesToLinear(t *testing.T) {
+	l, err := NewLinear(50, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw float64) bool {
+		b := math.Mod(math.Abs(raw), 200)
+		e, err := NewEWMA(50, 100, 0.5)
+		if err != nil {
+			return false
+		}
+		var got float64
+		for i := 0; i < 200; i++ {
+			got = e.Pd(b)
+		}
+		return math.Abs(got-l.Pd(b)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

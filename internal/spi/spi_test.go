@@ -1,0 +1,217 @@
+package spi
+
+import (
+	"testing"
+	"time"
+
+	"p2pbound/internal/core"
+	"p2pbound/internal/packet"
+)
+
+func pairN(i uint32) packet.SocketPair {
+	return packet.SocketPair{
+		Proto:   packet.TCP,
+		SrcAddr: packet.AddrFrom4(140, 112, byte(i>>8), byte(i)),
+		SrcPort: uint16(30000 + i%10000),
+		DstAddr: packet.AddrFrom4(9, byte(i>>16), byte(i>>8), byte(i)),
+		DstPort: 80,
+	}
+}
+
+func pkt(ts time.Duration, pair packet.SocketPair, dir packet.Direction, flags packet.TCPFlags) *packet.Packet {
+	return &packet.Packet{TS: ts, Pair: pair, Dir: dir, Len: 60, Flags: flags}
+}
+
+func outP(ts time.Duration, pair packet.SocketPair, flags packet.TCPFlags) *packet.Packet {
+	return pkt(ts, pair, packet.Outbound, flags)
+}
+
+func inP(ts time.Duration, pair packet.SocketPair, flags packet.TCPFlags) *packet.Packet {
+	return pkt(ts, pair.Inverse(), packet.Inbound, flags)
+}
+
+func newFilter(t *testing.T) *Filter {
+	t.Helper()
+	f, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("zero idle timeout accepted")
+	}
+}
+
+func TestPositiveListing(t *testing.T) {
+	f := newFilter(t)
+	pair := pairN(1)
+	// Unsolicited inbound SYN: dropped with P_d = 1.
+	if v := f.Process(inP(0, pair, packet.SYN), 1); v != core.Drop {
+		t.Fatalf("unsolicited inbound = %v, want DROP", v)
+	}
+	// Outbound SYN creates state; the SYN-ACK then passes.
+	if v := f.Process(outP(time.Second, pair, packet.SYN), 1); v != core.Pass {
+		t.Fatal("outbound packet dropped")
+	}
+	if v := f.Process(inP(time.Second+50*time.Millisecond, pair, packet.SYN|packet.ACK), 1); v != core.Pass {
+		t.Fatalf("SYN-ACK to tracked flow dropped")
+	}
+	if f.Len() != 1 {
+		t.Fatalf("tracked flows = %d", f.Len())
+	}
+}
+
+func TestTCPStateMachine(t *testing.T) {
+	f := newFilter(t)
+	pair := pairN(2)
+	f.Process(outP(0, pair, packet.SYN), 1)
+	f.Process(inP(time.Millisecond, pair, packet.SYN|packet.ACK), 1)
+	f.Process(outP(2*time.Millisecond, pair, packet.ACK), 1)
+	if !f.Contains(pair.Inverse()) {
+		t.Fatal("established flow not tracked")
+	}
+	// Close: FIN both ways.
+	f.Process(outP(time.Second, pair, packet.FIN|packet.ACK), 1)
+	f.Process(inP(time.Second+time.Millisecond, pair, packet.FIN|packet.ACK), 1)
+	stats := f.Stats()
+	if stats.FlowsClosed != 1 {
+		t.Fatalf("flows closed = %d", stats.FlowsClosed)
+	}
+}
+
+// TestCloseLinger: the final ACK of the closing handshake passes within
+// the linger, and late stragglers beyond it are dropped precisely — the
+// Figure 8 mechanism.
+func TestCloseLinger(t *testing.T) {
+	f := newFilter(t)
+	pair := pairN(3)
+	f.Process(outP(0, pair, packet.SYN), 1)
+	f.Process(inP(time.Millisecond, pair, packet.SYN|packet.ACK), 1)
+	f.Process(outP(time.Second, pair, packet.FIN|packet.ACK), 1)
+	f.Process(inP(time.Second+10*time.Millisecond, pair, packet.FIN|packet.ACK), 1)
+	// Final inbound ACK 20 ms later: within the 2 s linger → passes.
+	if v := f.Process(inP(time.Second+30*time.Millisecond, pair, packet.ACK), 1); v != core.Pass {
+		t.Fatalf("closing handshake ACK dropped: %v", v)
+	}
+	// Straggler 10 s later: past the linger → dropped, while the idle
+	// timeout (240 s) alone would still admit it.
+	if v := f.Process(inP(11*time.Second, pair, packet.ACK), 1); v != core.Drop {
+		t.Fatalf("late straggler = %v, want DROP", v)
+	}
+}
+
+func TestRSTClosesImmediately(t *testing.T) {
+	f := newFilter(t)
+	pair := pairN(4)
+	f.Process(outP(0, pair, packet.SYN), 1)
+	f.Process(inP(time.Millisecond, pair, packet.RST), 1)
+	if got := f.Stats().FlowsClosed; got != 1 {
+		t.Fatalf("flows closed after RST = %d", got)
+	}
+	if v := f.Process(inP(10*time.Second, pair, packet.ACK), 1); v != core.Drop {
+		t.Fatal("packet after RST+linger not dropped")
+	}
+}
+
+func TestIdleExpiry(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IdleTimeout = 30 * time.Second
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := pairN(5)
+	f.Process(outP(0, pair, packet.SYN), 1)
+	f.Advance(29 * time.Second)
+	if !f.Contains(pair.Inverse()) {
+		t.Fatal("flow expired too early")
+	}
+	f.Advance(31 * time.Second)
+	if f.Contains(pair.Inverse()) {
+		t.Fatal("idle flow not expired")
+	}
+	if got := f.Stats().FlowsExpired; got != 1 {
+		t.Fatalf("flows expired = %d", got)
+	}
+}
+
+func TestUDPTracking(t *testing.T) {
+	f := newFilter(t)
+	pair := packet.SocketPair{
+		Proto:   packet.UDP,
+		SrcAddr: packet.AddrFrom4(140, 112, 0, 1), SrcPort: 5353,
+		DstAddr: packet.AddrFrom4(8, 8, 8, 8), DstPort: 53,
+	}
+	f.Process(&packet.Packet{TS: 0, Pair: pair, Dir: packet.Outbound, Len: 60}, 1)
+	reply := &packet.Packet{TS: 20 * time.Millisecond, Pair: pair.Inverse(), Dir: packet.Inbound, Len: 120}
+	if v := f.Process(reply, 1); v != core.Pass {
+		t.Fatalf("DNS reply dropped: %v", v)
+	}
+}
+
+func TestPdControlsDropProbability(t *testing.T) {
+	f := newFilter(t)
+	dropped := 0
+	const n = 10000
+	for i := uint32(0); i < n; i++ {
+		if f.Process(inP(0, pairN(i+100), packet.SYN), 0.5) == core.Drop {
+			dropped++
+		}
+	}
+	frac := float64(dropped) / n
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("drop fraction at P_d=0.5: %.3f", frac)
+	}
+}
+
+func TestStatsAndMemory(t *testing.T) {
+	f := newFilter(t)
+	for i := uint32(0); i < 50; i++ {
+		f.Process(outP(0, pairN(i+1000), packet.SYN), 1)
+	}
+	s := f.Stats()
+	if s.FlowsCreated != 50 || s.PeakFlows != 50 {
+		t.Fatalf("created=%d peak=%d", s.FlowsCreated, s.PeakFlows)
+	}
+	if f.Bytes() != 50*entryOverhead {
+		t.Fatalf("bytes = %d", f.Bytes())
+	}
+}
+
+func TestStateString(t *testing.T) {
+	tests := []struct {
+		give State
+		want string
+	}{
+		{StateSynSent, "SYN_SENT"},
+		{StateEstablished, "ESTABLISHED"},
+		{StateFinWait, "FIN_WAIT"},
+		{StateClosed, "CLOSED"},
+		{State(42), "state(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("State.String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+// TestOutboundDoesNotResurrectClosedFlow: positive listing must not let
+// the final outbound ACK of a closed connection reopen admission.
+func TestOutboundDoesNotResurrectClosedFlow(t *testing.T) {
+	f := newFilter(t)
+	pair := pairN(6)
+	f.Process(outP(0, pair, packet.SYN), 1)
+	f.Process(inP(time.Millisecond, pair, packet.SYN|packet.ACK), 1)
+	f.Process(inP(time.Second, pair, packet.FIN|packet.ACK), 1)
+	f.Process(outP(time.Second+time.Millisecond, pair, packet.FIN|packet.ACK), 1)
+	// Final outbound ACK after both FINs.
+	f.Process(outP(time.Second+2*time.Millisecond, pair, packet.ACK), 1)
+	// Linger passes; the connection must stay closed.
+	if v := f.Process(inP(20*time.Second, pair, packet.ACK), 1); v != core.Drop {
+		t.Fatalf("closed flow resurrected by trailing outbound ACK: %v", v)
+	}
+}

@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// AsciiPlot renders an (x, y) series as a fixed-size ASCII chart, used by
+// benchreport to show each figure's shape directly in the terminal.
+type AsciiPlot struct {
+	Width  int // plot columns (default 60)
+	Height int // plot rows (default 12)
+	XLabel string
+	YLabel string
+}
+
+// Lines renders one or more series into the same axes, each with its own
+// glyph. Series are drawn in order, so later ones overdraw earlier ones.
+func (p AsciiPlot) Lines(series []Series) string {
+	width, height := p.Width, p.Height
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 12
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	empty := true
+	for _, s := range series {
+		for _, pt := range s.Points {
+			empty = false
+			minX, maxX = math.Min(minX, pt.X), math.Max(maxX, pt.X)
+			minY, maxY = math.Min(minY, pt.Y), math.Max(maxY, pt.Y)
+		}
+	}
+	if empty {
+		return "(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range series {
+		glyph := s.Glyph
+		if glyph == 0 {
+			glyph = '*'
+		}
+		for _, pt := range s.Points {
+			col := int(float64(width-1) * (pt.X - minX) / (maxX - minX))
+			row := int(float64(height-1) * (pt.Y - minY) / (maxY - minY))
+			grid[height-1-row][col] = glyph
+		}
+	}
+
+	var b strings.Builder
+	if p.YLabel != "" {
+		fmt.Fprintf(&b, "  %s\n", p.YLabel)
+	}
+	for i, row := range grid {
+		y := maxY - (maxY-minY)*float64(i)/float64(height-1)
+		fmt.Fprintf(&b, "%10.3g |%s|\n", y, string(row))
+	}
+	fmt.Fprintf(&b, "%10s +%s+\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%10s  %-*.4g%*.4g\n", "", width/2, minX, width-width/2, maxX)
+	if p.XLabel != "" {
+		fmt.Fprintf(&b, "%10s  %s\n", "", p.XLabel)
+	}
+	legend := make([]string, 0, len(series))
+	for _, s := range series {
+		if s.Name == "" {
+			continue
+		}
+		glyph := s.Glyph
+		if glyph == 0 {
+			glyph = '*'
+		}
+		legend = append(legend, fmt.Sprintf("%c = %s", glyph, s.Name))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&b, "%10s  [%s]\n", "", strings.Join(legend, ", "))
+	}
+	return b.String()
+}
+
+// Series is one named point set for AsciiPlot.
+type Series struct {
+	Name   string
+	Glyph  byte
+	Points []Point
+}
+
+// SeriesFromRates converts a per-bucket rate slice into (second, value)
+// points.
+func SeriesFromRates(name string, glyph byte, rates []float64) Series {
+	pts := make([]Point, len(rates))
+	for i, r := range rates {
+		pts[i] = Point{X: float64(i), Y: r}
+	}
+	return Series{Name: name, Glyph: glyph, Points: pts}
+}

@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAsciiPlotEmpty(t *testing.T) {
+	var p AsciiPlot
+	if got := p.Lines(nil); got != "(no data)\n" {
+		t.Fatalf("empty plot = %q", got)
+	}
+	if got := p.Lines([]Series{{Name: "x"}}); got != "(no data)\n" {
+		t.Fatalf("empty series plot = %q", got)
+	}
+}
+
+func TestAsciiPlotGeometry(t *testing.T) {
+	p := AsciiPlot{Width: 20, Height: 5, XLabel: "t", YLabel: "v"}
+	out := p.Lines([]Series{{
+		Name:  "ramp",
+		Glyph: '*',
+		Points: []Point{
+			{X: 0, Y: 0}, {X: 1, Y: 1}, {X: 2, Y: 2}, {X: 3, Y: 3},
+		},
+	}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// ylabel + 5 rows + axis + xscale + xlabel + legend = 10 lines
+	if len(lines) != 10 {
+		t.Fatalf("plot lines = %d:\n%s", len(lines), out)
+	}
+	// A monotone ramp must place glyphs on the rising diagonal: the top
+	// row holds the max, the bottom data row the min.
+	if !strings.Contains(lines[1], "*") {
+		t.Fatalf("top row missing glyph:\n%s", out)
+	}
+	if !strings.Contains(lines[5], "*") {
+		t.Fatalf("bottom row missing glyph:\n%s", out)
+	}
+	if !strings.Contains(out, "[* = ramp]") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "v") || !strings.Contains(out, "t") {
+		t.Fatal("axis labels missing")
+	}
+}
+
+func TestAsciiPlotMultipleSeries(t *testing.T) {
+	p := AsciiPlot{Width: 10, Height: 4}
+	out := p.Lines([]Series{
+		{Name: "a", Glyph: '.', Points: []Point{{X: 0, Y: 0}, {X: 1, Y: 0}}},
+		{Name: "b", Glyph: '#', Points: []Point{{X: 0, Y: 1}, {X: 1, Y: 1}}},
+	})
+	if !strings.Contains(out, ".") || !strings.Contains(out, "#") {
+		t.Fatalf("both glyphs must appear:\n%s", out)
+	}
+}
+
+func TestAsciiPlotDegenerateRanges(t *testing.T) {
+	p := AsciiPlot{Width: 10, Height: 4}
+	// A single point (zero x and y span) must not divide by zero.
+	out := p.Lines([]Series{{Points: []Point{{X: 5, Y: 7}}}})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestSeriesFromRates(t *testing.T) {
+	s := SeriesFromRates("up", '#', []float64{1, 2, 3})
+	if len(s.Points) != 3 || s.Points[2].X != 2 || s.Points[2].Y != 3 {
+		t.Fatalf("series = %+v", s)
+	}
+}

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"math"
+	"math/rand/v2"
+	"time"
+)
+
+// rng wraps the deterministic PRNG with the samplers the generator needs.
+type rng struct {
+	r *rand.Rand
+}
+
+func newRNG(seed uint64) *rng {
+	return &rng{r: rand.New(rand.NewPCG(seed, seed^0x94d049bb133111eb))}
+}
+
+func (g *rng) float() float64      { return g.r.Float64() }
+func (g *rng) prob(p float64) bool { return g.r.Float64() < p }
+func (g *rng) intn(n int) int      { return g.r.IntN(n) }
+
+// lognormal samples exp(N(mu, sigma²)).
+func (g *rng) lognormal(mu, sigma float64) float64 {
+	return math.Exp(g.r.NormFloat64()*sigma + mu)
+}
+
+// lognormalMean samples a lognormal with the given mean and shape sigma.
+func (g *rng) lognormalMean(mean, sigma float64) float64 {
+	mu := math.Log(mean) - sigma*sigma/2
+	return g.lognormal(mu, sigma)
+}
+
+// duration converts seconds to a time.Duration.
+func seconds(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// lifetime samples the Figure 4 connection-lifetime distribution: a
+// two-component lognormal mixture calibrated so that ≈90 % of lifetimes
+// fall under 45 s, ≈95 % under 4 minutes, under 1 % beyond 810 s, and the
+// mean lands near the paper's 45.84 s; samples are capped at the six-hour
+// maximum observed in the trace.
+func (g *rng) lifetime() time.Duration {
+	var s float64
+	if g.prob(0.92) {
+		s = g.lognormal(math.Log(5), 1.3)
+	} else {
+		s = g.lognormal(math.Log(120), 1.5)
+	}
+	if s < 0.005 {
+		s = 0.005
+	}
+	if s > 21600 {
+		s = 21600
+	}
+	return seconds(s)
+}
+
+// rtt samples a per-flow round-trip time: mostly tens of milliseconds
+// (Figure 5: 99 % of out-in delays are under 2.8 s).
+func (g *rng) rtt() time.Duration {
+	s := g.lognormal(math.Log(0.060), 0.8)
+	if s < 0.001 {
+		s = 0.001
+	}
+	if s > 3 {
+		s = 3
+	}
+	return seconds(s)
+}
+
+// slowResponse samples the occasional 0.5–5 s server think time that
+// thickens the delay tail.
+func (g *rng) slowResponse() time.Duration {
+	return seconds(0.5 + g.float()*4.5)
+}
+
+// flowBytes samples a heavy-tailed transfer size with the given mean,
+// clipped to what the flow can plausibly move within its lifetime.
+func (g *rng) flowBytes(mean float64, life time.Duration) int64 {
+	const perFlowBps = 8e6 // 8 Mbit/s single-flow ceiling
+	b := g.lognormalMean(mean, 1.1)
+	if b < 200 {
+		b = 200
+	}
+	if ceiling := life.Seconds() * perFlowBps / 8; b > ceiling {
+		b = ceiling
+	}
+	return int64(b)
+}
+
+// ephemeralPort samples a client-side ephemeral port.
+func (g *rng) ephemeralPort() uint16 {
+	return uint16(32768 + g.intn(28000))
+}
+
+// p2pPort samples the service port of a P2P peer: a well-known P2P port
+// some of the time, otherwise a random port in the 10000–40000 band the
+// paper observes (Figure 2).
+func (g *rng) p2pPort(known []uint16) uint16 {
+	if len(known) > 0 && g.prob(0.35) {
+		return known[g.intn(len(known))]
+	}
+	return uint16(10000 + g.intn(30000))
+}

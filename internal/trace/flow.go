@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"time"
+
+	"p2pbound/internal/l7"
+	"p2pbound/internal/packet"
+)
+
+// Flow is the ground-truth description of one generated connection. The
+// analyzer never sees this; tests compare its output against these labels.
+type Flow struct {
+	App        l7.App // ground truth; Unknown for opaque flows
+	Group      string // Table 2 group label
+	Proto      packet.Proto
+	Client     packet.Addr
+	ClientPort uint16
+	Remote     packet.Addr
+	RemotePort uint16
+	// Initiator is Outbound when the inner client opened the connection
+	// and Inbound when a remote peer did.
+	Initiator packet.Direction
+	Start     time.Duration
+	Lifetime  time.Duration
+	// UploadBytes and DownloadBytes are the planned payload volumes in
+	// each direction (headers excluded).
+	UploadBytes   int64
+	DownloadBytes int64
+}
+
+// Pair returns the five tuple oriented from the initiator.
+func (f *Flow) Pair() packet.SocketPair {
+	if f.Initiator == packet.Outbound {
+		return packet.SocketPair{
+			Proto:   f.Proto,
+			SrcAddr: f.Client, SrcPort: f.ClientPort,
+			DstAddr: f.Remote, DstPort: f.RemotePort,
+		}
+	}
+	return packet.SocketPair{
+		Proto:   f.Proto,
+		SrcAddr: f.Remote, SrcPort: f.RemotePort,
+		DstAddr: f.Client, DstPort: f.ClientPort,
+	}
+}
+
+// End returns the flow's planned close time.
+func (f *Flow) End() time.Duration { return f.Start + f.Lifetime }
+
+// Header sizes added to every payload to compute wire lengths.
+const (
+	tcpHeaderLen = 40 // IPv4 + TCP, no options
+	udpHeaderLen = 28 // IPv4 + UDP
+	mss          = 1460
+)
+
+// tcpFlowSpec carries everything expandTCP needs beyond the Flow itself.
+type tcpFlowSpec struct {
+	flow Flow
+	// initPayload travels from the initiator right after the handshake;
+	// respPayload answers it. Either may be nil.
+	initPayload []byte
+	respPayload []byte
+	// dataDir is the direction of the bulk payload relative to the
+	// client network (Outbound = upload); dataBytes is its volume.
+	dataDir   packet.Direction
+	dataBytes int64
+	rtt       time.Duration
+	respDelay time.Duration // server think time before respPayload
+	// extraExchanges appends scripted payload exchanges after the
+	// opening exchange (used by the FTP control channel).
+	extraExchanges []exchange
+	// stragglers are offsets after the close at which the remote side
+	// sends one more late packet (duplicate ACK / retransmission).
+	stragglers []time.Duration
+}
+
+// exchange is one scripted request/response payload pair on an
+// established TCP connection.
+type exchange struct {
+	fromInitiator []byte
+	fromResponder []byte
+}
+
+// udpFlowSpec describes a UDP request/response mini-flow.
+type udpFlowSpec struct {
+	flow Flow
+	// queryPayload travels from the initiator, replyPayload back.
+	queryPayload []byte
+	replyPayload []byte
+	exchanges    int
+	rtt          time.Duration
+}

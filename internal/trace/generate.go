@@ -1,0 +1,646 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"p2pbound/internal/l7"
+	"p2pbound/internal/packet"
+)
+
+// Trace is a generated workload: the time-ordered packet stream plus the
+// ground-truth flow labels the analyzer is evaluated against.
+type Trace struct {
+	Config  Config
+	Packets []packet.Packet
+	Flows   []Flow
+}
+
+// Generate renders the synthetic trace described by cfg. The same config
+// (including Seed) always produces the identical trace.
+func Generate(cfg Config) (*Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	groups := cfg.Groups
+	if groups == nil {
+		groups = paperGroups()
+	}
+	gen := &generator{
+		cfg: cfg,
+		g:   newRNG(cfg.Seed),
+		exp: &expander{window: cfg.Duration},
+	}
+	gen.pl = payloads{g: gen.g}
+	gen.makeClients()
+
+	durSec := cfg.Duration.Seconds()
+	nConns := int(cfg.ConnsPerSec * durSec)
+	if nConns < 1 {
+		nConns = 1
+	}
+	totalBytes := cfg.TargetMbps * 1e6 / 8 * durSec
+
+	// Cumulative rounding splits nConns across groups without the
+	// truncation loss a per-group floor would cause (a 1-connection
+	// trace still gets its connection).
+	var cum, prevFloor float64
+	for _, group := range []string{"HTTP", "bittorrent", "gnutella", "edonkey", "UNKNOWN", "Others"} {
+		share, ok := groups[group]
+		if !ok {
+			continue
+		}
+		cum += share.ConnFrac * float64(nConns)
+		n := int(cum) - int(prevFloor)
+		prevFloor = float64(int(cum))
+		budget := share.ByteFrac * totalBytes
+		switch group {
+		case "HTTP":
+			gen.planHTTP(n, budget)
+		case "Others":
+			gen.planOthers(n, budget)
+		default:
+			gen.planP2P(group, n, budget)
+		}
+	}
+
+	sort.SliceStable(gen.exp.packets, func(i, j int) bool {
+		return gen.exp.packets[i].TS < gen.exp.packets[j].TS
+	})
+	return &Trace{Config: cfg, Packets: gen.exp.packets, Flows: gen.flows}, nil
+}
+
+// generator carries the state of one Generate run.
+type generator struct {
+	cfg     Config
+	g       *rng
+	pl      payloads
+	exp     *expander
+	flows   []Flow
+	clients []packet.Addr
+	// peerPools gives each group a recurring set of remote peers so that
+	// service endpoints B:y repeat and strategy-1 propagation triggers.
+	peerPools map[string][]packet.Addr
+}
+
+func (gen *generator) makeClients() {
+	gen.clients = make([]packet.Addr, gen.cfg.Clients)
+	for i := range gen.clients {
+		gen.clients[i] = gen.cfg.ClientNet.Prefix + packet.Addr(i+2)
+	}
+	gen.peerPools = make(map[string][]packet.Addr)
+}
+
+func (gen *generator) client() packet.Addr {
+	return gen.clients[gen.g.intn(len(gen.clients))]
+}
+
+// remoteFor samples a remote peer address, reusing a per-group pool.
+func (gen *generator) remoteFor(group string) packet.Addr {
+	pool := gen.peerPools[group]
+	if len(pool) < 8 || (len(pool) < 4096 && gen.g.prob(0.15)) {
+		addr := gen.randomRemote()
+		gen.peerPools[group] = append(pool, addr)
+		return addr
+	}
+	return pool[gen.g.intn(len(pool))]
+}
+
+func (gen *generator) randomRemote() packet.Addr {
+	for {
+		a := packet.AddrFrom4(
+			byte(1+gen.g.intn(222)),
+			byte(gen.g.intn(256)),
+			byte(gen.g.intn(256)),
+			byte(1+gen.g.intn(254)),
+		)
+		if !gen.cfg.ClientNet.Contains(a) && byte(a>>24) != 127 {
+			return a
+		}
+	}
+}
+
+// start samples a flow arrival time over the capture window. With zero
+// burstiness arrivals are uniform; otherwise they follow a sinusoidal
+// rate envelope (two incommensurate swells) via rejection sampling,
+// giving the load the peaks and troughs visible in the paper's Figure 9
+// series.
+func (gen *generator) start() time.Duration {
+	b := gen.cfg.Burstiness
+	if b == 0 {
+		return time.Duration(gen.g.float() * float64(gen.cfg.Duration))
+	}
+	peak := 1 + b + b/2
+	for {
+		x := gen.g.float()
+		rate := 1 + b*math.Sin(2*math.Pi*3*x) + b/2*math.Sin(2*math.Pi*7.3*x+1.1)
+		if gen.g.float()*peak < rate {
+			return time.Duration(x * float64(gen.cfg.Duration))
+		}
+	}
+}
+
+// knownTCPPorts lists the well-known listening ports per P2P app, used for
+// the fraction of peers that do not randomize their port.
+func knownTCPPorts(app l7.App) []uint16 {
+	switch app {
+	case l7.BitTorrent:
+		return []uint16{6881, 6882, 6883, 6884, 6885, 6886, 6887, 6888, 6889}
+	case l7.EDonkey:
+		return []uint16{4661, 4662}
+	case l7.Gnutella:
+		return []uint16{6346, 6347}
+	default:
+		return nil
+	}
+}
+
+func knownUDPPorts(app l7.App) []uint16 {
+	switch app {
+	case l7.BitTorrent:
+		return []uint16{6881}
+	case l7.EDonkey:
+		return []uint16{4665, 4672}
+	case l7.Gnutella:
+		return []uint16{6346}
+	default:
+		return nil
+	}
+}
+
+// p2pApp maps a Table 2 group to its ground-truth application.
+func p2pApp(group string) l7.App {
+	switch group {
+	case "bittorrent":
+		return l7.BitTorrent
+	case "gnutella":
+		return l7.Gnutella
+	case "edonkey":
+		return l7.EDonkey
+	default:
+		return l7.Unknown
+	}
+}
+
+// p2pTCPHandshake returns the initiator and responder opening payloads of
+// a P2P (or opaque) data connection.
+func (gen *generator) p2pTCPHandshake(app l7.App) (init, resp []byte) {
+	switch app {
+	case l7.BitTorrent:
+		return gen.pl.btHandshake(), gen.pl.btHandshake()
+	case l7.EDonkey:
+		return gen.pl.edonkeyHello(), gen.pl.edonkeyHello()
+	case l7.Gnutella:
+		return gen.pl.gnutellaConnect(), []byte("GNUTELLA/0.6 200 OK\r\nUser-Agent: LimeWire/4.12.6\r\n\r\n")
+	default:
+		return gen.pl.opaque(80 + gen.g.intn(80)), gen.pl.opaque(60 + gen.g.intn(60))
+	}
+}
+
+// p2pUDPPayloads returns the query and reply datagrams of a P2P overlay
+// exchange.
+func (gen *generator) p2pUDPPayloads(app l7.App) (query, reply []byte) {
+	switch app {
+	case l7.BitTorrent:
+		return gen.pl.btDHTQuery(), gen.pl.btDHTQuery()
+	case l7.EDonkey:
+		return gen.pl.edonkeyUDPPing(), gen.pl.edonkeyUDPPing()
+	case l7.Gnutella:
+		return gen.pl.gnutellaUDP(), gen.pl.gnutellaUDP()
+	default:
+		return gen.pl.opaque(40 + gen.g.intn(200)), gen.pl.opaque(40 + gen.g.intn(200))
+	}
+}
+
+// planP2P plans one P2P (or UNKNOWN) group: a minority of TCP data
+// connections carrying nearly all the group's bytes — dominated by uploads
+// triggered by inbound requests — plus a majority of small UDP overlay
+// exchanges.
+func (gen *generator) planP2P(group string, n int, budget float64) {
+	const (
+		tcpFrac     = 0.28 // yields the global ≈30 % TCP connection share
+		uploadFrac  = 0.95 // P2P data flows that upload from the client
+		inboundFrac = 0.78 // upload flows initiated by inbound requests
+	)
+	app := p2pApp(group)
+	nTCP := int(float64(n) * tcpFrac)
+	nUDP := n - nTCP
+	udpBytes := float64(nUDP) * 330 // small overlay datagrams
+	tcpBudget := budget - udpBytes
+	if tcpBudget < 0 {
+		tcpBudget = 0
+	}
+	meanTCP := 2000.0
+	if nTCP > 0 && tcpBudget/float64(nTCP) > meanTCP {
+		meanTCP = tcpBudget / float64(nTCP)
+	}
+
+	for i := 0; i < nTCP; i++ {
+		gen.planP2PTCP(group, app, meanTCP, uploadFrac, inboundFrac)
+	}
+	for i := 0; i < nUDP; i++ {
+		gen.planP2PUDP(group, app)
+	}
+}
+
+func (gen *generator) planP2PTCP(group string, app l7.App, meanBytes, uploadFrac, inboundFrac float64) {
+	life := gen.g.lifetime()
+	dataBytes := gen.g.flowBytes(meanBytes, life)
+	upload := gen.g.prob(uploadFrac)
+
+	f := Flow{
+		App:      app,
+		Group:    group,
+		Proto:    packet.TCP,
+		Client:   gen.client(),
+		Remote:   gen.remoteFor(group),
+		Start:    gen.start(),
+		Lifetime: life,
+	}
+	switch {
+	case upload && gen.g.prob(inboundFrac):
+		// A remote peer connects in and the client uploads: the client
+		// listens on its (often random) P2P service port.
+		f.Initiator = packet.Inbound
+		f.ClientPort = gen.g.p2pPort(knownTCPPorts(app))
+		f.RemotePort = gen.g.ephemeralPort()
+	case upload:
+		// The client connects out but still uploads (seeding on an
+		// outgoing connection) — the "actively sent out" 20 % of
+		// Section 3.3.
+		f.Initiator = packet.Outbound
+		f.ClientPort = gen.g.ephemeralPort()
+		f.RemotePort = gen.g.p2pPort(knownTCPPorts(app))
+	case gen.g.prob(0.35):
+		// Some P2P download traffic arrives on inbound connections
+		// (push-style transfers) — the reason Figure 9 shows the
+		// downlink shrinking under filtering as well.
+		f.Initiator = packet.Inbound
+		f.ClientPort = gen.g.p2pPort(knownTCPPorts(app))
+		f.RemotePort = gen.g.ephemeralPort()
+	default:
+		// The client downloads from a remote peer.
+		f.Initiator = packet.Outbound
+		f.ClientPort = gen.g.ephemeralPort()
+		f.RemotePort = gen.g.p2pPort(knownTCPPorts(app))
+	}
+	dataDir := packet.Inbound
+	if upload {
+		dataDir = packet.Outbound
+	}
+
+	initPayload, respPayload := gen.p2pTCPHandshake(app)
+	spec := tcpFlowSpec{
+		flow:        f,
+		initPayload: initPayload,
+		respPayload: respPayload,
+		dataDir:     dataDir,
+		dataBytes:   dataBytes,
+		rtt:         gen.g.rtt(),
+	}
+	if gen.g.prob(gen.cfg.SlowResponseProb) {
+		spec.respDelay = gen.g.slowResponse()
+	}
+	gen.finishTCP(&spec)
+}
+
+func (gen *generator) planP2PUDP(group string, app l7.App) {
+	query, reply := gen.p2pUDPPayloads(app)
+	f := Flow{
+		App:    app,
+		Group:  group,
+		Proto:  packet.UDP,
+		Client: gen.client(),
+		Remote: gen.remoteFor(group),
+		Start:  gen.start(),
+	}
+	if gen.g.prob(0.5) {
+		// A remote peer queries the client's overlay port.
+		f.Initiator = packet.Inbound
+		f.ClientPort = gen.g.p2pPort(knownUDPPorts(app))
+		f.RemotePort = gen.g.ephemeralPort()
+	} else {
+		f.Initiator = packet.Outbound
+		f.ClientPort = gen.g.ephemeralPort()
+		f.RemotePort = gen.g.p2pPort(knownUDPPorts(app))
+	}
+	spec := udpFlowSpec{
+		flow:         f,
+		queryPayload: query,
+		replyPayload: reply,
+		exchanges:    1 + gen.g.intn(2),
+		rtt:          gen.g.rtt(),
+	}
+	spec.flow.Lifetime = spec.rtt * 4 * time.Duration(spec.exchanges)
+	gen.recordUDP(&spec)
+	gen.exp.expandUDP(&spec)
+}
+
+// planHTTP plans client-initiated web downloads.
+func (gen *generator) planHTTP(n int, budget float64) {
+	mean := 4000.0
+	if n > 0 && budget/float64(n) > mean {
+		mean = budget / float64(n)
+	}
+	for i := 0; i < n; i++ {
+		life := gen.g.lifetime()
+		size := gen.g.flowBytes(mean, life)
+		remote := gen.remoteFor("HTTP")
+		f := Flow{
+			App:        l7.HTTP,
+			Group:      "HTTP",
+			Proto:      packet.TCP,
+			Client:     gen.client(),
+			ClientPort: gen.g.ephemeralPort(),
+			Remote:     remote,
+			RemotePort: 80,
+			Initiator:  packet.Outbound,
+			Start:      gen.start(),
+			Lifetime:   life,
+		}
+		if gen.g.prob(0.15) {
+			f.RemotePort = []uint16{8080, 3128}[gen.g.intn(2)]
+		}
+		spec := tcpFlowSpec{
+			flow:        f,
+			initPayload: gen.pl.httpRequest(remote.String()),
+			respPayload: gen.pl.httpResponse(size),
+			dataDir:     packet.Inbound,
+			dataBytes:   size,
+			rtt:         gen.g.rtt(),
+		}
+		if gen.g.prob(gen.cfg.SlowResponseProb) {
+			spec.respDelay = gen.g.slowResponse()
+		}
+		gen.finishTCP(&spec)
+	}
+}
+
+// planOthers plans the classic-service mix behind Table 2's "Others" row:
+// DNS and NTP lookups, FTP sessions (control plus announced data
+// connection), and SMTP/SSH/HTTPS connections.
+func (gen *generator) planOthers(n int, budget float64) {
+	nDNS := int(float64(n) * 0.55)
+	nNTP := int(float64(n) * 0.05)
+	nFTP := int(float64(n) * 0.12 / 2) // each session is two connections
+	nTCPMisc := n - nDNS - nNTP - nFTP*2
+	if nTCPMisc < 0 {
+		nTCPMisc = 0
+	}
+
+	for i := 0; i < nDNS; i++ {
+		gen.planSimpleUDP(l7.DNS, 53, gen.pl.dnsQuery(), gen.pl.opaqueDNSReply())
+	}
+	for i := 0; i < nNTP; i++ {
+		ntp := make([]byte, 48)
+		ntp[0] = 0x1b
+		gen.planSimpleUDP(l7.NTP, 123, ntp, append([]byte{0x1c}, make([]byte, 47)...))
+	}
+
+	ftpBudget := budget * 0.6
+	meanFTP := 20000.0
+	if nFTP > 0 && ftpBudget/float64(nFTP) > meanFTP {
+		meanFTP = ftpBudget / float64(nFTP)
+	}
+	for i := 0; i < nFTP; i++ {
+		gen.planFTPSession(meanFTP)
+	}
+
+	miscBudget := budget * 0.4
+	meanMisc := 5000.0
+	if nTCPMisc > 0 && miscBudget/float64(nTCPMisc) > meanMisc {
+		meanMisc = miscBudget / float64(nTCPMisc)
+	}
+	miscApps := []struct {
+		app  l7.App
+		port uint16
+		init []byte
+		resp []byte
+	}{
+		{l7.SMTP, 25, []byte("EHLO client.example\r\n"), []byte("250-mail.example\r\n250 OK\r\n")},
+		{l7.SSH, 22, []byte("SSH-2.0-OpenSSH_4.3\r\n"), []byte("SSH-2.0-OpenSSH_4.2\r\n")},
+		{l7.HTTPS, 443, nil, nil},
+		{l7.POP3, 110, []byte("USER alice\r\n"), []byte("+OK POP3 ready\r\n")},
+	}
+	for i := 0; i < nTCPMisc; i++ {
+		m := miscApps[gen.g.intn(len(miscApps))]
+		life := gen.g.lifetime()
+		initPayload := m.init
+		respPayload := m.resp
+		if m.app == l7.HTTPS {
+			initPayload = gen.pl.opaque(180)
+			respPayload = gen.pl.opaque(900)
+		}
+		spec := tcpFlowSpec{
+			flow: Flow{
+				App:        m.app,
+				Group:      "Others",
+				Proto:      packet.TCP,
+				Client:     gen.client(),
+				ClientPort: gen.g.ephemeralPort(),
+				Remote:     gen.remoteFor("Others"),
+				RemotePort: m.port,
+				Initiator:  packet.Outbound,
+				Start:      gen.start(),
+				Lifetime:   life,
+			},
+			initPayload: initPayload,
+			respPayload: respPayload,
+			dataDir:     packet.Inbound,
+			dataBytes:   gen.g.flowBytes(meanMisc, life),
+			rtt:         gen.g.rtt(),
+		}
+		if gen.g.prob(0.5) {
+			spec.dataDir = packet.Outbound // e.g. mail submission, scp push
+		}
+		gen.finishTCP(&spec)
+	}
+}
+
+func (gen *generator) planSimpleUDP(app l7.App, port uint16, query, reply []byte) {
+	spec := udpFlowSpec{
+		flow: Flow{
+			App:        app,
+			Group:      "Others",
+			Proto:      packet.UDP,
+			Client:     gen.client(),
+			ClientPort: gen.g.ephemeralPort(),
+			Remote:     gen.remoteFor("Others"),
+			RemotePort: port,
+			Initiator:  packet.Outbound,
+			Start:      gen.start(),
+		},
+		queryPayload: query,
+		replyPayload: reply,
+		exchanges:    1,
+		rtt:          gen.g.rtt(),
+	}
+	spec.flow.Lifetime = spec.rtt * 4
+	gen.recordUDP(&spec)
+	gen.exp.expandUDP(&spec)
+}
+
+// planFTPSession plans an FTP control connection that announces a passive
+// data endpoint, then the matching data connection — the strategy-2 case
+// of Section 3.2.
+func (gen *generator) planFTPSession(meanBytes float64) {
+	client := gen.client()
+	server := gen.remoteFor("Others")
+	rtt := gen.g.rtt()
+	dataPort := uint16(20000 + gen.g.intn(20000))
+	ctlLife := gen.g.lifetime()
+
+	ctl := tcpFlowSpec{
+		flow: Flow{
+			App:        l7.FTP,
+			Group:      "Others",
+			Proto:      packet.TCP,
+			Client:     client,
+			ClientPort: gen.g.ephemeralPort(),
+			Remote:     server,
+			RemotePort: 21,
+			Initiator:  packet.Outbound,
+			Start:      gen.start(),
+			Lifetime:   ctlLife,
+		},
+		// The server banner arrives first; USER/PASS and PASV follow.
+		respPayload: gen.pl.ftpBanner(),
+		rtt:         rtt,
+		extraExchanges: []exchange{
+			{fromInitiator: []byte("USER anonymous\r\n"), fromResponder: []byte("331 Password required.\r\n")},
+			{fromInitiator: []byte("PASS guest@\r\n"), fromResponder: []byte("230 User logged in.\r\n")},
+			{
+				fromInitiator: []byte("PASV\r\n"),
+				fromResponder: gen.pl.ftpPasvReply(byte(server>>24), byte(server>>16), byte(server>>8), byte(server), dataPort),
+			},
+			{fromInitiator: []byte("RETR pub/file.iso\r\n"), fromResponder: []byte("150 Opening BINARY mode data connection.\r\n")},
+		},
+	}
+	gen.finishTCP(&ctl)
+
+	dataLife := gen.g.lifetime()
+	if dataLife > ctlLife {
+		dataLife = ctlLife
+	}
+	data := tcpFlowSpec{
+		flow: Flow{
+			App:        l7.FTP,
+			Group:      "Others",
+			Proto:      packet.TCP,
+			Client:     client,
+			ClientPort: gen.g.ephemeralPort(),
+			Remote:     server,
+			RemotePort: dataPort,
+			Initiator:  packet.Outbound,
+			// The data connection opens just after the PASV exchange.
+			Start:    ctl.flow.Start + rtt*12,
+			Lifetime: dataLife,
+		},
+		dataDir:   packet.Inbound,
+		dataBytes: gen.g.flowBytes(meanBytes, dataLife),
+		rtt:       rtt,
+	}
+	if gen.g.prob(0.3) {
+		data.dataDir = packet.Outbound // STOR upload
+	}
+	gen.finishTCP(&data)
+}
+
+// finishTCP records the flow's ground truth, expands it to packets, and
+// possibly schedules a port-reuse follow-up.
+func (gen *generator) finishTCP(spec *tcpFlowSpec) {
+	if gen.g.prob(0.10) {
+		n := 1 + gen.g.intn(2)
+		for i := 0; i < n; i++ {
+			spec.stragglers = append(spec.stragglers, seconds(0.5+gen.g.float()*12))
+		}
+	}
+	gen.recordTCP(spec)
+	gen.exp.expandTCP(spec)
+	gen.maybeReuse(spec)
+}
+
+// maybeReuse models ephemeral-port reuse: some multiple of roughly a
+// minute after an outbound-initiated connection closes, the remote peer
+// initiates a fresh connection over the identical five tuple. The stale
+// out-in delay samples this produces are the Figure 5 port-reuse peaks.
+func (gen *generator) maybeReuse(spec *tcpFlowSpec) {
+	if spec.flow.Initiator != packet.Outbound || !gen.g.prob(gen.cfg.PortReuseProb) {
+		return
+	}
+	k := 1 + gen.g.intn(5)
+	start := spec.flow.End() + time.Duration(k)*time.Minute + seconds(gen.g.float()*2)
+	if start >= gen.cfg.Duration {
+		return
+	}
+	life := gen.g.lifetime()
+	reuse := tcpFlowSpec{
+		flow: Flow{
+			App:        spec.flow.App,
+			Group:      spec.flow.Group,
+			Proto:      packet.TCP,
+			Client:     spec.flow.Client,
+			ClientPort: spec.flow.ClientPort,
+			Remote:     spec.flow.Remote,
+			RemotePort: spec.flow.RemotePort,
+			Initiator:  packet.Inbound,
+			Start:      start,
+			Lifetime:   life,
+		},
+		initPayload: spec.initPayload,
+		respPayload: spec.respPayload,
+		dataDir:     packet.Outbound,
+		dataBytes:   gen.g.flowBytes(20000, life),
+		rtt:         spec.rtt,
+	}
+	gen.recordTCP(&reuse)
+	gen.exp.expandTCP(&reuse)
+}
+
+// recordTCP logs a TCP flow's ground truth with its planned byte volumes.
+func (gen *generator) recordTCP(spec *tcpFlowSpec) {
+	f := spec.flow
+	up, down := int64(0), int64(0)
+	if spec.dataDir == packet.Outbound {
+		up = spec.dataBytes
+	} else {
+		down = spec.dataBytes
+	}
+	initLen, respLen := int64(len(spec.initPayload)), int64(len(spec.respPayload))
+	if f.Initiator == packet.Outbound {
+		up += initLen
+		down += respLen
+	} else {
+		up += respLen
+		down += initLen
+	}
+	f.UploadBytes, f.DownloadBytes = up, down
+	gen.flows = append(gen.flows, f)
+}
+
+// recordUDP logs a UDP flow's ground truth.
+func (gen *generator) recordUDP(spec *udpFlowSpec) {
+	f := spec.flow
+	q := int64(len(spec.queryPayload) * spec.exchanges)
+	r := int64(len(spec.replyPayload) * spec.exchanges)
+	if f.Initiator == packet.Outbound {
+		f.UploadBytes, f.DownloadBytes = q, r
+	} else {
+		f.UploadBytes, f.DownloadBytes = r, q
+	}
+	gen.flows = append(gen.flows, f)
+}
+
+// opaqueDNSReply builds a short DNS-like answer payload.
+func (p payloads) opaqueDNSReply() []byte {
+	b := p.dnsQuery()
+	b[2] |= 0x80 // QR: response
+	return append(b, 0xc0, 0x0c, 0, 1, 0, 1, 0, 0, 1, 0x2c, 0, 4, 93, 184, 216, 34)
+}
+
+// String summarizes the trace.
+func (t *Trace) String() string {
+	return fmt.Sprintf("trace(%d packets, %d flows, %v)", len(t.Packets), len(t.Flows), t.Config.Duration)
+}

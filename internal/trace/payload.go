@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"fmt"
+)
+
+// payloads builds the application-layer handshake bytes each flow model
+// emits in its first data packets. The bytes are crafted to match the
+// Table 1 signatures exactly the way the real protocols do, so the
+// analyzer's pattern stage exercises the same code path it would on live
+// traffic.
+type payloads struct {
+	g *rng
+}
+
+// btHandshake is the 68-byte BitTorrent peer-wire handshake:
+// <19>"BitTorrent protocol"<8 reserved><20 info-hash><20 peer-id>.
+func (p payloads) btHandshake() []byte {
+	b := make([]byte, 0, 68)
+	b = append(b, 0x13)
+	b = append(b, "BitTorrent protocol"...)
+	b = append(b, make([]byte, 8)...)
+	for i := 0; i < 40; i++ {
+		b = append(b, byte(p.g.intn(256)))
+	}
+	return b
+}
+
+// btDHTQuery is a bencoded DHT find_node query containing the
+// "d1:ad2:id20:" prefix the bittorrent signature keys on.
+func (p payloads) btDHTQuery() []byte {
+	id := make([]byte, 20)
+	for i := range id {
+		id[i] = byte('a' + p.g.intn(26))
+	}
+	return []byte(fmt.Sprintf("d1:ad2:id20:%s6:target20:%se1:q9:find_node1:t2:aa1:y1:qe", id, id))
+}
+
+// edonkeyHello is an eDonkey frame: marker 0xe3, a 4-byte little-endian
+// length, and the OP_HELLO opcode 0x01 followed by hash/tag filler.
+func (p payloads) edonkeyHello() []byte {
+	body := make([]byte, 40)
+	for i := range body {
+		body[i] = byte(p.g.intn(256))
+	}
+	b := make([]byte, 0, 46)
+	b = append(b, 0xe3)
+	n := uint32(len(body) + 1)
+	b = append(b, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+	b = append(b, 0x01) // OP_HELLO
+	return append(b, body...)
+}
+
+// edonkeyUDPPing is the UDP server ping: marker 0xe3 plus the
+// OP_GLOBGETSOURCES opcode 0x46 in the position the signature checks.
+func (p payloads) edonkeyUDPPing() []byte {
+	b := []byte{0xe3, 0x00, 0x00, 0x00, 0x00, 0x46}
+	hash := make([]byte, 16)
+	for i := range hash {
+		hash[i] = byte(p.g.intn(256))
+	}
+	return append(b, hash...)
+}
+
+// gnutellaConnect is the Gnutella 0.6 connection handshake.
+func (p payloads) gnutellaConnect() []byte {
+	return []byte("GNUTELLA CONNECT/0.6\r\nUser-Agent: LimeWire/4.12.6\r\nX-Ultrapeer: False\r\n\r\n")
+}
+
+// gnutellaUDP is a GND UDP deflate-capable ping frame.
+func (p payloads) gnutellaUDP() []byte {
+	return []byte{'G', 'N', 'D', 0x01, byte(p.g.intn(256)), byte(p.g.intn(256)), 0x01, 0x00}
+}
+
+// httpRequest is a plain HTTP/1.1 GET.
+func (p payloads) httpRequest(host string) []byte {
+	return []byte(fmt.Sprintf(
+		"GET /index%d.html HTTP/1.1\r\nHost: %s\r\nUser-Agent: Mozilla/5.0\r\nAccept: */*\r\n\r\n",
+		p.g.intn(1000), host))
+}
+
+// httpResponse is the status line and headers of an HTTP/1.1 reply.
+func (p payloads) httpResponse(length int64) []byte {
+	return []byte(fmt.Sprintf(
+		"HTTP/1.1 200 OK\r\nServer: Apache/2.0\r\nContent-Type: text/html\r\nContent-Length: %d\r\n\r\n", length))
+}
+
+// ftpBanner is the server greeting matched by the Table 1 ftp signature.
+func (p payloads) ftpBanner() []byte {
+	return []byte("220 ProFTPD 1.3.0 Server (FTP) ready.\r\n")
+}
+
+// ftpPasvExchange is the client PASV command and the server 227 reply
+// announcing the data endpoint (a, b, c, d are the server address octets).
+func (p payloads) ftpPasvReply(a, b, c, d byte, port uint16) []byte {
+	return []byte(fmt.Sprintf("227 Entering Passive Mode (%d,%d,%d,%d,%d,%d).\r\n",
+		a, b, c, d, port>>8, port&0xff))
+}
+
+// dnsQuery is a minimal DNS query datagram (identified by port, not
+// pattern — DNS is "Others" in Table 2).
+func (p payloads) dnsQuery() []byte {
+	b := make([]byte, 12, 29)
+	b[0] = byte(p.g.intn(256)) // transaction ID
+	b[1] = byte(p.g.intn(256))
+	b[2] = 0x01 // RD
+	b[5] = 0x01 // one question
+	b = append(b, 3, 'w', 'w', 'w', 7)
+	for i := 0; i < 7; i++ {
+		b = append(b, byte('a'+p.g.intn(26)))
+	}
+	return append(b, 3, 'c', 'o', 'm', 0, 0, 1, 0, 1)
+}
+
+// opaque builds a high-entropy payload that matches no Table 1 signature:
+// the first byte avoids the eDonkey and BitTorrent markers, and the rest
+// is random. This models the encrypted/proprietary protocols behind the
+// trace's 35 % UNKNOWN utilization.
+func (p payloads) opaque(n int) []byte {
+	if n < 1 {
+		n = 1
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(p.g.intn(256))
+	}
+	for isMarker(b[0]) {
+		b[0] = byte(p.g.intn(256))
+	}
+	return b
+}
+
+// isMarker reports whether a first byte would collide with a Table 1
+// signature anchor.
+func isMarker(b byte) bool {
+	switch b {
+	case 0x13, 0xc5, 0xd4, 0xe3, 0xe4, 0xe5:
+		return true
+	case 'G', 'g', 'P', 'p', 'H', 'h', 'A', 'a', '2', 'D', 'd':
+		// Letters that begin GET/GIV/GND/POST/HTTP/azver/220/d1:ad2.
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"p2pbound/internal/l7"
+	"p2pbound/internal/packet"
+)
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	base := DefaultConfig(10*time.Second, 0.05, 1)
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero duration", func(c *Config) { c.Duration = 0 }},
+		{"zero rate", func(c *Config) { c.ConnsPerSec = 0 }},
+		{"zero bandwidth", func(c *Config) { c.TargetMbps = 0 }},
+		{"zero clients", func(c *Config) { c.Clients = 0 }},
+		{"bad reuse prob", func(c *Config) { c.PortReuseProb = 1.5 }},
+		{"bad slow prob", func(c *Config) { c.SlowResponseProb = -0.1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := base
+			tt.mutate(&cfg)
+			if _, err := Generate(cfg); err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestGenerateTinyTrace(t *testing.T) {
+	cfg := DefaultConfig(time.Second, 0.004, 2) // ≈1 connection
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Flows) == 0 {
+		t.Fatal("tiny trace produced no flows")
+	}
+}
+
+func TestGenerateSingleClient(t *testing.T) {
+	cfg := DefaultConfig(5*time.Second, 0.03, 6)
+	cfg.Clients = 1
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.ClientNet.Prefix + 2
+	for i := range tr.Flows {
+		if tr.Flows[i].Client != want {
+			t.Fatalf("flow %d uses client %v, want %v", i, tr.Flows[i].Client, want)
+		}
+	}
+}
+
+func TestGroupsOverride(t *testing.T) {
+	cfg := DefaultConfig(10*time.Second, 0.05, 3)
+	cfg.Groups = map[string]GroupShare{
+		"HTTP": {ConnFrac: 1.0, ByteFrac: 1.0},
+	}
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Flows) == 0 {
+		t.Fatal("no flows")
+	}
+	for i := range tr.Flows {
+		if tr.Flows[i].App != l7.HTTP {
+			t.Fatalf("flow %d is %v, want pure-HTTP trace", i, tr.Flows[i].App)
+		}
+	}
+}
+
+// TestFlowPairOrientation: a flow's Pair() puts the initiator as source.
+func TestFlowPairOrientation(t *testing.T) {
+	f := Flow{
+		Proto:      packet.TCP,
+		Client:     packet.AddrFrom4(140, 112, 0, 2),
+		ClientPort: 1000,
+		Remote:     packet.AddrFrom4(8, 8, 8, 8),
+		RemotePort: 2000,
+		Initiator:  packet.Outbound,
+	}
+	pair := f.Pair()
+	if pair.SrcAddr != f.Client || pair.DstAddr != f.Remote {
+		t.Fatalf("outbound-initiated pair = %v", pair)
+	}
+	f.Initiator = packet.Inbound
+	pair = f.Pair()
+	if pair.SrcAddr != f.Remote || pair.DstAddr != f.Client {
+		t.Fatalf("inbound-initiated pair = %v", pair)
+	}
+}
+
+// TestFlowsMatchPackets: every flow with a Start inside the window emits
+// at least one packet carrying its five tuple (in some orientation).
+func TestFlowsMatchPackets(t *testing.T) {
+	tr, err := Generate(DefaultConfig(20*time.Second, 0.03, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[packet.SocketPair]bool, len(tr.Packets))
+	for i := range tr.Packets {
+		seen[tr.Packets[i].Pair] = true
+	}
+	missing := 0
+	for i := range tr.Flows {
+		f := &tr.Flows[i]
+		if f.Start >= tr.Config.Duration {
+			continue
+		}
+		pair := f.Pair()
+		if !seen[pair] && !seen[pair.Inverse()] {
+			missing++
+		}
+	}
+	if missing > 0 {
+		t.Fatalf("%d in-window flows emitted no packets", missing)
+	}
+}
+
+// TestTraceString smoke-checks the Stringer.
+func TestTraceString(t *testing.T) {
+	tr, err := Generate(DefaultConfig(time.Second, 0.01, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,306 @@
+// Package p2pbound bounds peer-to-peer upload traffic in client networks
+// without inspecting packet payloads, implementing the bitmap filter of
+// Huang & Lei, "Bounding Peer-to-Peer Upload Traffic in Client Networks"
+// (DSN 2007).
+//
+// A Limiter is installed at the edge of a client network (an edge or core
+// router of Figure 6) and sees every packet's five tuple, direction, and
+// size. Outbound packets are always passed and mark their socket pair in a
+// {k×N}-bitmap of rotating bloom filters; inbound packets that match a
+// recently seen outbound socket pair are passed, while unmatched inbound
+// packets are dropped with a probability that ramps from 0 to 1 as the
+// measured uplink throughput climbs from a low to a high threshold.
+// Because P2P upload traffic is predominantly triggered by inbound
+// requests, throttling unmatched inbound packets bounds the upload
+// bandwidth P2P applications can consume while leaving client-initiated
+// traffic untouched — all in constant memory and constant time per packet.
+//
+// Basic usage:
+//
+//	limiter, err := p2pbound.New(p2pbound.Config{
+//		ClientNetwork: "140.112.0.0/16",
+//		LowMbps:       50,
+//		HighMbps:      100,
+//	})
+//	...
+//	switch limiter.Process(pkt) {
+//	case p2pbound.Pass: // forward the packet
+//	case p2pbound.Drop: // discard it
+//	}
+package p2pbound
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+
+	"p2pbound/internal/core"
+	"p2pbound/internal/packet"
+	"p2pbound/internal/red"
+	"p2pbound/internal/throughput"
+)
+
+// Protocol is an IP transport protocol.
+type Protocol uint8
+
+// Transport protocols the limiter filters. Other protocols should be
+// handled by a conventional policy outside the limiter.
+const (
+	TCP Protocol = 6
+	UDP Protocol = 17
+)
+
+// Decision is the limiter's verdict for a packet.
+type Decision int
+
+// Verdicts. Outbound packets always Pass.
+const (
+	Pass Decision = iota + 1
+	Drop
+)
+
+// String names the decision.
+func (d Decision) String() string {
+	switch d {
+	case Pass:
+		return "PASS"
+	case Drop:
+		return "DROP"
+	default:
+		return fmt.Sprintf("decision(%d)", int(d))
+	}
+}
+
+// Packet is one observed packet. Timestamp is an offset from any fixed
+// origin (trace start, limiter start); the limiter is driven entirely by
+// these timestamps, so replayed traces behave identically to live traffic.
+type Packet struct {
+	Timestamp time.Duration
+	Protocol  Protocol
+	SrcAddr   netip.Addr
+	SrcPort   uint16
+	DstAddr   netip.Addr
+	DstPort   uint16
+	// Size is the packet's total length in bytes, used for throughput
+	// accounting.
+	Size int
+}
+
+// Config parameterizes a Limiter. The zero value of every optional field
+// selects the paper's evaluation settings.
+type Config struct {
+	// ClientNetwork is the CIDR prefix of the protected client network;
+	// packets sourced inside it are outbound. Required.
+	ClientNetwork string
+
+	// LowMbps and HighMbps are the RED-style thresholds of Equation 1:
+	// below LowMbps of uplink throughput no unmatched inbound packet is
+	// dropped; above HighMbps all are. Defaults: 50 and 100, the paper's
+	// Figure 9 configuration.
+	LowMbps  float64
+	HighMbps float64
+
+	// Vectors is k, the number of bloom-filter bit vectors (default 4).
+	Vectors int
+	// VectorBits is n: each bit vector holds 2^n bits (default 20, i.e.
+	// 1 Mbit per vector — a 512 KiB filter at k=4).
+	VectorBits uint
+	// HashFunctions is m, the number of shared hash functions
+	// (default 3).
+	HashFunctions int
+	// RotateEvery is Δt, the rotation period (default 5 s). Together
+	// with Vectors it sets the expiry horizon T_e = k·Δt.
+	RotateEvery time.Duration
+
+	// HolePunch hashes partial tuples (remote port excluded) so NAT
+	// hole punching keeps working behind the limiter.
+	HolePunch bool
+
+	// MeterWindow is the uplink throughput averaging window feeding the
+	// drop probability (default 5 s).
+	MeterWindow time.Duration
+
+	// Seed makes the probabilistic drop decisions reproducible.
+	Seed uint64
+}
+
+// Stats is a snapshot of a Limiter's activity counters.
+type Stats struct {
+	OutboundPackets int64
+	InboundPackets  int64
+	InboundMatched  int64 // inbound packets matching tracked outbound state
+	Dropped         int64
+	Rotations       int64
+}
+
+// Limiter bounds P2P upload traffic for one client network. It is not
+// safe for concurrent use; shard by flow hash for multi-queue pipelines.
+type Limiter struct {
+	filter    *core.Filter
+	prober    red.Prober
+	meter     *throughput.Meter
+	clientNet packet.Network
+	now       time.Duration
+}
+
+// New builds a Limiter from cfg, applying the paper's defaults to every
+// unset optional field.
+func New(cfg Config) (*Limiter, error) {
+	clientNet, err := packet.ParseNetwork(cfg.ClientNetwork)
+	if err != nil {
+		return nil, fmt.Errorf("p2pbound: %w", err)
+	}
+	if cfg.LowMbps == 0 && cfg.HighMbps == 0 {
+		cfg.LowMbps, cfg.HighMbps = 50, 100
+	}
+	prober, err := red.NewLinear(cfg.LowMbps*1e6, cfg.HighMbps*1e6)
+	if err != nil {
+		return nil, fmt.Errorf("p2pbound: %w", err)
+	}
+	coreCfg := core.DefaultConfig()
+	if cfg.Vectors != 0 {
+		coreCfg.K = cfg.Vectors
+	}
+	if cfg.VectorBits != 0 {
+		coreCfg.NBits = cfg.VectorBits
+	}
+	if cfg.HashFunctions != 0 {
+		coreCfg.M = cfg.HashFunctions
+	}
+	if cfg.RotateEvery != 0 {
+		coreCfg.DeltaT = cfg.RotateEvery
+	}
+	coreCfg.HolePunch = cfg.HolePunch
+	coreCfg.Seed = cfg.Seed
+	filter, err := core.New(coreCfg)
+	if err != nil {
+		return nil, fmt.Errorf("p2pbound: %w", err)
+	}
+	window := cfg.MeterWindow
+	if window <= 0 {
+		window = 5 * time.Second
+	}
+	buckets := int(window / time.Second)
+	if buckets < 1 {
+		buckets = 1
+	}
+	meter, err := throughput.NewMeter(window/time.Duration(buckets), buckets)
+	if err != nil {
+		return nil, fmt.Errorf("p2pbound: %w", err)
+	}
+	return &Limiter{
+		filter:    filter,
+		prober:    prober,
+		meter:     meter,
+		clientNet: clientNet,
+	}, nil
+}
+
+// Process decides one packet's fate. Packets must be fed in timestamp
+// order.
+func (l *Limiter) Process(p Packet) Decision {
+	pkt, err := l.toInternal(p)
+	if err != nil {
+		// Unroutable input (non-IPv4 address): treat as unmatched
+		// inbound under full load and drop defensively.
+		return Drop
+	}
+	l.now = pkt.TS
+	l.filter.Advance(pkt.TS)
+	pd := l.prober.Pd(l.meter.Rate(pkt.TS))
+	verdict := l.filter.Process(pkt, pd)
+	if verdict == core.Pass && pkt.Dir == packet.Outbound {
+		l.meter.Add(pkt.TS, p.Size)
+	}
+	if verdict == core.Drop {
+		return Drop
+	}
+	return Pass
+}
+
+// UplinkMbps returns the current measured uplink throughput in megabits
+// per second.
+func (l *Limiter) UplinkMbps() float64 {
+	return l.meter.Rate(l.now) / 1e6
+}
+
+// DropProbability returns the P_d currently applied to unmatched inbound
+// packets.
+func (l *Limiter) DropProbability() float64 {
+	return l.prober.Pd(l.meter.Rate(l.now))
+}
+
+// MemoryBytes returns the fixed size of the bitmap in bytes.
+func (l *Limiter) MemoryBytes() int { return l.filter.Bytes() }
+
+// ExpiryHorizon returns T_e = k·Δt, the maximum idle time after which an
+// outbound flow's inbound packets face the drop probability.
+func (l *Limiter) ExpiryHorizon() time.Duration { return l.filter.TE() }
+
+// Stats returns a snapshot of the activity counters.
+func (l *Limiter) Stats() Stats {
+	s := l.filter.Stats()
+	return Stats{
+		OutboundPackets: s.OutboundPackets,
+		InboundPackets:  s.InboundPackets,
+		InboundMatched:  s.InboundHits,
+		Dropped:         s.Dropped,
+		Rotations:       s.Rotations,
+	}
+}
+
+// toInternal converts a public Packet to the internal representation.
+func (l *Limiter) toInternal(p Packet) (*packet.Packet, error) {
+	src, err := toAddr(p.SrcAddr)
+	if err != nil {
+		return nil, err
+	}
+	dst, err := toAddr(p.DstAddr)
+	if err != nil {
+		return nil, err
+	}
+	pair := packet.SocketPair{
+		Proto:   packet.Proto(p.Protocol),
+		SrcAddr: src, SrcPort: p.SrcPort,
+		DstAddr: dst, DstPort: p.DstPort,
+	}
+	return &packet.Packet{
+		TS:   p.Timestamp,
+		Pair: pair,
+		Dir:  packet.Classify(pair, l.clientNet),
+		Len:  p.Size,
+	}, nil
+}
+
+func toAddr(a netip.Addr) (packet.Addr, error) {
+	if !a.Is4() {
+		return 0, fmt.Errorf("p2pbound: address %v is not IPv4", a)
+	}
+	b := a.As4()
+	return packet.AddrFrom4(b[0], b[1], b[2], b[3]), nil
+}
+
+// SaveState serializes the limiter's bitmap filter — the flow-admission
+// state — so a restarted process can resume admitting the flows it was
+// already tracking instead of challenging every client for the first T_e
+// after boot. Thresholds and the throughput meter are not persisted; the
+// meter refills within its window.
+func (l *Limiter) SaveState(w io.Writer) error {
+	if _, err := l.filter.WriteTo(w); err != nil {
+		return fmt.Errorf("p2pbound: save state: %w", err)
+	}
+	return nil
+}
+
+// RestoreState replaces the limiter's bitmap filter with one deserialized
+// from a SaveState stream. The snapshot's geometry (k, N, m, Δt) becomes
+// the limiter's geometry.
+func (l *Limiter) RestoreState(r io.Reader) error {
+	filter, err := core.ReadFilter(r)
+	if err != nil {
+		return fmt.Errorf("p2pbound: restore state: %w", err)
+	}
+	l.filter = filter
+	return nil
+}
