@@ -10,6 +10,7 @@ package p2pbound
 
 import (
 	"net/netip"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -335,6 +336,117 @@ func BenchmarkLimiterProcess(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		l.Process(pkts[i%len(pkts)])
 	}
+}
+
+// benchPublicTrace converts the shared benchmark workload to public
+// Packets once.
+var benchPublicTrace = sync.OnceValue(func() []Packet {
+	return toPublic(benchTrace().Packets)
+})
+
+// BenchmarkHotPath replays the shared 60 s bench trace through the
+// public Limiter one packet at a time — the end-to-end per-packet cost
+// of the zero-allocation hot path, and the sequential baseline the
+// pipeline speedup is measured against. CI runs this as its smoke
+// benchmark.
+func BenchmarkHotPath(b *testing.B) {
+	pkts := benchPublicTrace()
+	l, err := New(Config{ClientNetwork: "140.112.0.0/16"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Process(pkts[i%len(pkts)])
+	}
+}
+
+// BenchmarkLimiterProcessBatch measures the batch form of the hot path
+// over the same trace in fixed-size chunks.
+func BenchmarkLimiterProcessBatch(b *testing.B) {
+	pkts := benchPublicTrace()
+	l, err := New(Config{ClientNetwork: "140.112.0.0/16"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const chunk = 256
+	dst := make([]Decision, 0, chunk)
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for n < b.N {
+		lo := n % len(pkts)
+		hi := lo + chunk
+		if hi > len(pkts) {
+			hi = len(pkts)
+		}
+		dst = l.ProcessBatch(pkts[lo:hi], dst[:0])
+		n += hi - lo
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "packets/sec")
+	}
+}
+
+// BenchmarkPipeline replays the shared 60 s bench trace through the
+// 4-shard concurrent Pipeline (SubmitBatch + Drain per iteration). One
+// op is one full-trace replay. The setup replays the same trace through
+// the same sharded limiter sequentially, both to cross-check that the
+// pipeline's verdict counts are identical and to time the
+// single-goroutine baseline; the measured ratio is reported as
+// "x-vs-sequential" alongside "cores" (GOMAXPROCS). The pipeline buys
+// throughput with parallelism, so the ratio scales with cores: on one
+// core it is < 1 (routing and ring hand-off cost with no parallelism to
+// spend it on); ≥ 2× needs ≥ 4 cores for the 4 shard workers.
+func BenchmarkPipeline(b *testing.B) {
+	pkts := benchPublicTrace()
+	cfg := Config{ClientNetwork: "140.112.0.0/16"}
+	const shards = 4
+
+	seq, err := NewSharded(cfg, shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seqStart := time.Now()
+	var seqPassed, seqDropped int64
+	for i := range pkts {
+		if seq.Process(pkts[i]) == Pass {
+			seqPassed++
+		} else {
+			seqDropped++
+		}
+	}
+	seqSecs := time.Since(seqStart).Seconds()
+
+	pipe, err := NewPipeline(cfg, PipelineConfig{Shards: shards})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pipe.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pipe.SubmitBatch(pkts)
+		pipe.Drain()
+		if i == 0 {
+			passed, dropped := pipe.Verdicts()
+			if passed != seqPassed || dropped != seqDropped {
+				b.Fatalf("pipeline verdicts pass=%d drop=%d, sequential pass=%d drop=%d",
+					passed, dropped, seqPassed, seqDropped)
+			}
+		}
+	}
+	b.StopTimer()
+	pipeRate := float64(b.N) * float64(len(pkts)) / b.Elapsed().Seconds()
+	b.ReportMetric(float64(len(pkts)), "packets/op")
+	b.ReportMetric(pipeRate, "packets/sec")
+	if seqSecs > 0 {
+		seqRate := float64(len(pkts)) / seqSecs
+		b.ReportMetric(pipeRate/seqRate, "x-vs-sequential")
+	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
 }
 
 // BenchmarkShardedLimiterParallel drives the sharded limiter with one

@@ -118,12 +118,16 @@ func run(args []string) error {
 		cfg.Prober = prober
 	}
 
+	start := time.Now()
 	res, err := netsim.Replay(packets, filter, cfg)
 	if err != nil {
 		return err
 	}
+	elapsed := time.Since(start)
 
 	fmt.Printf("bitmapsim: %s filter over %d packets from %s\n", *filterSel, res.TotalPackets, *in)
+	fmt.Printf("  replay wall time %v (%.2fM packets/sec)\n",
+		elapsed.Round(time.Millisecond), float64(res.TotalPackets)/elapsed.Seconds()/1e6)
 	fmt.Printf("  outbound %d, inbound %d\n", res.OutboundPackets, res.InboundPackets)
 	fmt.Printf("  filter drops %d, blocked drops %d (overall %s)\n",
 		res.FilterDropped, res.Blocked, stats.Pct(res.DropRate()))

@@ -90,15 +90,48 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	// The read loop accumulates packets and decides them through
+	// Limiter.ProcessBatch — the amortized hot path — reusing the same
+	// three slices for the life of the stream so steady state does not
+	// allocate. Raw packets ride along with the batch for the drop and
+	// stats lines.
+	const batchCap = 512
 	var (
 		total, dropped int64
 		nextReport     = *report
+		batch          = make([]p2pbound.Packet, 0, batchCap)
+		raw            = make([]packet.Packet, 0, batchCap)
+		verdicts       = make([]p2pbound.Decision, 0, batchCap)
 	)
+	flush := func() {
+		verdicts = limiter.ProcessBatch(batch, verdicts[:0])
+		for i, decision := range verdicts {
+			pkt := &raw[i]
+			total++
+			if decision == p2pbound.Drop {
+				dropped++
+				if !*quiet {
+					fmt.Fprintf(out, "DROP %v %s\n", pkt.TS, pkt.Pair)
+				}
+			}
+			if *report > 0 && pkt.TS >= nextReport {
+				s := limiter.Stats()
+				fmt.Fprintf(out, "stats t=%v packets=%d dropped=%d uplink=%.2fMbps pd=%.2f matched=%d unroutable=%d\n",
+					pkt.TS.Truncate(time.Second), total, dropped,
+					limiter.UplinkMbps(), limiter.DropProbability(), s.InboundMatched, s.Unroutable)
+				for pkt.TS >= nextReport {
+					nextReport += *report
+				}
+			}
+		}
+		batch, raw = batch[:0], raw[:0]
+	}
 	for {
 		pkt, err := reader.ReadPacket()
 		switch {
 		case err == nil:
 		case errors.Is(err, io.EOF):
+			flush()
 			fmt.Fprintf(out, "done: %d packets, %d dropped\n", total, dropped)
 			if *statePath != "" {
 				return saveState(limiter, *statePath)
@@ -109,29 +142,17 @@ func run(args []string, out io.Writer) error {
 		default:
 			return err
 		}
-		total++
 
-		decision := limiter.Process(p2pbound.Packet{
+		raw = append(raw, *pkt)
+		batch = append(batch, p2pbound.Packet{
 			Timestamp: pkt.TS,
 			Protocol:  p2pbound.Protocol(pkt.Pair.Proto),
 			SrcAddr:   toNetip(pkt.Pair.SrcAddr), SrcPort: pkt.Pair.SrcPort,
 			DstAddr: toNetip(pkt.Pair.DstAddr), DstPort: pkt.Pair.DstPort,
 			Size: pkt.Len,
 		})
-		if decision == p2pbound.Drop {
-			dropped++
-			if !*quiet {
-				fmt.Fprintf(out, "DROP %v %s\n", pkt.TS, pkt.Pair)
-			}
-		}
-		if *report > 0 && pkt.TS >= nextReport {
-			s := limiter.Stats()
-			fmt.Fprintf(out, "stats t=%v packets=%d dropped=%d uplink=%.2fMbps pd=%.2f matched=%d\n",
-				pkt.TS.Truncate(time.Second), total, dropped,
-				limiter.UplinkMbps(), limiter.DropProbability(), s.InboundMatched)
-			for pkt.TS >= nextReport {
-				nextReport += *report
-			}
+		if len(batch) == batchCap {
+			flush()
 		}
 	}
 }

@@ -2,11 +2,26 @@
 // filters composing a bitmap filter. Each column of the {k×N}-bitmap in
 // Figure 7 of the paper is one Vector.
 //
-// The implementation stores bits in 64-bit words so that the b.rotate
-// clean-up (Algorithm 1) clears a vector with a single memclr-style loop,
-// matching the paper's observation that the operation is simple and
-// efficient because "the memory space of a bit vector is fixed and
-// continuous".
+// The implementation is engineered for the packet hot path:
+//
+//   - Capacities are rounded up to a power of two so bit addressing is a
+//     single AND with a mask instead of a modulo.
+//   - A ones counter is maintained incrementally on Set, making
+//     OnesCount and Utilization O(1) instead of an O(N) popcount sweep.
+//   - Clear is O(1): it bumps an epoch instead of zeroing memory. Words
+//     are grouped into fixed-size blocks, each stamped with the epoch it
+//     was last zeroed in; a block whose stamp is stale reads as all-zero.
+//     Set lazily zeroes the one block it touches, and StepClear lets the
+//     caller spread the physical memclr over subsequent packet
+//     operations — a cleared-up-to watermark. Blocks below the watermark
+//     have been zeroed into the new epoch; blocks above it are treated
+//     as zero until swept or written.
+//
+// This bounds the per-packet latency contribution of the Δt rotation
+// (Algorithm 1) to one block (clearBlockBytes bytes of memclr) instead of
+// a full-vector O(N) spike, while preserving the paper's observation that
+// the clean-up stays simple because "the memory space of a bit vector is
+// fixed and continuous".
 package bitvec
 
 import (
@@ -16,65 +31,146 @@ import (
 
 const wordBits = 64
 
+// clearBlockWords is the number of words per lazily-cleared block: 64
+// words = 4096 bits = 512 bytes of memclr when a stale block is
+// freshened, the bounded unit of deferred clearing work.
+const clearBlockWords = 64
+
+// clearBlockBytes is the memclr granularity of deferred clearing.
+const clearBlockBytes = clearBlockWords * 8
+
 // Vector is a fixed-size bit vector. The zero value is unusable; construct
 // with New.
 type Vector struct {
 	words []uint64
-	nbits uint
+	// blockEpoch[b] is the epoch in which block b (words
+	// [b·clearBlockWords, (b+1)·clearBlockWords)) was last physically
+	// zeroed. A block whose stamp differs from epoch is logically
+	// all-zero regardless of its physical contents.
+	blockEpoch []uint64
+	epoch      uint64
+	nbits      uint
+	mask       uint32 // nbits − 1; nbits is always a power of two
+	ones       int    // logical popcount, maintained incrementally
+	sweep      int    // clear watermark: blocks below are freshened
 }
 
-// New returns a Vector with capacity for nbits bits, all zero.
+// New returns a Vector with capacity for nbits bits, all zero. nbits is
+// rounded up to the next power of two so that bits can be addressed with
+// a mask; Len reports the rounded size.
 func New(nbits uint) *Vector {
 	if nbits == 0 {
 		panic("bitvec: vector size must be positive")
 	}
+	nbits = ceilPow2(nbits)
+	nwords := int((nbits + wordBits - 1) / wordBits)
+	nblocks := (nwords + clearBlockWords - 1) / clearBlockWords
 	return &Vector{
-		words: make([]uint64, (nbits+wordBits-1)/wordBits),
-		nbits: nbits,
+		words:      make([]uint64, nwords),
+		blockEpoch: make([]uint64, nblocks),
+		nbits:      nbits,
+		mask:       uint32(nbits - 1),
+		sweep:      nblocks,
 	}
+}
+
+// ceilPow2 rounds n up to the next power of two.
+func ceilPow2(n uint) uint {
+	if n&(n-1) == 0 {
+		return n
+	}
+	return 1 << bits.Len(n-1)
 }
 
 // Len returns the number of bits in the vector.
 func (v *Vector) Len() uint { return v.nbits }
 
-// Bytes returns the storage footprint of the vector in bytes.
+// Bytes returns the storage footprint of the vector's bit words in bytes
+// (the epoch stamps add len(words)/clearBlockWords extra words, ~1.6%).
 func (v *Vector) Bytes() int { return len(v.words) * 8 }
 
-// Set marks bit i as 1. Bits are addressed modulo the vector size, so a
-// hash output already truncated to n bits maps directly.
+// Set marks bit i as 1. Bits are addressed by the low log2(Len) bits of
+// i, so a hash output already truncated to n bits maps directly. If the
+// touched block is stale from a deferred Clear it is zeroed first, so a
+// Set never resurrects old-epoch bits; this is the only hot-path work a
+// deferred clear can induce, and it is bounded by one block.
 func (v *Vector) Set(i uint32) {
-	j := uint(i) % v.nbits
-	v.words[j/wordBits] |= 1 << (j % wordBits)
-}
-
-// Get reports whether bit i is marked.
-func (v *Vector) Get(i uint32) bool {
-	j := uint(i) % v.nbits
-	return v.words[j/wordBits]&(1<<(j%wordBits)) != 0
-}
-
-// Clear resets every bit to zero. This is the per-Δt clean-up of the last
-// bit vector performed by b.rotate; its cost is O(N) in the vector size but
-// independent of the number of tracked connections.
-func (v *Vector) Clear() {
-	for i := range v.words {
-		v.words[i] = 0
+	j := uint(i & v.mask)
+	w := j / wordBits
+	if blk := int(w / clearBlockWords); v.blockEpoch[blk] != v.epoch {
+		v.freshen(blk)
 	}
+	bit := uint64(1) << (j % wordBits)
+	if v.words[w]&bit == 0 {
+		v.words[w] |= bit
+		v.ones++
+	}
+}
+
+// Get reports whether bit i is marked. A bit in a block not yet swept or
+// written since the last Clear reads as zero.
+func (v *Vector) Get(i uint32) bool {
+	j := uint(i & v.mask)
+	w := j / wordBits
+	if v.blockEpoch[w/clearBlockWords] != v.epoch {
+		return false
+	}
+	return v.words[w]&(1<<(j%wordBits)) != 0
+}
+
+// Clear logically resets every bit to zero in O(1) by advancing the
+// epoch; the physical memclr is deferred. Callers that want the O(N)
+// work spread across subsequent operations call StepClear repeatedly;
+// callers that never do still observe correct all-zero reads, because
+// Set and Get treat stale blocks as empty.
+func (v *Vector) Clear() {
+	v.epoch++
+	v.ones = 0
+	v.sweep = 0
+}
+
+// StepClear advances the deferred-clear watermark by at most nblocks
+// blocks, physically zeroing any stale ones, and reports whether the
+// sweep has covered the whole vector. Each block is clearBlockBytes
+// bytes, so the caller controls exactly how much memclr latency one call
+// may add.
+func (v *Vector) StepClear(nblocks int) bool {
+	for nblocks > 0 && v.sweep < len(v.blockEpoch) {
+		if v.blockEpoch[v.sweep] != v.epoch {
+			v.freshen(v.sweep)
+		}
+		v.sweep++
+		nblocks--
+	}
+	return v.sweep >= len(v.blockEpoch)
+}
+
+// freshen zeroes block blk and stamps it into the current epoch.
+func (v *Vector) freshen(blk int) {
+	lo := blk * clearBlockWords
+	hi := lo + clearBlockWords
+	if hi > len(v.words) {
+		hi = len(v.words)
+	}
+	clear(v.words[lo:hi])
+	v.blockEpoch[blk] = v.epoch
+}
+
+// normalize completes any deferred clear so the physical words equal the
+// logical contents. Cold-path helpers (serialization, comparison,
+// copying) call it; the hot path never does.
+func (v *Vector) normalize() {
+	v.StepClear(len(v.blockEpoch))
 }
 
 // OnesCount returns the number of marked bits, the quantity b in the
-// utilization U = b/N of Equation 2.
-func (v *Vector) OnesCount() int {
-	n := 0
-	for _, w := range v.words {
-		n += bits.OnesCount64(w)
-	}
-	return n
-}
+// utilization U = b/N of Equation 2. The count is maintained
+// incrementally, so this is O(1).
+func (v *Vector) OnesCount() int { return v.ones }
 
-// Utilization returns the fraction of marked bits U = b/N.
+// Utilization returns the fraction of marked bits U = b/N in O(1).
 func (v *Vector) Utilization() float64 {
-	return float64(v.OnesCount()) / float64(v.nbits)
+	return float64(v.ones) / float64(v.nbits)
 }
 
 // CopyFrom overwrites this vector with the contents of src. Both vectors
@@ -83,15 +179,27 @@ func (v *Vector) CopyFrom(src *Vector) error {
 	if v.nbits != src.nbits {
 		return fmt.Errorf("bitvec: size mismatch: %d != %d", v.nbits, src.nbits)
 	}
+	src.normalize()
 	copy(v.words, src.words)
+	for i := range v.blockEpoch {
+		v.blockEpoch[i] = v.epoch
+	}
+	v.sweep = len(v.blockEpoch)
+	v.ones = src.ones
 	return nil
 }
 
-// Equal reports whether two vectors have identical size and contents.
+// Equal reports whether two vectors have identical size and logical
+// contents.
 func (v *Vector) Equal(o *Vector) bool {
 	if v.nbits != o.nbits {
 		return false
 	}
+	if v.ones != o.ones {
+		return false
+	}
+	v.normalize()
+	o.normalize()
 	for i, w := range v.words {
 		if o.words[i] != w {
 			return false

@@ -14,6 +14,21 @@ func TestNewPanicsOnZero(t *testing.T) {
 	New(0)
 }
 
+func TestNewRoundsUpToPowerOfTwo(t *testing.T) {
+	tests := []struct {
+		in   uint
+		want uint
+	}{
+		{1, 1}, {2, 2}, {3, 4}, {64, 64}, {65, 128}, {100, 128},
+		{1 << 20, 1 << 20}, {1<<20 + 1, 1 << 21},
+	}
+	for _, tt := range tests {
+		if got := New(tt.in).Len(); got != tt.want {
+			t.Errorf("New(%d).Len() = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
 func TestSetGet(t *testing.T) {
 	v := New(128)
 	for _, i := range []uint32{0, 1, 63, 64, 127} {
@@ -30,14 +45,14 @@ func TestSetGet(t *testing.T) {
 	}
 }
 
-func TestSetWrapsModuloSize(t *testing.T) {
-	v := New(100)
-	v.Set(100) // wraps to 0
+func TestSetWrapsWithMask(t *testing.T) {
+	v := New(128)
+	v.Set(128) // wraps to 0: 128 & 127 == 0
 	if !v.Get(0) {
-		t.Fatal("Set(100) on a 100-bit vector should set bit 0")
+		t.Fatal("Set(128) on a 128-bit vector should set bit 0")
 	}
-	v.Set(205) // wraps to 5
-	if !v.Get(105) {
+	v.Set(261) // wraps to 5
+	if !v.Get(133) {
 		t.Fatal("Get must wrap the same way as Set")
 	}
 }
@@ -54,11 +69,16 @@ func TestClear(t *testing.T) {
 	if got := v.OnesCount(); got != 0 {
 		t.Fatalf("OnesCount after Clear = %d", got)
 	}
+	for i := uint32(0); i < 512; i++ {
+		if v.Get(i) {
+			t.Fatalf("bit %d readable after Clear", i)
+		}
+	}
 }
 
 func TestUtilization(t *testing.T) {
-	v := New(100)
-	for i := uint32(0); i < 25; i++ {
+	v := New(128)
+	for i := uint32(0); i < 32; i++ {
 		v.Set(i)
 	}
 	if got := v.Utilization(); got != 0.25 {
@@ -106,11 +126,110 @@ func TestCopyFromAndEqual(t *testing.T) {
 	}
 }
 
+func TestCopyFromPendingClear(t *testing.T) {
+	src := New(1 << 15)
+	src.Set(3)
+	src.Clear() // deferred
+	src.Set(9)
+	dst := New(1 << 15)
+	dst.Set(100)
+	dst.Clear() // dst also mid-clear
+	if err := dst.CopyFrom(src); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Get(3) || dst.Get(100) || !dst.Get(9) {
+		t.Fatalf("CopyFrom ignored deferred clears: Get(3)=%v Get(100)=%v Get(9)=%v",
+			dst.Get(3), dst.Get(100), dst.Get(9))
+	}
+	if dst.OnesCount() != 1 {
+		t.Fatalf("OnesCount = %d, want 1", dst.OnesCount())
+	}
+}
+
 func TestString(t *testing.T) {
 	v := New(64)
 	v.Set(3)
 	if got := v.String(); got != "bitvec(64 bits, 1 set)" {
 		t.Fatalf("String() = %q", got)
+	}
+}
+
+// TestLazyClearSemantics pins the deferred-clear contract: after Clear,
+// every read observes zero regardless of sweep progress; Set in a stale
+// block never resurrects old-epoch bits; StepClear advances the
+// watermark in bounded block units.
+func TestLazyClearSemantics(t *testing.T) {
+	const n = 1 << 16 // 1024 words = 16 blocks
+	v := New(n)
+	for i := uint32(0); i < n; i += 7 {
+		v.Set(i)
+	}
+	v.Clear()
+
+	// Reads above the watermark are treated as zero.
+	for i := uint32(0); i < n; i += 7 {
+		if v.Get(i) {
+			t.Fatalf("bit %d visible after Clear before sweep", i)
+		}
+	}
+
+	// A Set into a stale block freshens exactly that block and must not
+	// bring back neighbors from the old epoch.
+	v.Set(7) // block 0 held many old-epoch bits
+	if !v.Get(7) {
+		t.Fatal("Set after Clear lost the new bit")
+	}
+	if v.Get(14) {
+		t.Fatal("Set after Clear resurrected an old-epoch neighbor")
+	}
+	if v.OnesCount() != 1 {
+		t.Fatalf("OnesCount = %d, want 1", v.OnesCount())
+	}
+
+	// Chunked sweep: drive the watermark one block at a time.
+	steps := 0
+	for !v.StepClear(1) {
+		steps++
+		if steps > 1024 {
+			t.Fatal("StepClear never completed")
+		}
+	}
+	if v.OnesCount() != 1 || !v.Get(7) {
+		t.Fatal("sweep destroyed the new-epoch bit")
+	}
+	// After a full sweep the physical words match the logical state.
+	for i := uint32(0); i < n; i++ {
+		want := i == 7
+		if v.Get(i) != want {
+			t.Fatalf("Get(%d) = %v after sweep", i, v.Get(i))
+		}
+	}
+}
+
+// TestClearDuringSweep interleaves a second Clear into an unfinished
+// sweep; the restart must still observe all-zero.
+func TestClearDuringSweep(t *testing.T) {
+	const n = 1 << 16
+	v := New(n)
+	for i := uint32(0); i < n; i += 3 {
+		v.Set(i)
+	}
+	v.Clear()
+	v.StepClear(2) // partial
+	v.Set(50_000)
+	v.Clear() // clear again mid-sweep
+	for i := uint32(0); i < n; i++ {
+		if v.Get(i) {
+			t.Fatalf("bit %d visible after second Clear", i)
+		}
+	}
+	if v.OnesCount() != 0 {
+		t.Fatalf("OnesCount = %d after second Clear", v.OnesCount())
+	}
+	for !v.StepClear(4) {
+	}
+	if v.OnesCount() != 0 {
+		t.Fatal("sweep after double Clear exposed bits")
 	}
 }
 
@@ -148,6 +267,41 @@ func TestGetOnlySetBits(t *testing.T) {
 		return v.Get(probe) == want
 	}
 	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLazyClearAgainstReference drives a random op sequence through the
+// vector and a map-based reference model, with Clear/StepClear
+// interleaved at arbitrary points.
+func TestLazyClearAgainstReference(t *testing.T) {
+	f := func(ops []uint32) bool {
+		const n = 1 << 13
+		v := New(n)
+		ref := make(map[uint32]bool)
+		for _, op := range ops {
+			i := op % n
+			switch op % 11 {
+			case 0:
+				v.Clear()
+				ref = make(map[uint32]bool)
+			case 1:
+				v.StepClear(int(op%3) + 1)
+			default:
+				if op%2 == 0 {
+					v.Set(i)
+					ref[i] = true
+				} else if v.Get(i) != ref[i] {
+					return false
+				}
+			}
+			if v.OnesCount() != len(ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
 	}
 }

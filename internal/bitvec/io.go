@@ -4,11 +4,14 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/bits"
 )
 
 // WriteTo serializes the vector's words in little-endian order. It
-// implements io.WriterTo.
+// implements io.WriterTo. Any deferred clear is completed first so the
+// stream carries the logical contents.
 func (v *Vector) WriteTo(w io.Writer) (int64, error) {
+	v.normalize()
 	buf := make([]byte, 8*len(v.words))
 	for i, word := range v.words {
 		binary.LittleEndian.PutUint64(buf[i*8:], word)
@@ -28,8 +31,17 @@ func (v *Vector) ReadFrom(r io.Reader) (int64, error) {
 	if err != nil {
 		return int64(n), fmt.Errorf("bitvec: read: %w", err)
 	}
+	ones := 0
 	for i := range v.words {
 		v.words[i] = binary.LittleEndian.Uint64(buf[i*8:])
+		ones += bits.OnesCount64(v.words[i])
 	}
+	// The stream carried fully-materialized contents: stamp every block
+	// fresh and rebuild the incremental ones count.
+	for i := range v.blockEpoch {
+		v.blockEpoch[i] = v.epoch
+	}
+	v.sweep = len(v.blockEpoch)
+	v.ones = ones
 	return int64(n), nil
 }

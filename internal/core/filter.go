@@ -73,6 +73,13 @@ func DefaultConfig() Config {
 }
 
 // Stats counts filter activity since construction.
+//
+// Accounting invariant: every inspected inbound packet is classified as
+// exactly one hit or one miss — InboundHits + InboundMisses ==
+// InboundPackets. A packet that draws a drop on its first unmarked bit
+// and one that survives several unmarked bits each contribute a single
+// miss; Dropped ≤ InboundMisses counts the subset of misses that lost a
+// P_d draw.
 type Stats struct {
 	OutboundPackets int64 // outbound packets marked and passed
 	InboundPackets  int64 // inbound packets inspected
@@ -92,10 +99,21 @@ type Filter struct {
 	family  *hashes.Family
 	rng     *rand.Rand
 	sums    []uint32
-	keyBuf  []byte
-	next    time.Duration // simulated time of the next rotation
-	started bool
-	stats   Stats
+	// key and hpKey are the reusable socket-pair key buffers; each
+	// packet encodes its key exactly once into one of them and the m
+	// hash sums derived from it are shared by the mark fan-out across
+	// all k vectors (outbound) or the current-vector lookup (inbound).
+	key   [packet.KeySize]byte
+	hpKey [packet.HolePunchKeySize]byte
+	// sweepVec is the index of the vector whose deferred clear is being
+	// swept across packet calls, or −1 when no sweep is pending. Each
+	// Process call advances the sweep by one block, bounding the
+	// per-packet clearing work instead of paying the O(N) memclr of
+	// Algorithm 1 inside a single packet decision.
+	sweepVec int
+	next     time.Duration // simulated time of the next rotation
+	started  bool
+	stats    Stats
 }
 
 // New builds a bitmap filter from cfg.
@@ -125,12 +143,12 @@ func New(cfg Config) (*Filter, error) {
 		vectors[i] = bitvec.New(1 << cfg.NBits)
 	}
 	return &Filter{
-		cfg:     cfg,
-		vectors: vectors,
-		family:  family,
-		rng:     rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15)),
-		sums:    make([]uint32, 0, cfg.M),
-		keyBuf:  make([]byte, 0, packet.KeySize),
+		cfg:      cfg,
+		vectors:  vectors,
+		family:   family,
+		rng:      rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15)),
+		sums:     make([]uint32, 0, cfg.M),
+		sweepVec: -1,
 	}, nil
 }
 
@@ -158,11 +176,29 @@ func (f *Filter) Utilization() float64 {
 
 // Advance performs every rotation due at simulated time ts. It must be
 // called with non-decreasing timestamps; the replay engine calls it once
-// per packet.
+// per packet. An idle gap spanning k or more rotation periods takes the
+// O(k) fast path — every vector is cleared and the index repositioned —
+// instead of rotating period by period through the gap.
 func (f *Filter) Advance(ts time.Duration) {
 	if !f.started {
 		f.started = true
 		f.next = ts - ts%f.cfg.DeltaT + f.cfg.DeltaT
+		return
+	}
+	if ts < f.next {
+		return
+	}
+	due := int64((ts-f.next)/f.cfg.DeltaT) + 1
+	if due >= int64(f.cfg.K) {
+		for _, v := range f.vectors {
+			v.Clear()
+		}
+		f.idx = int((int64(f.idx) + due) % int64(f.cfg.K))
+		// All vectors are freshly cleared; sweep the one that is about
+		// to collect the longest-lived marks (the new current vector).
+		f.sweepVec = f.idx
+		f.stats.Rotations += due
+		f.next += time.Duration(due) * f.cfg.DeltaT
 		return
 	}
 	for ts >= f.next {
@@ -177,11 +213,27 @@ func (f *Filter) Advance(ts time.Duration) {
 // marked by every outbound packet since — carries the marks of the
 // previous k−1 periods. A flow therefore stays admitted for between
 // (k−1)·Δt and k·Δt after its last outbound packet.
+//
+// The clear is logical and O(1): the vector's epoch advances and the
+// physical memclr is deferred, swept one block per subsequent Process
+// call. Reads and writes against the cleared vector observe all-zero
+// immediately (see bitvec), so rotation no longer injects an O(N)
+// latency spike into the packet decision that triggered it.
 func (f *Filter) Rotate() {
 	last := f.idx
 	f.idx = (f.idx + 1) % f.cfg.K
 	f.vectors[last].Clear()
+	f.sweepVec = last
 	f.stats.Rotations++
+}
+
+// stepSweep advances the deferred clear of the most recently rotated
+// vector by one block (a bounded, cache-friendly memclr unit), retiring
+// the sweep once the vector is fully materialized.
+func (f *Filter) stepSweep() {
+	if f.sweepVec >= 0 && f.vectors[f.sweepVec].StepClear(1) {
+		f.sweepVec = -1
+	}
 }
 
 // Process implements Algorithm 2 (the filtering function b.filter) for one
@@ -189,7 +241,14 @@ func (f *Filter) Rotate() {
 // caller. Outbound packets mark all bit vectors and pass; inbound packets
 // are looked up in the current bit vector and each unmarked bit triggers an
 // independent P_d drop draw, exactly as in the paper's pseudocode.
+//
+// Miss accounting: a packet contributes exactly one InboundHits or one
+// InboundMisses increment — the drop path that returns early on the
+// first losing draw and the survive path that walked every unmarked bit
+// both record a single miss, preserving InboundHits + InboundMisses ==
+// InboundPackets (see Stats).
 func (f *Filter) Process(pkt *packet.Packet, pd float64) Verdict {
+	f.stepSweep()
 	if pkt.Dir == packet.Outbound {
 		f.stats.OutboundPackets++
 		f.Mark(pkt.Pair)
@@ -242,15 +301,32 @@ func (f *Filter) Contains(inboundPair packet.SocketPair) bool {
 	return true
 }
 
-// outboundKey encodes the hash key for an outbound packet's socket pair:
-// the full tuple, or {proto, saddr, sport, daddr} in hole-punch mode.
+// ProcessBatch runs Advance and Process over a timestamp-sorted slice of
+// packets with one constant dropping probability, appending one verdict
+// per packet to dst and returning the extended slice. Passing a reusable
+// dst[:0] keeps the batch path allocation-free. It is the replay/batch
+// form of the per-packet loop: the rotation check amortizes to a single
+// comparison per packet and the caller evaluates P_d once per batch
+// instead of once per packet (appropriate whenever the throughput meter
+// feeding P_d is updated at batch granularity, as in trace replay).
+func (f *Filter) ProcessBatch(pkts []packet.Packet, pd float64, dst []Verdict) []Verdict {
+	for i := range pkts {
+		f.Advance(pkts[i].TS)
+		dst = append(dst, f.Process(&pkts[i], pd))
+	}
+	return dst
+}
+
+// outboundKey encodes the hash key for an outbound packet's socket pair
+// into the filter's fixed key buffer: the full tuple, or {proto, saddr,
+// sport, daddr} in hole-punch mode. Each packet is encoded exactly once.
 func (f *Filter) outboundKey(pair packet.SocketPair) []byte {
 	if f.cfg.HolePunch {
-		f.keyBuf = pair.AppendHolePunchKey(f.keyBuf[:0])
-	} else {
-		f.keyBuf = pair.AppendKey(f.keyBuf[:0])
+		pair.PutHolePunchKey(&f.hpKey)
+		return f.hpKey[:]
 	}
-	return f.keyBuf
+	pair.PutKey(&f.key)
+	return f.key[:]
 }
 
 // inboundKey encodes the hash key for an inbound packet's socket pair: the
@@ -259,11 +335,5 @@ func (f *Filter) outboundKey(pair packet.SocketPair) []byte {
 // the inbound packet equals {proto, saddr, sport, daddr} of the outbound
 // one).
 func (f *Filter) inboundKey(pair packet.SocketPair) []byte {
-	inv := pair.Inverse()
-	if f.cfg.HolePunch {
-		f.keyBuf = inv.AppendHolePunchKey(f.keyBuf[:0])
-	} else {
-		f.keyBuf = inv.AppendKey(f.keyBuf[:0])
-	}
-	return f.keyBuf
+	return f.outboundKey(pair.Inverse())
 }

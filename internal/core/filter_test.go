@@ -321,3 +321,134 @@ func TestSeedDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestInboundAccountingInvariant pins the Stats contract: every
+// inspected inbound packet is exactly one hit or one miss, whether it
+// survives, drops on its first unmarked bit, or drops on a later one —
+// InboundHits + InboundMisses == InboundPackets, and Dropped never
+// exceeds InboundMisses.
+func TestInboundAccountingInvariant(t *testing.T) {
+	for _, pd := range []float64{0, 0.3, 0.7, 1} {
+		cfg := testConfig()
+		cfg.Seed = 21
+		f, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := time.Duration(0)
+		for i := uint32(0); i < 20_000; i++ {
+			ts += 300 * time.Microsecond
+			f.Advance(ts)
+			switch i % 5 {
+			case 0:
+				f.Process(outPkt(ts, pairN(i)), pd)
+			case 1:
+				f.Process(inPkt(ts, pairN(i-1)), pd) // likely hit
+			default:
+				f.Process(inPkt(ts, pairN(1_000_000+i)), pd) // likely miss
+			}
+		}
+		s := f.Stats()
+		if s.InboundHits+s.InboundMisses != s.InboundPackets {
+			t.Fatalf("pd=%g: hits %d + misses %d != inbound %d",
+				pd, s.InboundHits, s.InboundMisses, s.InboundPackets)
+		}
+		if s.Dropped > s.InboundMisses {
+			t.Fatalf("pd=%g: dropped %d > misses %d", pd, s.Dropped, s.InboundMisses)
+		}
+		if pd == 1 && s.Dropped != s.InboundMisses {
+			t.Fatalf("pd=1: dropped %d != misses %d", s.Dropped, s.InboundMisses)
+		}
+		if pd == 0 && s.Dropped != 0 {
+			t.Fatalf("pd=0: dropped %d", s.Dropped)
+		}
+	}
+}
+
+// TestProcessBatchMatchesSequential pins Filter.ProcessBatch to the
+// per-packet Advance+Process loop: identical verdicts and counters on
+// the same deterministic workload.
+func TestProcessBatchMatchesSequential(t *testing.T) {
+	mk := func() *Filter {
+		cfg := testConfig()
+		cfg.Seed = 7
+		f, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	var pkts []packet.Packet
+	ts := time.Duration(0)
+	for i := uint32(0); i < 30_000; i++ {
+		ts += 700 * time.Microsecond
+		if i%3 == 0 {
+			pkts = append(pkts, *outPkt(ts, pairN(i)))
+		} else {
+			pkts = append(pkts, *inPkt(ts, pairN(i/2)))
+		}
+	}
+	const pd = 0.4
+
+	seq := mk()
+	var want []Verdict
+	for i := range pkts {
+		seq.Advance(pkts[i].TS)
+		want = append(want, seq.Process(&pkts[i], pd))
+	}
+
+	bat := mk()
+	var got []Verdict
+	for lo := 0; lo < len(pkts); lo += 257 {
+		hi := lo + 257
+		if hi > len(pkts) {
+			hi = len(pkts)
+		}
+		got = bat.ProcessBatch(pkts[lo:hi], pd, got)
+	}
+
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("verdict %d: batch %v, sequential %v", i, got[i], want[i])
+		}
+	}
+	if seq.Stats() != bat.Stats() {
+		t.Fatalf("stats diverged:\nsequential %+v\nbatch      %+v", seq.Stats(), bat.Stats())
+	}
+}
+
+// TestAdvanceLongGapFastPath pins the O(k) idle-gap fast path to the
+// rotate-by-rotate loop: same rotation count, same index, same logical
+// contents (everything cleared once the gap exceeds T_e).
+func TestAdvanceLongGapFastPath(t *testing.T) {
+	cfg := testConfig()
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Advance(0)
+	f.Mark(pairN(1))
+	f.Advance(cfg.DeltaT) // one normal rotation
+	if f.Stats().Rotations != 1 {
+		t.Fatalf("rotations = %d, want 1", f.Stats().Rotations)
+	}
+	// Jump a year ahead: rotations due = gap/Δt, all vectors cleared.
+	gap := 365 * 24 * time.Hour
+	f.Advance(cfg.DeltaT + gap)
+	wantRot := int64(1 + gap/cfg.DeltaT)
+	if got := f.Stats().Rotations; got != wantRot {
+		t.Fatalf("rotations after gap = %d, want %d", got, wantRot)
+	}
+	if f.Contains(pairN(1).Inverse()) {
+		t.Fatal("mark survived a gap beyond T_e")
+	}
+	if f.Utilization() != 0 {
+		t.Fatalf("utilization %g after full expiry", f.Utilization())
+	}
+	// The filter keeps rotating on schedule after the jump.
+	f.Mark(pairN(2))
+	f.Advance(cfg.DeltaT + gap + cfg.DeltaT)
+	if got := f.Stats().Rotations; got != wantRot+1 {
+		t.Fatalf("rotations after resume = %d, want %d", got, wantRot+1)
+	}
+}

@@ -159,8 +159,30 @@ func (s SocketPair) AppendKey(dst []byte) []byte {
 // suitable for use as a map key without allocation.
 func (s SocketPair) Key() [KeySize]byte {
 	var k [KeySize]byte
-	s.AppendKey(k[:0])
+	s.PutKey(&k)
 	return k
+}
+
+// PutKey writes the canonical full-tuple encoding of σ into dst. It is
+// the hot-path form of AppendKey: fixed stores into a caller-owned
+// array, no slice growth or bounds-check churn, so a filter can encode
+// one key per packet with zero allocations.
+func (s SocketPair) PutKey(dst *[KeySize]byte) {
+	dst[0] = byte(s.Proto)
+	dst[1], dst[2], dst[3], dst[4] = byte(s.SrcAddr>>24), byte(s.SrcAddr>>16), byte(s.SrcAddr>>8), byte(s.SrcAddr)
+	dst[5], dst[6] = byte(s.SrcPort>>8), byte(s.SrcPort)
+	dst[7], dst[8], dst[9], dst[10] = byte(s.DstAddr>>24), byte(s.DstAddr>>16), byte(s.DstAddr>>8), byte(s.DstAddr)
+	dst[11], dst[12] = byte(s.DstPort>>8), byte(s.DstPort)
+}
+
+// PutHolePunchKey writes the partial-tuple hole-punch encoding of σ
+// ({protocol, source-address, source-port, destination-address}) into
+// dst; the fixed-store analogue of AppendHolePunchKey.
+func (s SocketPair) PutHolePunchKey(dst *[HolePunchKeySize]byte) {
+	dst[0] = byte(s.Proto)
+	dst[1], dst[2], dst[3], dst[4] = byte(s.SrcAddr>>24), byte(s.SrcAddr>>16), byte(s.SrcAddr>>8), byte(s.SrcAddr)
+	dst[5], dst[6] = byte(s.SrcPort>>8), byte(s.SrcPort)
+	dst[7], dst[8], dst[9], dst[10] = byte(s.DstAddr>>24), byte(s.DstAddr>>16), byte(s.DstAddr>>8), byte(s.DstAddr)
 }
 
 // AppendHolePunchKey appends the partial-tuple encoding used for

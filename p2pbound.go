@@ -132,16 +132,34 @@ type Stats struct {
 	InboundMatched  int64 // inbound packets matching tracked outbound state
 	Dropped         int64
 	Rotations       int64
+	// Unroutable counts packets the limiter could not classify (a
+	// non-IPv4 source or destination address). They are dropped
+	// defensively and appear in no other counter.
+	Unroutable int64
 }
 
 // Limiter bounds P2P upload traffic for one client network. It is not
-// safe for concurrent use; shard by flow hash for multi-queue pipelines.
+// safe for concurrent use; shard by flow hash for multi-queue pipelines
+// (see ShardedLimiter and Pipeline).
 type Limiter struct {
 	filter    *core.Filter
 	prober    red.Prober
 	meter     *throughput.Meter
 	clientNet packet.Network
 	now       time.Duration
+
+	unroutable int64
+
+	// P_d cache. The linear prober is a pure function of the metered
+	// uplink rate, and the rate only changes when bytes are added or
+	// simulated time crosses a meter bucket boundary — so the drop
+	// probability is recomputed only at those points instead of per
+	// packet. pdUntil is the exclusive end of the bucket for which
+	// cachedPd is valid; meter.Add invalidates it.
+	bucketWidth time.Duration
+	pdUntil     time.Duration
+	pdValid     bool
+	cachedPd    float64
 }
 
 // New builds a Limiter from cfg, applying the paper's defaults to every
@@ -190,33 +208,71 @@ func New(cfg Config) (*Limiter, error) {
 		return nil, fmt.Errorf("p2pbound: %w", err)
 	}
 	return &Limiter{
-		filter:    filter,
-		prober:    prober,
-		meter:     meter,
-		clientNet: clientNet,
+		filter:      filter,
+		prober:      prober,
+		meter:       meter,
+		clientNet:   clientNet,
+		bucketWidth: window / time.Duration(buckets),
 	}, nil
 }
 
 // Process decides one packet's fate. Packets must be fed in timestamp
 // order.
+//
+// Defensive-drop policy: a packet the limiter cannot classify (a
+// non-IPv4 source or destination address) is treated as unmatched
+// inbound under full load and dropped, because passing unclassifiable
+// traffic would hand P2P applications a trivial bypass. Such packets are
+// counted in Stats.Unroutable and nowhere else; route non-IPv4 traffic
+// to a conventional policy outside the limiter if it must be carried.
+//
+// The call is allocation-free: the packet travels the whole internal
+// chain by value.
 func (l *Limiter) Process(p Packet) Decision {
-	pkt, err := l.toInternal(p)
-	if err != nil {
-		// Unroutable input (non-IPv4 address): treat as unmatched
-		// inbound under full load and drop defensively.
+	var pkt packet.Packet
+	if !l.toInternal(p, &pkt) {
+		l.unroutable++
 		return Drop
 	}
 	l.now = pkt.TS
 	l.filter.Advance(pkt.TS)
-	pd := l.prober.Pd(l.meter.Rate(pkt.TS))
-	verdict := l.filter.Process(pkt, pd)
+	pd := l.pd(pkt.TS)
+	verdict := l.filter.Process(&pkt, pd)
 	if verdict == core.Pass && pkt.Dir == packet.Outbound {
 		l.meter.Add(pkt.TS, p.Size)
+		l.pdValid = false
 	}
 	if verdict == core.Drop {
 		return Drop
 	}
 	return Pass
+}
+
+// ProcessBatch decides a timestamp-sorted slice of packets, appending
+// one Decision per packet to dst and returning the extended slice.
+// Passing a reusable dst[:0] keeps the call allocation-free. Verdicts
+// and counters are identical to feeding the same packets through Process
+// one at a time — the batch form exists to amortize call overhead and
+// feed fixed-size chunks through Pipeline ring buffers.
+func (l *Limiter) ProcessBatch(pkts []Packet, dst []Decision) []Decision {
+	for i := range pkts {
+		dst = append(dst, l.Process(pkts[i]))
+	}
+	return dst
+}
+
+// pd returns the drop probability at simulated time ts, recomputing the
+// metered rate only when the cached value can no longer be current: on
+// the first call, after an outbound packet added bytes to the meter, or
+// when ts enters a new meter bucket. Process and ProcessBatch share this
+// path, so batch and per-packet runs draw identical P_d sequences.
+func (l *Limiter) pd(ts time.Duration) float64 {
+	if !l.pdValid || ts >= l.pdUntil {
+		l.cachedPd = l.prober.Pd(l.meter.Rate(ts))
+		l.pdUntil = ts - ts%l.bucketWidth + l.bucketWidth
+		l.pdValid = true
+	}
+	return l.cachedPd
 }
 
 // UplinkMbps returns the current measured uplink throughput in megabits
@@ -247,38 +303,29 @@ func (l *Limiter) Stats() Stats {
 		InboundMatched:  s.InboundHits,
 		Dropped:         s.Dropped,
 		Rotations:       s.Rotations,
+		Unroutable:      l.unroutable,
 	}
 }
 
-// toInternal converts a public Packet to the internal representation.
-func (l *Limiter) toInternal(p Packet) (*packet.Packet, error) {
-	src, err := toAddr(p.SrcAddr)
-	if err != nil {
-		return nil, err
+// toInternal converts a public Packet into dst. It reports false — and
+// leaves dst undefined — when either address is not IPv4. Writing
+// through a caller-owned value keeps the hot path free of heap
+// allocations (the internal packet never escapes).
+func (l *Limiter) toInternal(p Packet, dst *packet.Packet) bool {
+	if !p.SrcAddr.Is4() || !p.DstAddr.Is4() {
+		return false
 	}
-	dst, err := toAddr(p.DstAddr)
-	if err != nil {
-		return nil, err
-	}
+	s, d := p.SrcAddr.As4(), p.DstAddr.As4()
 	pair := packet.SocketPair{
 		Proto:   packet.Proto(p.Protocol),
-		SrcAddr: src, SrcPort: p.SrcPort,
-		DstAddr: dst, DstPort: p.DstPort,
+		SrcAddr: packet.AddrFrom4(s[0], s[1], s[2], s[3]), SrcPort: p.SrcPort,
+		DstAddr: packet.AddrFrom4(d[0], d[1], d[2], d[3]), DstPort: p.DstPort,
 	}
-	return &packet.Packet{
-		TS:   p.Timestamp,
-		Pair: pair,
-		Dir:  packet.Classify(pair, l.clientNet),
-		Len:  p.Size,
-	}, nil
-}
-
-func toAddr(a netip.Addr) (packet.Addr, error) {
-	if !a.Is4() {
-		return 0, fmt.Errorf("p2pbound: address %v is not IPv4", a)
-	}
-	b := a.As4()
-	return packet.AddrFrom4(b[0], b[1], b[2], b[3]), nil
+	dst.TS = p.Timestamp
+	dst.Pair = pair
+	dst.Dir = packet.Classify(pair, l.clientNet)
+	dst.Len = p.Size
+	return true
 }
 
 // SaveState serializes the limiter's bitmap filter — the flow-admission

@@ -160,6 +160,65 @@ func TestNonIPv4Dropped(t *testing.T) {
 	if d := l.Process(v6); d != Drop {
 		t.Fatalf("IPv6 packet = %v, want defensive Drop", d)
 	}
+	s := l.Stats()
+	if s.Unroutable != 1 {
+		t.Fatalf("Unroutable = %d, want 1", s.Unroutable)
+	}
+	// The defensive drop appears in no other counter.
+	if s.InboundPackets != 0 || s.OutboundPackets != 0 || s.Dropped != 0 {
+		t.Fatalf("unroutable packet leaked into other counters: %+v", s)
+	}
+	// IPv4-mapped IPv6 is also rejected (Is4 is false for 4-in-6).
+	mapped := v6
+	mapped.SrcAddr = netip.MustParseAddr("::ffff:8.8.8.8")
+	if d := l.Process(mapped); d != Drop {
+		t.Fatalf("4-in-6 packet = %v, want defensive Drop", d)
+	}
+	if got := l.Stats().Unroutable; got != 2 {
+		t.Fatalf("Unroutable = %d, want 2", got)
+	}
+}
+
+// TestProcessAllocationFree pins the zero-allocation hot path: the
+// public Limiter.Process and ProcessBatch must not heap-allocate per
+// packet.
+func TestProcessAllocationFree(t *testing.T) {
+	l := newLimiter(t, Config{})
+	client := netip.MustParseAddr("140.112.1.2")
+	remote := netip.MustParseAddr("8.8.8.8")
+	pkts := make([]Packet, 256)
+	for i := range pkts {
+		if i%2 == 0 {
+			pkts[i] = Packet{
+				Protocol: TCP,
+				SrcAddr:  client, SrcPort: uint16(30000 + i),
+				DstAddr: remote, DstPort: 80,
+				Size: 1500,
+			}
+		} else {
+			pkts[i] = Packet{
+				Protocol: TCP,
+				SrcAddr:  remote, SrcPort: 80,
+				DstAddr: client, DstPort: uint16(30000 + i - 1),
+				Size: 1500,
+			}
+		}
+	}
+	i := 0
+	if avg := testing.AllocsPerRun(1000, func() {
+		l.Process(pkts[i%len(pkts)])
+		i++
+	}); avg != 0 {
+		t.Fatalf("Process allocates %.2f allocs/op, want 0", avg)
+	}
+
+	lb := newLimiter(t, Config{})
+	dst := make([]Decision, 0, len(pkts))
+	if avg := testing.AllocsPerRun(100, func() {
+		dst = lb.ProcessBatch(pkts, dst[:0])
+	}); avg != 0 {
+		t.Fatalf("ProcessBatch allocates %.2f allocs/op, want 0", avg)
+	}
 }
 
 func TestCustomGeometry(t *testing.T) {

@@ -1,0 +1,339 @@
+package p2pbound
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PipelineConfig parameterizes a Pipeline. The zero value of every field
+// selects a sensible default.
+type PipelineConfig struct {
+	// Shards is the number of independent Limiter shards, each owned by
+	// one worker goroutine. Default: GOMAXPROCS.
+	Shards int
+	// RingSize is the per-shard ring-buffer capacity in packets,
+	// rounded up to a power of two. Default 2048. A full ring exerts
+	// backpressure: Submit blocks until the shard worker frees a slot.
+	RingSize int
+	// BatchSize is the maximum number of packets a shard worker drains
+	// and decides per wakeup. Default 256.
+	BatchSize int
+}
+
+// Pipeline is the concurrent driver for a ShardedLimiter: one worker
+// goroutine per shard, each fed by a fixed-capacity single-consumer ring
+// buffer. Producers route packets to their shard ring (both directions
+// of a connection always reach the same shard, so per-shard decisions
+// are identical to running that shard's Limiter sequentially); workers
+// drain their ring in batches through Limiter.ProcessBatch.
+//
+// Multiple goroutines may Submit/SubmitBatch concurrently — the producer
+// side of each ring is mutex-serialized — but per-shard packet order
+// then follows arrival order, so keeping each flow's packets on one
+// producer preserves its timestamp order. Verdict counts are exactly
+// those of feeding the same per-shard sequences through ShardedLimiter
+// sequentially; concurrency changes scheduling, never decisions.
+//
+// Decisions are asynchronous. Callers that need per-packet verdicts use
+// the Limiter or ShardedLimiter directly; the Pipeline is the shape for
+// bulk replay and for deployments where the verdict is applied by the
+// shard worker itself (e.g. one NIC queue per shard).
+type Pipeline struct {
+	sharded *ShardedLimiter
+	rings   []*ring
+	scratch sync.Pool // *routeScratch
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+
+	passed  atomic.Int64
+	dropped atomic.Int64
+}
+
+// NewPipeline builds the sharded limiter and starts one worker per
+// shard. Close must be called to stop the workers.
+func NewPipeline(cfg Config, pcfg PipelineConfig) (*Pipeline, error) {
+	shards := pcfg.Shards
+	if shards == 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	sharded, err := NewSharded(cfg, shards)
+	if err != nil {
+		return nil, err
+	}
+	size := pcfg.RingSize
+	if size == 0 {
+		size = 2048
+	}
+	if size < 2 {
+		size = 2
+	}
+	// Round up to a power of two so ring indices wrap with a mask.
+	for size&(size-1) != 0 {
+		size += size & -size
+	}
+	batch := pcfg.BatchSize
+	if batch <= 0 {
+		batch = 256
+	}
+	p := &Pipeline{
+		sharded: sharded,
+		rings:   make([]*ring, shards),
+	}
+	p.scratch.New = func() any {
+		sc := &routeScratch{byShard: make([][]Packet, shards)}
+		for i := range sc.byShard {
+			sc.byShard[i] = make([]Packet, 0, submitChunk)
+		}
+		return sc
+	}
+	for i := range p.rings {
+		p.rings[i] = newRing(size)
+	}
+	p.wg.Add(shards)
+	for i := 0; i < shards; i++ {
+		go p.worker(i, batch)
+	}
+	return p, nil
+}
+
+// Shards returns the number of shard workers.
+func (p *Pipeline) Shards() int { return p.sharded.Shards() }
+
+// Submit routes one packet to its shard ring, blocking while the ring is
+// full. It must not be called after Close.
+func (p *Pipeline) Submit(pkt Packet) {
+	if p.closed.Load() {
+		panic("p2pbound: Submit on closed Pipeline")
+	}
+	r := p.rings[p.sharded.ShardOf(pkt)]
+	r.mu.Lock()
+	r.push(pkt)
+	r.mu.Unlock()
+}
+
+// submitChunk bounds the staging buffer SubmitBatch classifies into
+// before publishing to the shard rings.
+const submitChunk = 8192
+
+// SubmitBatch routes a slice of packets. Instead of locking a ring per
+// packet it classifies a chunk into per-shard staging buffers and then
+// publishes each shard's group with one lock acquisition and one ring
+// cursor update — the amortization that lets a single producer outrun
+// several shard workers. Packets must be in non-decreasing timestamp
+// order (per producer, as with Submit). It must not be called after
+// Close.
+func (p *Pipeline) SubmitBatch(pkts []Packet) {
+	if p.closed.Load() {
+		panic("p2pbound: SubmitBatch on closed Pipeline")
+	}
+	sc := p.scratch.Get().(*routeScratch)
+	for len(pkts) > 0 {
+		n := len(pkts)
+		if n > submitChunk {
+			n = submitChunk
+		}
+		chunk := pkts[:n]
+		pkts = pkts[n:]
+		for i := range sc.byShard {
+			sc.byShard[i] = sc.byShard[i][:0]
+		}
+		for i := range chunk {
+			sh := p.sharded.ShardOf(chunk[i])
+			sc.byShard[sh] = append(sc.byShard[sh], chunk[i])
+		}
+		for sh, group := range sc.byShard {
+			if len(group) == 0 {
+				continue
+			}
+			r := p.rings[sh]
+			r.mu.Lock()
+			r.pushAll(group)
+			r.mu.Unlock()
+		}
+	}
+	p.scratch.Put(sc)
+}
+
+// routeScratch is the reusable per-SubmitBatch staging area, pooled so
+// steady-state batch submission does not allocate.
+type routeScratch struct {
+	byShard [][]Packet
+}
+
+// Drain blocks until every packet submitted before the call has been
+// decided. Concurrent Submits are allowed; packets submitted while Drain
+// is waiting may or may not be covered.
+func (p *Pipeline) Drain() {
+	for _, r := range p.rings {
+		target := r.tail.Load()
+		for spin := 0; r.done.Load() < target; spin++ {
+			idleWait(spin)
+		}
+	}
+}
+
+// Close drains the rings, stops every worker, and waits for them to
+// exit. No Submit or SubmitBatch may be issued after (or concurrently
+// with) Close. Close is idempotent.
+func (p *Pipeline) Close() {
+	if p.closed.Swap(true) {
+		p.wg.Wait()
+		return
+	}
+	p.wg.Wait()
+}
+
+// Verdicts returns the number of passed and dropped packets decided so
+// far. It is safe to call at any time, including concurrently with
+// submission.
+func (p *Pipeline) Verdicts() (passed, dropped int64) {
+	return p.passed.Load(), p.dropped.Load()
+}
+
+// Stats sums the per-shard activity counters. The shard limiters are
+// owned by the worker goroutines, so Stats must only be called when the
+// pipeline is quiescent: after Close, or after a Drain with no
+// concurrent submissions.
+func (p *Pipeline) Stats() Stats { return p.sharded.Stats() }
+
+// MemoryBytes returns the total bitmap memory across shards.
+func (p *Pipeline) MemoryBytes() int { return p.sharded.MemoryBytes() }
+
+// ExpiryHorizon returns the shared T_e of the shards.
+func (p *Pipeline) ExpiryHorizon() time.Duration { return p.sharded.ExpiryHorizon() }
+
+// worker owns shard sh: it drains the shard ring in batches, decides
+// them on the shard Limiter, and publishes verdict counts. The `done`
+// cursor advances only after the batch is decided, which is what Drain
+// synchronizes on.
+func (p *Pipeline) worker(sh int, batchSize int) {
+	defer p.wg.Done()
+	r := p.rings[sh]
+	limiter := p.sharded.shards[sh]
+	batch := make([]Packet, 0, batchSize)
+	verdicts := make([]Decision, 0, batchSize)
+	spin := 0
+	for {
+		batch = r.take(batch[:0], batchSize)
+		if len(batch) == 0 {
+			if p.closed.Load() {
+				// Re-check after observing closed: any Submit that
+				// returned before Close is visible to this take.
+				if batch = r.take(batch[:0], batchSize); len(batch) == 0 {
+					return
+				}
+			} else {
+				idleWait(spin)
+				spin++
+				continue
+			}
+		}
+		spin = 0
+		verdicts = limiter.ProcessBatch(batch, verdicts[:0])
+		var pass, drop int64
+		for _, v := range verdicts {
+			if v == Pass {
+				pass++
+			} else {
+				drop++
+			}
+		}
+		p.passed.Add(pass)
+		p.dropped.Add(drop)
+		r.done.Add(uint64(len(batch)))
+	}
+}
+
+// ring is a fixed-capacity single-consumer packet queue. The consumer
+// side is lock-free; the producer side is serialized by mu (uncontended
+// in the common single-producer deployment). tail is the next slot to
+// write, head the next to read, done the count of decided packets.
+type ring struct {
+	buf  []Packet
+	mask uint64
+	mu   sync.Mutex
+
+	// The three cursors live on separate cache lines so the producer's
+	// tail stores do not false-share with the consumer's head/done.
+	tail atomic.Uint64
+	_    [7]uint64
+	head atomic.Uint64
+	_    [7]uint64
+	done atomic.Uint64
+}
+
+func newRing(size int) *ring {
+	return &ring{
+		buf:  make([]Packet, size),
+		mask: uint64(size - 1),
+	}
+}
+
+// push appends one packet, spinning while the ring is full. Callers hold
+// r.mu.
+func (r *ring) push(p Packet) {
+	t := r.tail.Load()
+	for spin := 0; t-r.head.Load() >= uint64(len(r.buf)); spin++ {
+		idleWait(spin)
+	}
+	r.buf[t&r.mask] = p
+	r.tail.Store(t + 1)
+}
+
+// pushAll appends a group of packets, publishing the tail cursor once
+// per contiguous free span instead of once per packet. When the group
+// exceeds the free space it publishes what fits and waits for the
+// consumer, so oversized groups drain incrementally rather than
+// deadlocking. Callers hold r.mu.
+func (r *ring) pushAll(pkts []Packet) {
+	t := r.tail.Load()
+	for len(pkts) > 0 {
+		free := uint64(len(r.buf)) - (t - r.head.Load())
+		for spin := 0; free == 0; spin++ {
+			idleWait(spin)
+			free = uint64(len(r.buf)) - (t - r.head.Load())
+		}
+		n := uint64(len(pkts))
+		if n > free {
+			n = free
+		}
+		for i := uint64(0); i < n; i++ {
+			r.buf[(t+i)&r.mask] = pkts[i]
+		}
+		t += n
+		r.tail.Store(t)
+		pkts = pkts[n:]
+	}
+}
+
+// take moves up to max available packets into dst. Only the consumer
+// goroutine may call it. Slots are released (head advanced) as soon as
+// the packets are copied out; completion is published separately via
+// done.
+func (r *ring) take(dst []Packet, max int) []Packet {
+	h := r.head.Load()
+	avail := r.tail.Load() - h
+	if avail == 0 {
+		return dst
+	}
+	if avail > uint64(max) {
+		avail = uint64(max)
+	}
+	for i := uint64(0); i < avail; i++ {
+		dst = append(dst, r.buf[(h+i)&r.mask])
+	}
+	r.head.Store(h + avail)
+	return dst
+}
+
+// idleWait is the shared backoff: yield the processor for a while, then
+// sleep briefly so an idle pipeline does not burn a core.
+func idleWait(spin int) {
+	if spin < 128 {
+		runtime.Gosched()
+		return
+	}
+	time.Sleep(20 * time.Microsecond)
+}

@@ -1,0 +1,276 @@
+package p2pbound
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"p2pbound/internal/packet"
+	"p2pbound/internal/trace"
+)
+
+// publicTrace renders a seeded synthetic trace as public Packets.
+func publicTrace(t testing.TB, dur time.Duration, scale float64, seed uint64) []Packet {
+	t.Helper()
+	tr, err := trace.Generate(trace.DefaultConfig(dur, scale, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return toPublic(tr.Packets)
+}
+
+func toPublic(pkts []packet.Packet) []Packet {
+	out := make([]Packet, len(pkts))
+	for i := range pkts {
+		p := &pkts[i]
+		out[i] = Packet{
+			Timestamp: p.TS,
+			Protocol:  Protocol(p.Pair.Proto),
+			SrcAddr:   addrToNetip(p.Pair.SrcAddr), SrcPort: p.Pair.SrcPort,
+			DstAddr: addrToNetip(p.Pair.DstAddr), DstPort: p.Pair.DstPort,
+			Size: p.Len,
+		}
+	}
+	return out
+}
+
+func addrToNetip(a packet.Addr) netip.Addr {
+	return netip.AddrFrom4([4]byte{byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)})
+}
+
+const testNet = "140.112.0.0/16"
+
+// TestBatchMatchesSequential pins Limiter.ProcessBatch to Process: same
+// seeded trace, same config, chunked batches — every verdict and every
+// counter must agree exactly.
+func TestBatchMatchesSequential(t *testing.T) {
+	pkts := publicTrace(t, 20*time.Second, 0.02, 11)
+	cfg := Config{ClientNetwork: testNet, LowMbps: 0.1, HighMbps: 0.5, Seed: 3}
+
+	seq, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bat, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := make([]Decision, 0, len(pkts))
+	for i := range pkts {
+		want = append(want, seq.Process(pkts[i]))
+	}
+
+	got := make([]Decision, 0, len(pkts))
+	for lo := 0; lo < len(pkts); lo += 193 { // deliberately odd chunking
+		hi := lo + 193
+		if hi > len(pkts) {
+			hi = len(pkts)
+		}
+		got = bat.ProcessBatch(pkts[lo:hi], got)
+	}
+
+	if len(got) != len(want) {
+		t.Fatalf("verdict count %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("verdict %d: batch %v, sequential %v", i, got[i], want[i])
+		}
+	}
+	if seq.Stats() != bat.Stats() {
+		t.Fatalf("stats diverged:\nsequential %+v\nbatch      %+v", seq.Stats(), bat.Stats())
+	}
+}
+
+// TestPipelineMatchesSequentialSharded is the pipeline's differential
+// anchor: replaying the same seeded trace through a sequential
+// ShardedLimiter and through the concurrent Pipeline (same config, same
+// shard count) must produce identical aggregate stats and verdict
+// counts — concurrency must change scheduling, never decisions.
+func TestPipelineMatchesSequentialSharded(t *testing.T) {
+	pkts := publicTrace(t, 20*time.Second, 0.02, 29)
+	cfg := Config{ClientNetwork: testNet, LowMbps: 0.05, HighMbps: 0.2, Seed: 9}
+	const shards = 4
+
+	seq, err := NewSharded(cfg, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seqPassed, seqDropped int64
+	for i := range pkts {
+		if seq.Process(pkts[i]) == Pass {
+			seqPassed++
+		} else {
+			seqDropped++
+		}
+	}
+
+	pipe, err := NewPipeline(cfg, PipelineConfig{Shards: shards, RingSize: 512, BatchSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe.SubmitBatch(pkts)
+	pipe.Drain()
+	passed, dropped := pipe.Verdicts()
+	pipe.Close()
+
+	if passed != seqPassed || dropped != seqDropped {
+		t.Fatalf("verdict counts diverged: pipeline pass=%d drop=%d, sequential pass=%d drop=%d",
+			passed, dropped, seqPassed, seqDropped)
+	}
+	if got, want := pipe.Stats(), seq.Stats(); got != want {
+		t.Fatalf("stats diverged:\npipeline   %+v\nsequential %+v", got, want)
+	}
+}
+
+// TestPipelineMatchesSingleLimiterAllHit compares the Pipeline against a
+// single sequential Limiter on a trace where every inbound packet is the
+// prompt reply to an outbound one. Bloom filters have no false
+// negatives, so every inbound packet is a hit in both systems regardless
+// of shard partitioning, and the verdicts and match counts must agree
+// exactly. (On general traffic the sharded meters partition the RED
+// thresholds, so single-vs-sharded is an approximation by design; see
+// ShardedLimiter.)
+func TestPipelineMatchesSingleLimiterAllHit(t *testing.T) {
+	client := netip.MustParseAddr("140.112.3.4")
+	var pkts []Packet
+	ts := time.Duration(0)
+	for i := 0; i < 5000; i++ {
+		remote := netip.AddrFrom4([4]byte{9, 8, byte(i >> 8), byte(i)})
+		sport := uint16(20000 + i%30000)
+		out := Packet{
+			Timestamp: ts,
+			Protocol:  TCP,
+			SrcAddr:   client, SrcPort: sport,
+			DstAddr: remote, DstPort: 443,
+			Size: 1400,
+		}
+		in := Packet{
+			Timestamp: ts + time.Millisecond,
+			Protocol:  TCP,
+			SrcAddr:   remote, SrcPort: 443,
+			DstAddr: client, DstPort: sport,
+			Size: 1400,
+		}
+		pkts = append(pkts, out, in)
+		ts += 3 * time.Millisecond
+	}
+
+	cfg := Config{ClientNetwork: testNet, LowMbps: 0.001, HighMbps: 0.002, Seed: 5}
+	single, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var passed, dropped int64
+	for i := range pkts {
+		if single.Process(pkts[i]) == Pass {
+			passed++
+		} else {
+			dropped++
+		}
+	}
+
+	pipe, err := NewPipeline(cfg, PipelineConfig{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe.SubmitBatch(pkts)
+	pipe.Close()
+	pPassed, pDropped := pipe.Verdicts()
+
+	if pPassed != passed || pDropped != dropped {
+		t.Fatalf("verdicts diverged: pipeline pass=%d drop=%d, single pass=%d drop=%d",
+			pPassed, pDropped, passed, dropped)
+	}
+	ss, ps := single.Stats(), pipe.Stats()
+	if ps.OutboundPackets != ss.OutboundPackets ||
+		ps.InboundPackets != ss.InboundPackets ||
+		ps.InboundMatched != ss.InboundMatched ||
+		ps.Dropped != ss.Dropped {
+		t.Fatalf("packet counters diverged:\npipeline %+v\nsingle   %+v", ps, ss)
+	}
+	if ss.InboundMatched != ss.InboundPackets {
+		t.Fatalf("all-hit trace had misses: %+v", ss)
+	}
+}
+
+// TestPipelineConcurrentProducers exercises the producer mutex and ring
+// backpressure under -race: several goroutines submitting concurrently,
+// with a ring small enough to force producer blocking, must neither race
+// nor lose packets.
+func TestPipelineConcurrentProducers(t *testing.T) {
+	cfg := Config{ClientNetwork: testNet, Seed: 1}
+	pipe, err := NewPipeline(cfg, PipelineConfig{Shards: 3, RingSize: 64, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const producers = 4
+	const perProducer = 5000
+	var wg sync.WaitGroup
+	wg.Add(producers)
+	for g := 0; g < producers; g++ {
+		go func(g int) {
+			defer wg.Done()
+			client := netip.AddrFrom4([4]byte{140, 112, byte(g), 1})
+			for i := 0; i < perProducer; i++ {
+				pipe.Submit(Packet{
+					Timestamp: time.Duration(i) * time.Millisecond,
+					Protocol:  UDP,
+					SrcAddr:   client, SrcPort: uint16(1000 + i%60000),
+					DstAddr: netip.AddrFrom4([4]byte{9, byte(g), byte(i >> 8), byte(i)}),
+					DstPort: 6881,
+					Size:    512,
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	pipe.Close()
+	passed, dropped := pipe.Verdicts()
+	if passed+dropped != producers*perProducer {
+		t.Fatalf("decided %d packets, want %d", passed+dropped, producers*perProducer)
+	}
+	s := pipe.Stats()
+	if s.OutboundPackets+s.InboundPackets != producers*perProducer {
+		t.Fatalf("stats lost packets: %+v", s)
+	}
+}
+
+// TestPipelineUnroutable routes non-IPv4 packets through the pipeline;
+// they must be counted and dropped, not panic the shard router.
+func TestPipelineUnroutable(t *testing.T) {
+	cfg := Config{ClientNetwork: testNet, Seed: 1}
+	pipe, err := NewPipeline(cfg, PipelineConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v6 := netip.MustParseAddr("2001:db8::1")
+	pipe.Submit(Packet{
+		Protocol: TCP,
+		SrcAddr:  v6, SrcPort: 1,
+		DstAddr: netip.MustParseAddr("140.112.0.9"), DstPort: 2,
+		Size: 100,
+	})
+	pipe.Close()
+	if got := pipe.Stats().Unroutable; got != 1 {
+		t.Fatalf("Unroutable = %d, want 1", got)
+	}
+	if _, dropped := pipe.Verdicts(); dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", dropped)
+	}
+}
+
+// TestPipelineCloseIdempotent double-Close and post-Close Stats.
+func TestPipelineCloseIdempotent(t *testing.T) {
+	pipe, err := NewPipeline(Config{ClientNetwork: testNet}, PipelineConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe.Close()
+	pipe.Close()
+	if s := pipe.Stats(); s != (Stats{}) {
+		t.Fatalf("fresh pipeline has stats %+v", s)
+	}
+}

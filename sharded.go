@@ -50,8 +50,12 @@ func (s *ShardedLimiter) Shards() int { return len(s.shards) }
 
 // ShardOf returns the shard index packet p belongs to. Callers running one
 // goroutine per shard route packets with this and then call
-// ProcessOnShard from the owning goroutine.
+// ProcessOnShard from the owning goroutine. Unroutable packets (non-IPv4
+// addresses) all map to shard 0, whose Limiter counts and drops them.
 func (s *ShardedLimiter) ShardOf(p Packet) int {
+	if !p.SrcAddr.Is4() || !p.DstAddr.Is4() {
+		return 0
+	}
 	// Order-independent endpoint hash: σ and σ̄ must agree.
 	h := connHash(p)
 	return int(h % uint64(len(s.shards)))
@@ -95,6 +99,7 @@ func (s *ShardedLimiter) Stats() Stats {
 		sum.InboundMatched += st.InboundMatched
 		sum.Dropped += st.Dropped
 		sum.Rotations += st.Rotations
+		sum.Unroutable += st.Unroutable
 	}
 	return sum
 }
