@@ -5,6 +5,18 @@
 // snapshot on startup and writes a fresh snapshot on exit, so restarts
 // keep admitting tracked flows.
 //
+// The daemon is built to run unattended at the network edge:
+//
+//   - A corrupt, truncated, or geometry-mismatched snapshot is reported
+//     and degraded to a cold start — never a refusal to boot.
+//   - -snapshot writes periodic atomic snapshots (trace time), so a
+//     crash or SIGKILL loses at most one interval of admission state.
+//   - SIGINT/SIGTERM trigger a graceful shutdown: the pending batch is
+//     flushed, the final stats line is printed, and the state file is
+//     written before exit.
+//   - A mid-stream read error still flushes pending packets and reports
+//     final stats, so an aborted run tells you what it decided.
+//
 // Usage:
 //
 //	tcpdump -i eth0 -w - | p2pboundd -net 140.112.0.0/16 -low 50 -high 100
@@ -22,6 +34,9 @@ import (
 	"io"
 	"net/netip"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
 	"time"
 
 	"p2pbound"
@@ -36,18 +51,30 @@ func main() {
 	}
 }
 
+// run wires OS signals and delegates to runSig, the testable core.
 func run(args []string, out io.Writer) error {
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	return runSig(args, out, sigc)
+}
+
+func runSig(args []string, out io.Writer, sigc <-chan os.Signal) error {
 	fs := flag.NewFlagSet("p2pboundd", flag.ContinueOnError)
 	var (
-		in        = fs.String("i", "-", "input pcap path, or - for stdin")
-		netCIDR   = fs.String("net", "", "client network CIDR (required)")
-		lowMbps   = fs.Float64("low", 50, "P_d low threshold L in Mbps")
-		highMbps  = fs.Float64("high", 100, "P_d high threshold H in Mbps")
-		holePunch = fs.Bool("holepunch", false, "partial-tuple hashing for NAT traversal")
-		statePath = fs.String("state", "", "bitmap snapshot file: restored on start, written on exit")
-		report    = fs.Duration("report", 10*time.Second, "trace-time interval between stats lines")
-		quiet     = fs.Bool("quiet", false, "do not print per-drop lines")
-		seed      = fs.Uint64("seed", 0, "seed for probabilistic drops")
+		in         = fs.String("i", "-", "input pcap path, or - for stdin")
+		netCIDR    = fs.String("net", "", "client network CIDR (required)")
+		lowMbps    = fs.Float64("low", 50, "P_d low threshold L in Mbps")
+		highMbps   = fs.Float64("high", 100, "P_d high threshold H in Mbps")
+		holePunch  = fs.Bool("holepunch", false, "partial-tuple hashing for NAT traversal")
+		statePath  = fs.String("state", "", "bitmap snapshot file: restored on start, written on exit")
+		stateAdopt = fs.Bool("state-adopt", false, "adopt a snapshot whose geometry differs from the configured one")
+		snapEvery  = fs.Duration("snapshot", 0, "trace-time interval between periodic state snapshots (0 = only on exit)")
+		report     = fs.Duration("report", 10*time.Second, "trace-time interval between stats lines")
+		quiet      = fs.Bool("quiet", false, "do not print per-drop lines")
+		seed       = fs.Uint64("seed", 0, "seed for probabilistic drops")
+		tolerance  = fs.Duration("reorder-tolerance", 10*time.Millisecond, "capture reorder window before a backward timestamp counts as an anomaly")
+		stopAfter  = fs.Int64("stop-after", 0, "gracefully stop after N packets, as if signalled (0 = run to EOF)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,18 +88,28 @@ func run(args []string, out io.Writer) error {
 	}
 
 	limiter, err := p2pbound.New(p2pbound.Config{
-		ClientNetwork: *netCIDR,
-		LowMbps:       *lowMbps,
-		HighMbps:      *highMbps,
-		HolePunch:     *holePunch,
-		Seed:          *seed,
+		ClientNetwork:    *netCIDR,
+		LowMbps:          *lowMbps,
+		HighMbps:         *highMbps,
+		HolePunch:        *holePunch,
+		Seed:             *seed,
+		ReorderTolerance: *tolerance,
 	})
 	if err != nil {
 		return err
 	}
 	if *statePath != "" {
-		if err := restoreState(limiter, *statePath); err != nil {
-			return err
+		switch restoreErr := restoreState(limiter, *statePath, *stateAdopt); {
+		case restoreErr == nil:
+			fmt.Fprintf(out, "restored state from %s\n", *statePath)
+		case errors.Is(restoreErr, os.ErrNotExist):
+			// First boot: nothing to restore.
+		default:
+			// A corrupt or mismatched snapshot must not keep the edge
+			// from booting: report it and degrade to a cold start. The
+			// filter challenges unmatched inbound traffic for the first
+			// T_e, exactly as on first boot.
+			fmt.Fprintf(os.Stderr, "p2pboundd: state restore failed (%v); cold start\n", restoreErr)
 		}
 	}
 
@@ -98,13 +135,27 @@ func run(args []string, out io.Writer) error {
 	const batchCap = 512
 	var (
 		total, dropped int64
+		readCount      int64
 		nextReport     = *report
+		nextSnap       = *snapEvery
 		batch          = make([]p2pbound.Packet, 0, batchCap)
 		raw            = make([]packet.Packet, 0, batchCap)
 		verdicts       = make([]p2pbound.Decision, 0, batchCap)
 	)
+	snapshot := func() {
+		if *statePath == "" {
+			return
+		}
+		if err := saveStateFn(limiter, *statePath); err != nil {
+			// A failed periodic snapshot is an operational warning, not
+			// a reason to stop filtering: the previous snapshot is still
+			// intact because saveState writes atomically.
+			fmt.Fprintf(os.Stderr, "p2pboundd: periodic snapshot failed: %v\n", err)
+		}
+	}
 	flush := func() {
 		verdicts = limiter.ProcessBatch(batch, verdicts[:0])
+		snapDue := false
 		for i, decision := range verdicts {
 			pkt := &raw[i]
 			total++
@@ -116,31 +167,76 @@ func run(args []string, out io.Writer) error {
 			}
 			if *report > 0 && pkt.TS >= nextReport {
 				s := limiter.Stats()
-				fmt.Fprintf(out, "stats t=%v packets=%d dropped=%d uplink=%.2fMbps pd=%.2f matched=%d unroutable=%d\n",
+				fmt.Fprintf(out, "stats t=%v packets=%d dropped=%d uplink=%.2fMbps pd=%.2f matched=%d unroutable=%d anomalies=%d\n",
 					pkt.TS.Truncate(time.Second), total, dropped,
-					limiter.UplinkMbps(), limiter.DropProbability(), s.InboundMatched, s.Unroutable)
+					limiter.UplinkMbps(), limiter.DropProbability(), s.InboundMatched, s.Unroutable, s.TimeAnomalies)
 				for pkt.TS >= nextReport {
 					nextReport += *report
 				}
 			}
+			if *snapEvery > 0 && pkt.TS >= nextSnap {
+				snapDue = true
+				for pkt.TS >= nextSnap {
+					nextSnap += *snapEvery
+				}
+			}
 		}
 		batch, raw = batch[:0], raw[:0]
+		// Snapshot after the batch so the state file reflects every
+		// verdict already reported.
+		if snapDue {
+			snapshot()
+		}
 	}
+	// finish drains pending work and emits the final accounting line; it
+	// is shared by the EOF, signal, and read-error exits so an aborted
+	// run reports exactly like a completed one.
+	finish := func(reason string) {
+		flush()
+		s := limiter.Stats()
+		fmt.Fprintf(out, "%s: %d packets, %d dropped, %d matched, %d anomalies, %d clock regressions\n",
+			reason, total, dropped, s.InboundMatched, s.TimeAnomalies, reader.ClockRegressions())
+	}
+	saveFinal := func() error {
+		if *statePath == "" {
+			return nil
+		}
+		return saveStateFn(limiter, *statePath)
+	}
+	// Graceful-shutdown latch: a pending signal or -stop-after trips it;
+	// the loop checks it between packets so shutdown always lands on a
+	// packet boundary with the batch flushed and the state file written.
+	// (Polling is exact here: a signal can't interrupt a blocked pcap
+	// read anyway, so a watcher goroutine would add races, not latency.)
+	stopping := false
 	for {
+		select {
+		case <-sigc:
+			stopping = true
+		default:
+		}
+		if stopping {
+			finish("signal: stopping")
+			return saveFinal()
+		}
 		pkt, err := reader.ReadPacket()
 		switch {
 		case err == nil:
 		case errors.Is(err, io.EOF):
-			flush()
-			fmt.Fprintf(out, "done: %d packets, %d dropped\n", total, dropped)
-			if *statePath != "" {
-				return saveState(limiter, *statePath)
-			}
-			return nil
+			finish("done")
+			return saveFinal()
 		case errors.Is(err, pcap.ErrBadChecksum):
 			continue
 		default:
-			return err
+			// A mid-stream read error (torn capture file, dying tcpdump
+			// pipe) must not swallow decided-but-unreported packets:
+			// flush, report, snapshot best-effort, then surface the
+			// error.
+			finish("aborted")
+			if saveErr := saveFinal(); saveErr != nil {
+				fmt.Fprintf(os.Stderr, "p2pboundd: final snapshot failed: %v\n", saveErr)
+			}
+			return fmt.Errorf("read error after %d packets: %w", total, err)
 		}
 
 		raw = append(raw, *pkt)
@@ -151,43 +247,83 @@ func run(args []string, out io.Writer) error {
 			DstAddr: toNetip(pkt.Pair.DstAddr), DstPort: pkt.Pair.DstPort,
 			Size: pkt.Len,
 		})
+		readCount++
+		if *stopAfter > 0 && readCount >= *stopAfter {
+			stopping = true
+		}
 		if len(batch) == batchCap {
 			flush()
 		}
 	}
 }
 
-func restoreState(l *p2pbound.Limiter, path string) error {
+// restoreState loads the snapshot at path. os.ErrNotExist passes through
+// for the caller's first-boot handling; adopt selects AdoptState, which
+// accepts a snapshot whose geometry differs from the configured one.
+func restoreState(l *p2pbound.Limiter, path string, adopt bool) error {
 	f, err := os.Open(path)
-	if errors.Is(err, os.ErrNotExist) {
-		return nil // first boot
-	}
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	return l.RestoreState(bufio.NewReader(f))
+	r := bufio.NewReader(f)
+	if adopt {
+		return l.AdoptState(r)
+	}
+	return l.RestoreState(r)
 }
 
-func saveState(l *p2pbound.Limiter, path string) error {
+// saveStateFn indirects saveState so tests can observe periodic snapshot
+// cadence without racing the filesystem.
+var saveStateFn = saveState
+
+// saveState writes the snapshot atomically and durably: the bytes are
+// written to a temp file, fsynced, renamed over the target, and the
+// directory entry fsynced — so a crash at any point leaves either the
+// old snapshot or the new one, never a torn or missing file. On failure
+// the temp file is removed rather than leaked.
+func saveState(l *p2pbound.Limiter, path string) (err error) {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
 	w := bufio.NewWriter(f)
-	if err := l.SaveState(w); err != nil {
-		f.Close()
+	if err = l.SaveState(w); err != nil {
 		return err
 	}
-	if err := w.Flush(); err != nil {
-		f.Close()
+	if err = w.Flush(); err != nil {
 		return err
 	}
-	if err := f.Close(); err != nil {
+	if err = f.Sync(); err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return err
+	}
+	syncDir(filepath.Dir(path))
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file's entry is durable.
+// Best-effort: some filesystems reject directory fsync, and losing the
+// rename durability there only costs one snapshot interval.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	defer d.Close()
+	_ = d.Sync()
 }
 
 func toNetip(a packet.Addr) netip.Addr {

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"p2pbound"
 	"p2pbound/internal/pcap"
 	"p2pbound/internal/trace"
 )
@@ -90,6 +91,219 @@ func TestRunStateRoundTrip(t *testing.T) {
 	buf.Reset()
 	if err := run([]string{"-i", path, "-net", "140.112.0.0/16", "-quiet", "-state", state}, &buf); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// truncateTestPcap copies the pcap at path with its last few bytes cut
+// off, leaving a torn final record — the file a SIGKILLed tcpdump leaves
+// behind.
+func truncateTestPcap(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(t.TempDir(), "trunc.pcap")
+	if err := os.WriteFile(trunc, b[:len(b)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return trunc
+}
+
+func TestRunSignalGracefulShutdown(t *testing.T) {
+	path := writeTestPcap(t, 35)
+	state := filepath.Join(t.TempDir(), "bitmap.state")
+	sigc := make(chan os.Signal, 1)
+	sigc <- os.Interrupt
+	var buf bytes.Buffer
+	err := runSig([]string{
+		"-i", path, "-net", "140.112.0.0/16", "-quiet", "-state", state,
+	}, &buf, sigc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "signal: stopping:") {
+		t.Fatalf("missing graceful-stop line:\n%s", buf.String())
+	}
+	if _, err := os.Stat(state); err != nil {
+		t.Fatalf("state not saved on signal: %v", err)
+	}
+}
+
+func TestRunStopAfterResumesFromSnapshot(t *testing.T) {
+	path := writeTestPcap(t, 36)
+	state := filepath.Join(t.TempDir(), "bitmap.state")
+
+	// First run stops gracefully partway through, as if SIGTERMed.
+	var buf bytes.Buffer
+	err := run([]string{
+		"-i", path, "-net", "140.112.0.0/16", "-quiet",
+		"-state", state, "-stop-after", "100",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "signal: stopping: 100 packets") {
+		t.Fatalf("expected stop after exactly 100 packets:\n%s", buf.String())
+	}
+
+	// The restart resumes from the snapshot the first run wrote.
+	buf.Reset()
+	if err := run([]string{"-i", path, "-net", "140.112.0.0/16", "-quiet", "-state", state}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "restored state from "+state) {
+		t.Fatalf("restart did not restore snapshot:\n%s", buf.String())
+	}
+}
+
+func TestRunAbortFlushesAndReports(t *testing.T) {
+	path := writeTestPcap(t, 37)
+	trunc := truncateTestPcap(t, path)
+	var buf bytes.Buffer
+	err := run([]string{"-i", trunc, "-net", "140.112.0.0/16", "-quiet", "-report", "0s"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "read error after") {
+		t.Fatalf("truncated capture did not surface a read error: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "aborted:") {
+		t.Fatalf("aborted run missing final stats line:\n%s", out)
+	}
+	if strings.Contains(out, "aborted: 0 packets") {
+		t.Fatalf("abort path lost the pending batch:\n%s", out)
+	}
+}
+
+func TestRunPeriodicSnapshotCadence(t *testing.T) {
+	path := writeTestPcap(t, 38)
+	state := filepath.Join(t.TempDir(), "bitmap.state")
+
+	saves := 0
+	saveStateFn = func(l *p2pbound.Limiter, p string) error {
+		saves++
+		return saveState(l, p)
+	}
+	defer func() { saveStateFn = saveState }()
+
+	// 15 s of trace at a 2 s snapshot interval: several periodic saves
+	// plus the final one.
+	var buf bytes.Buffer
+	if err := run([]string{
+		"-i", path, "-net", "140.112.0.0/16", "-quiet",
+		"-state", state, "-snapshot", "2s",
+	}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if saves < 3 {
+		t.Fatalf("expected periodic snapshots, got %d saves", saves)
+	}
+
+	// Without -snapshot only the exit save runs.
+	saves = 0
+	if err := run([]string{"-i", path, "-net", "140.112.0.0/16", "-quiet", "-state", state}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if saves != 1 {
+		t.Fatalf("expected exactly the final save, got %d", saves)
+	}
+}
+
+func TestRunPeriodicSnapshotSurvivesAbort(t *testing.T) {
+	path := writeTestPcap(t, 39)
+	trunc := truncateTestPcap(t, path)
+	state := filepath.Join(t.TempDir(), "bitmap.state")
+
+	// The aborted run still leaves a usable snapshot behind (periodic
+	// saves ran before the torn record, and the abort path saves too).
+	var buf bytes.Buffer
+	err := run([]string{
+		"-i", trunc, "-net", "140.112.0.0/16", "-quiet",
+		"-state", state, "-snapshot", "2s", "-report", "0s",
+	}, &buf)
+	if err == nil {
+		t.Fatal("truncated capture did not surface a read error")
+	}
+	if _, err := os.Stat(state); err != nil {
+		t.Fatalf("no snapshot survived the abort: %v", err)
+	}
+
+	// A restart over the intact capture restores it cleanly.
+	buf.Reset()
+	if err := run([]string{"-i", path, "-net", "140.112.0.0/16", "-quiet", "-state", state}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "restored state from "+state) {
+		t.Fatalf("restart did not restore snapshot:\n%s", buf.String())
+	}
+}
+
+func TestRunCorruptStateColdStarts(t *testing.T) {
+	path := writeTestPcap(t, 40)
+	state := filepath.Join(t.TempDir(), "bitmap.state")
+	if err := os.WriteFile(state, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-i", path, "-net", "140.112.0.0/16", "-quiet", "-state", state}, &buf); err != nil {
+		t.Fatalf("corrupt snapshot kept the daemon from running: %v", err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "restored state from") {
+		t.Fatalf("corrupt snapshot reported as restored:\n%s", out)
+	}
+	if !strings.Contains(out, "done:") {
+		t.Fatalf("cold-start run did not complete:\n%s", out)
+	}
+}
+
+func TestRunStateAdoptFlag(t *testing.T) {
+	path := writeTestPcap(t, 41)
+	state := filepath.Join(t.TempDir(), "bitmap.state")
+
+	// Save without hole punching, restore with it: the hash geometry
+	// differs, so a strict restore cold-starts…
+	var buf bytes.Buffer
+	if err := run([]string{"-i", path, "-net", "140.112.0.0/16", "-quiet", "-state", state}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := run([]string{"-i", path, "-net", "140.112.0.0/16", "-quiet", "-holepunch", "-state", state}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "restored state from") {
+		t.Fatalf("geometry mismatch silently restored:\n%s", buf.String())
+	}
+
+	// …while -state-adopt accepts the snapshot's geometry.
+	if err := run([]string{"-i", path, "-net", "140.112.0.0/16", "-quiet", "-state", state}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := run([]string{"-i", path, "-net", "140.112.0.0/16", "-quiet", "-holepunch", "-state-adopt", "-state", state}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "restored state from") {
+		t.Fatalf("-state-adopt did not restore:\n%s", buf.String())
+	}
+}
+
+func TestSaveStateRemovesTmpOnFailure(t *testing.T) {
+	limiter, err := p2pbound.New(p2pbound.Config{ClientNetwork: "10.0.0.0/8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rename target is an existing directory, so the final rename
+	// fails after the temp file was fully written.
+	dir := t.TempDir()
+	target := filepath.Join(dir, "state")
+	if err := os.Mkdir(target, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := saveState(limiter, target); err == nil {
+		t.Fatal("rename over a directory succeeded")
+	}
+	if _, err := os.Stat(target + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file leaked after failed save: %v", err)
 	}
 }
 

@@ -23,6 +23,40 @@ func (v *Vector) WriteTo(w io.Writer) (int64, error) {
 	return int64(n), nil
 }
 
+// WriteFrame serializes the vector as a length-framed record: a
+// little-endian uint32 byte count followed by the WriteTo payload. The
+// explicit length lets a reader detect truncation at the vector boundary
+// instead of misparsing the next vector's bytes as this one's tail.
+func (v *Vector) WriteFrame(w io.Writer) (int64, error) {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(8*len(v.words)))
+	n, err := w.Write(hdr[:])
+	total := int64(n)
+	if err != nil {
+		return total, fmt.Errorf("bitvec: write frame header: %w", err)
+	}
+	m, err := v.WriteTo(w)
+	return total + m, err
+}
+
+// ReadFrame overwrites the vector's contents from a WriteFrame record,
+// rejecting a frame whose declared length does not match this vector's
+// size — a cheap structural check that catches truncated or spliced
+// snapshot streams before any bits are adopted.
+func (v *Vector) ReadFrame(r io.Reader) (int64, error) {
+	var hdr [4]byte
+	n, err := io.ReadFull(r, hdr[:])
+	total := int64(n)
+	if err != nil {
+		return total, fmt.Errorf("bitvec: read frame header: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[:]); got != uint32(8*len(v.words)) {
+		return total, fmt.Errorf("bitvec: frame length %d does not match vector size %d", got, 8*len(v.words))
+	}
+	m, err := v.ReadFrom(r)
+	return total + m, err
+}
+
 // ReadFrom overwrites the vector's contents from a stream produced by
 // WriteTo on a vector of the same size. It implements io.ReaderFrom.
 func (v *Vector) ReadFrom(r io.Reader) (int64, error) {

@@ -65,6 +65,14 @@ type Config struct {
 	HolePunch bool
 	// Seed seeds the deterministic random source used for P_d draws.
 	Seed uint64
+	// ReorderTolerance is the capture-reorder window for backward
+	// timestamps. Real capture clocks regress — NTP steps, multi-queue
+	// NICs delivering slightly out of order — so Advance never requires
+	// monotonic input: a timestamp behind the monotonic high-water mark
+	// is clamped to it, and only a regression larger than this window is
+	// counted in Stats.TimeAnomalies. The default 0 counts every
+	// backward step.
+	ReorderTolerance time.Duration
 }
 
 // DefaultConfig returns the paper's Section 5.3 configuration.
@@ -87,6 +95,11 @@ type Stats struct {
 	InboundMisses   int64 // inbound packets with at least one unmarked bit
 	Dropped         int64 // inbound packets dropped
 	Rotations       int64 // b.rotate invocations
+	// TimeAnomalies counts Advance calls whose timestamp regressed behind
+	// the monotonic high-water mark by more than the configured
+	// ReorderTolerance. Such timestamps are clamped, never propagated, so
+	// the rotation schedule only moves forward.
+	TimeAnomalies int64
 }
 
 // Filter is a {k×N}-bitmap filter. It is driven by simulated packet
@@ -112,6 +125,7 @@ type Filter struct {
 	// Algorithm 1 inside a single packet decision.
 	sweepVec int
 	next     time.Duration // simulated time of the next rotation
+	lastTS   time.Duration // monotonic high-water mark of Advance input
 	started  bool
 	stats    Stats
 }
@@ -155,6 +169,13 @@ func New(cfg Config) (*Filter, error) {
 // Config returns the filter's configuration.
 func (f *Filter) Config() Config { return f.cfg }
 
+// SetReorderTolerance adjusts the backward-timestamp tolerance window
+// (see Config.ReorderTolerance). It is an operational knob, not filter
+// state: snapshots do not carry it, so restore paths reapply it.
+func (f *Filter) SetReorderTolerance(d time.Duration) {
+	f.cfg.ReorderTolerance = d
+}
+
 // TE returns the effective expiry timer T_e = k·Δt (Section 4.3).
 func (f *Filter) TE() time.Duration {
 	return f.cfg.DeltaT * time.Duration(f.cfg.K)
@@ -174,16 +195,29 @@ func (f *Filter) Utilization() float64 {
 	return f.vectors[f.idx].Utilization()
 }
 
-// Advance performs every rotation due at simulated time ts. It must be
-// called with non-decreasing timestamps; the replay engine calls it once
-// per packet. An idle gap spanning k or more rotation periods takes the
-// O(k) fast path — every vector is cleared and the index repositioned —
-// instead of rotating period by period through the gap.
+// Advance performs every rotation due at simulated time ts; the replay
+// engine calls it once per packet. Timestamps need not be monotonic: a
+// backward timestamp is clamped to the high-water mark of all previous
+// calls (counting in Stats.TimeAnomalies when the regression exceeds
+// Config.ReorderTolerance), so the rotation schedule never runs
+// backwards even when the capture clock does. An idle gap spanning k or
+// more rotation periods takes the O(k) fast path — every vector is
+// cleared and the index repositioned — instead of rotating period by
+// period through the gap.
 func (f *Filter) Advance(ts time.Duration) {
 	if !f.started {
 		f.started = true
+		f.lastTS = ts
 		f.next = ts - ts%f.cfg.DeltaT + f.cfg.DeltaT
 		return
+	}
+	if ts < f.lastTS {
+		if f.lastTS-ts > f.cfg.ReorderTolerance {
+			f.stats.TimeAnomalies++
+		}
+		ts = f.lastTS
+	} else {
+		f.lastTS = ts
 	}
 	if ts < f.next {
 		return

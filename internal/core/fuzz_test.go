@@ -1,0 +1,64 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzReadFilter feeds arbitrary bytes to the snapshot reader. The
+// contract: ReadFilter must error or succeed — never panic, never
+// allocate unboundedly (the geometry caps), and a filter it does return
+// must survive subsequent operation. Run with
+// `go test -fuzz FuzzReadFilter ./internal/core`.
+func FuzzReadFilter(f *testing.F) {
+	// Seeds: a valid v2 snapshot, a valid v1 snapshot, and mutations.
+	src, err := New(Config{K: 2, NBits: 10, M: 2, DeltaT: time.Second, Seed: 11})
+	if err != nil {
+		f.Fatal(err)
+	}
+	src.Advance(0)
+	for i := uint32(0); i < 100; i++ {
+		src.Process(outPkt(time.Duration(i)*time.Millisecond, pairN(i)), 1)
+	}
+	var v2 bytes.Buffer
+	if _, err := src.WriteTo(&v2); err != nil {
+		f.Fatal(err)
+	}
+	var v1 bytes.Buffer
+	if _, err := src.writeToV1(&v1); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2.Bytes())
+	f.Add(v1.Bytes())
+	f.Add(v2.Bytes()[:40])
+	f.Add(v2.Bytes()[:80])
+	flipped := append([]byte(nil), v2.Bytes()...)
+	flipped[60] ^= 0x10
+	f.Add(flipped)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		filter, err := ReadFilter(bytes.NewReader(data))
+		if err != nil {
+			if filter != nil {
+				t.Fatal("ReadFilter returned both a filter and an error")
+			}
+			return
+		}
+		// A filter the reader vouched for must hold up under use: advance
+		// through several rotations, mark and look up flows, and keep the
+		// accounting invariant.
+		for i := uint32(0); i < 64; i++ {
+			ts := time.Duration(i) * filter.Config().DeltaT / 4
+			filter.Advance(ts)
+			filter.Process(outPkt(ts, pairN(i)), 0.5)
+			filter.Process(inPkt(ts, pairN(i)), 0.5)
+		}
+		s := filter.Stats()
+		if s.InboundHits+s.InboundMisses != s.InboundPackets {
+			t.Fatalf("restored filter broke invariant: %d + %d != %d",
+				s.InboundHits, s.InboundMisses, s.InboundPackets)
+		}
+	})
+}

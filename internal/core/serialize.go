@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"time"
 
@@ -11,20 +12,76 @@ import (
 
 // Snapshot format constants. The format is versioned so deployed state
 // files survive library upgrades that do not touch the layout.
+//
+// Version 2 hardens the format for crash-safe edge operation: each bit
+// vector is length-framed (bitvec.WriteFrame) and the whole stream —
+// header and frames — is covered by a trailing CRC32C, so a torn write,
+// a truncated file, or a single flipped bit is rejected with a clean
+// error instead of silently loading a corrupt admission table (which
+// would convert false negatives into dropped legitimate traffic).
+// Version 1 streams remain readable; they carry no checksum.
 const (
-	snapshotMagic   = 0x424d4631 // "BMF1"
-	snapshotVersion = 1
+	snapshotMagic = 0x424d4631 // "BMF1"
+	snapshotV1    = 1
+	snapshotV2    = 2
+	// snapshotVersion is the version WriteTo emits.
+	snapshotVersion = snapshotV2
+
+	snapshotHeaderLen  = 56
+	snapshotTrailerLen = 4
 )
+
+// Snapshot geometry caps. ReadFilter must allocate the filter before it
+// can verify the checksum, so a corrupt or hostile header could other-
+// wise demand an absurd allocation. Real deployments sit far below both
+// caps (the paper's configuration is k=4, 128 KiB per vector).
+const (
+	maxSnapshotK     = 1024
+	maxSnapshotBytes = 1 << 28 // 256 MiB of vector payload
+)
+
+// castagnoli is the CRC32C table shared by snapshot writers and readers.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // WriteTo serializes the filter — configuration, rotation state, and all
 // k bit vectors — so a restarted edge router can resume admitting the
 // flows it was already tracking instead of challenging every client for
-// the first T_e after boot. Counters are not persisted. It implements
-// io.WriterTo.
+// the first T_e after boot. Counters are not persisted. The stream is
+// the version-2 format: length-framed vectors and a CRC32C trailer over
+// every preceding byte. It implements io.WriterTo.
 func (f *Filter) WriteTo(w io.Writer) (int64, error) {
-	var hdr [56]byte
+	crc := crc32.New(castagnoli)
+	cw := io.MultiWriter(w, crc)
+
+	hdr := f.encodeHeader(snapshotV2)
+	total := int64(0)
+	n, err := cw.Write(hdr[:])
+	total += int64(n)
+	if err != nil {
+		return total, fmt.Errorf("core: write snapshot header: %w", err)
+	}
+	for _, v := range f.vectors {
+		m, err := v.WriteFrame(cw)
+		total += m
+		if err != nil {
+			return total, fmt.Errorf("core: write snapshot vectors: %w", err)
+		}
+	}
+	var trailer [snapshotTrailerLen]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc.Sum32())
+	n, err = w.Write(trailer[:])
+	total += int64(n)
+	if err != nil {
+		return total, fmt.Errorf("core: write snapshot trailer: %w", err)
+	}
+	return total, nil
+}
+
+// encodeHeader renders the fixed snapshot header for the given version.
+func (f *Filter) encodeHeader(version uint32) [snapshotHeaderLen]byte {
+	var hdr [snapshotHeaderLen]byte
 	binary.LittleEndian.PutUint32(hdr[0:], snapshotMagic)
-	binary.LittleEndian.PutUint32(hdr[4:], snapshotVersion)
+	binary.LittleEndian.PutUint32(hdr[4:], version)
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(f.cfg.K))
 	binary.LittleEndian.PutUint32(hdr[12:], uint32(f.cfg.NBits))
 	binary.LittleEndian.PutUint32(hdr[16:], uint32(f.cfg.M))
@@ -43,7 +100,14 @@ func (f *Filter) WriteTo(w io.Writer) (int64, error) {
 	binary.LittleEndian.PutUint32(hdr[36:], uint32(f.idx))
 	binary.LittleEndian.PutUint64(hdr[40:], uint64(f.next))
 	binary.LittleEndian.PutUint64(hdr[48:], f.cfg.Seed)
+	return hdr
+}
 
+// writeToV1 emits the legacy unframed, unchecksummed version-1 stream.
+// It exists so the version-1 read path stays covered by tests; new
+// snapshots are always version 2.
+func (f *Filter) writeToV1(w io.Writer) (int64, error) {
+	hdr := f.encodeHeader(snapshotV1)
 	total := int64(0)
 	n, err := w.Write(hdr[:])
 	total += int64(n)
@@ -63,16 +127,27 @@ func (f *Filter) WriteTo(w io.Writer) (int64, error) {
 // ReadFilter reconstructs a filter from a WriteTo stream. The embedded
 // configuration is authoritative; the returned filter continues rotating
 // on the schedule the snapshot recorded.
+//
+// Robustness contract (held by FuzzReadFilter): any corrupt, truncated,
+// or hostile input yields a descriptive error — never a panic, an
+// unbounded allocation, or a filter whose later operations misbehave.
+// For version-2 streams every byte is covered by the CRC32C trailer, so
+// a snapshot that survived a torn write or bit rot is always rejected;
+// callers should treat the error as a cold start, not a fatal condition.
 func ReadFilter(r io.Reader) (*Filter, error) {
-	var hdr [56]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	crc := crc32.New(castagnoli)
+	tee := io.TeeReader(r, crc)
+
+	var hdr [snapshotHeaderLen]byte
+	if _, err := io.ReadFull(tee, hdr[:]); err != nil {
 		return nil, fmt.Errorf("core: read snapshot header: %w", err)
 	}
 	if got := binary.LittleEndian.Uint32(hdr[0:]); got != snapshotMagic {
 		return nil, fmt.Errorf("core: bad snapshot magic %#x", got)
 	}
-	if got := binary.LittleEndian.Uint32(hdr[4:]); got != snapshotVersion {
-		return nil, fmt.Errorf("core: unsupported snapshot version %d", got)
+	version := binary.LittleEndian.Uint32(hdr[4:])
+	if version != snapshotV1 && version != snapshotV2 {
+		return nil, fmt.Errorf("core: unsupported snapshot version %d", version)
 	}
 	cfg := Config{
 		K:         int(binary.LittleEndian.Uint32(hdr[8:])),
@@ -82,6 +157,14 @@ func ReadFilter(r io.Reader) (*Filter, error) {
 		HashKind:  hashes.Kind(binary.LittleEndian.Uint32(hdr[28:])),
 		HolePunch: hdr[32] == 1,
 		Seed:      binary.LittleEndian.Uint64(hdr[48:]),
+	}
+	if cfg.K > maxSnapshotK {
+		return nil, fmt.Errorf("core: implausible snapshot geometry: k=%d exceeds %d", cfg.K, maxSnapshotK)
+	}
+	if cfg.K > 0 && cfg.NBits > 0 && cfg.NBits <= 32 {
+		if bytes := (int64(cfg.K) << cfg.NBits) / 8; bytes > maxSnapshotBytes {
+			return nil, fmt.Errorf("core: implausible snapshot geometry: %d vector bytes exceed %d", bytes, maxSnapshotBytes)
+		}
 	}
 	f, err := New(cfg)
 	if err != nil {
@@ -93,9 +176,25 @@ func ReadFilter(r io.Reader) (*Filter, error) {
 		return nil, fmt.Errorf("core: snapshot index %d out of range", f.idx)
 	}
 	f.next = time.Duration(binary.LittleEndian.Uint64(hdr[40:]))
+
 	for _, v := range f.vectors {
-		if _, err := v.ReadFrom(r); err != nil {
+		if version == snapshotV1 {
+			_, err = v.ReadFrom(r)
+		} else {
+			_, err = v.ReadFrame(tee)
+		}
+		if err != nil {
 			return nil, fmt.Errorf("core: read snapshot vectors: %w", err)
+		}
+	}
+	if version == snapshotV2 {
+		want := crc.Sum32()
+		var trailer [snapshotTrailerLen]byte
+		if _, err := io.ReadFull(r, trailer[:]); err != nil {
+			return nil, fmt.Errorf("core: read snapshot trailer: %w", err)
+		}
+		if got := binary.LittleEndian.Uint32(trailer[:]); got != want {
+			return nil, fmt.Errorf("core: snapshot checksum mismatch: stored %#x, computed %#x", got, want)
 		}
 	}
 	return f, nil

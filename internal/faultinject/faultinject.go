@@ -1,0 +1,203 @@
+// Package faultinject provides the fault-injection primitives behind the
+// repo's chaos tests: io.Reader/io.Writer wrappers that fail or
+// short-transfer at controlled points, and deterministic trace mutators
+// (bounded reorder, duplication, clock regression) that reproduce the
+// pathologies of real capture pipelines — NTP steps, multi-queue NICs,
+// SIGKILLed writers, torn state files.
+//
+// Everything is deterministic: wrappers fail at exact byte offsets and
+// mutators draw from a seeded PCG, so a chaos test that fails once fails
+// every time.
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"math/rand/v2"
+	"time"
+)
+
+// ErrInjected is the default error injected by Reader and Writer when no
+// explicit Err is configured.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Reader wraps R, failing with Err once FailAfter bytes have been
+// delivered. A read crossing the boundary delivers the bytes up to it
+// first and fails on the next call, the way a truncated file or a dying
+// socket behaves. MaxRead, when positive, caps the bytes per Read call
+// to exercise short-read handling in callers that wrongly assume full
+// buffers.
+type Reader struct {
+	R io.Reader
+	// FailAfter is the number of bytes delivered before reads fail.
+	// Negative means never fail (short reads only).
+	FailAfter int64
+	// Err is the error returned at the failure point; nil selects
+	// ErrInjected.
+	Err error
+	// MaxRead caps the size of any single read when positive.
+	MaxRead int
+
+	delivered int64
+}
+
+// Read implements io.Reader with the configured faults.
+func (r *Reader) Read(p []byte) (int, error) {
+	if r.FailAfter >= 0 && r.delivered >= r.FailAfter {
+		return 0, r.err()
+	}
+	if r.MaxRead > 0 && len(p) > r.MaxRead {
+		p = p[:r.MaxRead]
+	}
+	if r.FailAfter >= 0 {
+		if remain := r.FailAfter - r.delivered; int64(len(p)) > remain {
+			p = p[:remain]
+		}
+	}
+	n, err := r.R.Read(p)
+	r.delivered += int64(n)
+	return n, err
+}
+
+func (r *Reader) err() error {
+	if r.Err != nil {
+		return r.Err
+	}
+	return ErrInjected
+}
+
+// Writer wraps W, failing with Err once FailAfter bytes have been
+// accepted. A write crossing the boundary performs the partial write and
+// reports the fault with a short count, the way ENOSPC and torn writes
+// surface. MaxWrite, when positive, caps the bytes per Write call.
+type Writer struct {
+	W io.Writer
+	// FailAfter is the number of bytes accepted before writes fail.
+	// Negative means never fail (short writes only).
+	FailAfter int64
+	// Err is the error returned at the failure point; nil selects
+	// ErrInjected.
+	Err error
+	// MaxWrite caps the size of any single write when positive.
+	MaxWrite int
+
+	accepted int64
+}
+
+// Write implements io.Writer with the configured faults.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.FailAfter >= 0 && w.accepted >= w.FailAfter {
+		return 0, w.err()
+	}
+	short := false
+	if w.MaxWrite > 0 && len(p) > w.MaxWrite {
+		p = p[:w.MaxWrite]
+		short = true
+	}
+	truncated := false
+	if w.FailAfter >= 0 {
+		if remain := w.FailAfter - w.accepted; int64(len(p)) > remain {
+			p = p[:remain]
+			truncated = true
+		}
+	}
+	n, err := w.W.Write(p)
+	w.accepted += int64(n)
+	if err != nil {
+		return n, err
+	}
+	if truncated {
+		return n, w.err()
+	}
+	if short {
+		// A short write without an error violates io.Writer; report the
+		// injected fault so callers observe the partial transfer.
+		return n, io.ErrShortWrite
+	}
+	return n, nil
+}
+
+func (w *Writer) err() error {
+	if w.Err != nil {
+		return w.Err
+	}
+	return ErrInjected
+}
+
+// Truncate returns the first n bytes of b (all of b when n exceeds its
+// length) as a fresh slice — a crashed writer's torn file.
+func Truncate(b []byte, n int) []byte {
+	if n > len(b) {
+		n = len(b)
+	}
+	return append([]byte(nil), b[:n]...)
+}
+
+// FlipBit returns a copy of b with one bit inverted — bit rot, a bad
+// sector, a cosmic ray. bit indexes the stream bitwise, little-endian
+// within each byte.
+func FlipBit(b []byte, bit int) []byte {
+	out := append([]byte(nil), b...)
+	out[bit/8] ^= 1 << (bit % 8)
+	return out
+}
+
+// Reorder performs an in-place bounded shuffle: the slice is cut into
+// consecutive blocks of window elements and each block is shuffled
+// independently, so every element ends up strictly less than window
+// positions from where it started — the signature of multi-queue capture
+// hardware merging per-queue streams. window ≤ 1 leaves pkts untouched.
+func Reorder[T any](pkts []T, window int, seed uint64) {
+	if window <= 1 || len(pkts) < 2 {
+		return
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	for lo := 0; lo < len(pkts); lo += window {
+		hi := lo + window
+		if hi > len(pkts) {
+			hi = len(pkts)
+		}
+		block := pkts[lo:hi]
+		for i := len(block) - 1; i > 0; i-- {
+			j := rng.IntN(i + 1)
+			block[i], block[j] = block[j], block[i]
+		}
+	}
+}
+
+// Duplicate returns pkts with approximately frac of its elements
+// repeated immediately after themselves — retransmitted frames, a
+// capture tap seeing both directions of a mirror port.
+func Duplicate[T any](pkts []T, frac float64, seed uint64) []T {
+	rng := rand.New(rand.NewPCG(seed, seed^0xbf58476d1ce4e5b9))
+	out := make([]T, 0, len(pkts)+int(frac*float64(len(pkts)))+1)
+	for _, p := range pkts {
+		out = append(out, p)
+		if rng.Float64() < frac {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ClockRegress rewinds approximately frac of the timestamps by up to
+// maxStep — an NTP step or a capture clock read racing a settimeofday.
+// ts must return a pointer to the element's timestamp field; the
+// mutation is in place.
+func ClockRegress[T any](pkts []T, ts func(*T) *time.Duration, frac float64, maxStep time.Duration, seed uint64) {
+	if maxStep <= 0 {
+		return
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0x94d049bb133111eb))
+	for i := range pkts {
+		if rng.Float64() >= frac {
+			continue
+		}
+		p := ts(&pkts[i])
+		step := time.Duration(rng.Int64N(int64(maxStep))) + 1
+		*p -= step
+		if *p < 0 {
+			*p = 0
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestReaderFailsAtBoundary(t *testing.T) {
+	src := strings.NewReader("hello, world")
+	r := &Reader{R: src, FailAfter: 5}
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("expected injected error, got %v", err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("delivered %q before failing", got)
+	}
+}
+
+func TestReaderShortReads(t *testing.T) {
+	r := &Reader{R: strings.NewReader("abcdef"), FailAfter: -1, MaxRead: 2}
+	buf := make([]byte, 6)
+	n, _ := r.Read(buf)
+	if n != 2 {
+		t.Fatalf("short read not applied: n=%d", n)
+	}
+	rest, err := io.ReadAll(r)
+	if err != nil || string(buf[:n])+string(rest) != "abcdef" {
+		t.Fatalf("stream corrupted: %q + %q, err %v", buf[:n], rest, err)
+	}
+}
+
+func TestWriterFailsAtBoundary(t *testing.T) {
+	var dst bytes.Buffer
+	w := &Writer{W: &dst, FailAfter: 7}
+	n, err := w.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("expected injected error, got %v", err)
+	}
+	if n != 7 || dst.String() != "0123456" {
+		t.Fatalf("partial write wrong: n=%d, wrote %q", n, dst.String())
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("writer recovered after failure: %v", err)
+	}
+}
+
+func TestWriterShortWrites(t *testing.T) {
+	var dst bytes.Buffer
+	w := &Writer{W: &dst, FailAfter: -1, MaxWrite: 3}
+	n, err := w.Write([]byte("abcdef"))
+	if n != 3 || !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("expected short write of 3, got n=%d err=%v", n, err)
+	}
+}
+
+func TestTruncateAndFlipBit(t *testing.T) {
+	b := []byte{0xff, 0x00}
+	tr := Truncate(b, 1)
+	if len(tr) != 1 || &tr[0] == &b[0] {
+		t.Fatal("Truncate must copy")
+	}
+	fl := FlipBit(b, 9)
+	if fl[1] != 0x02 || b[1] != 0x00 {
+		t.Fatalf("FlipBit wrong or mutated input: %v, %v", fl, b)
+	}
+}
+
+func TestReorderBounded(t *testing.T) {
+	const n, window = 500, 8
+	pkts := make([]int, n)
+	for i := range pkts {
+		pkts[i] = i
+	}
+	Reorder(pkts, window, 42)
+	seen := make([]bool, n)
+	moved := 0
+	for i, v := range pkts {
+		if seen[v] {
+			t.Fatalf("element %d duplicated", v)
+		}
+		seen[v] = true
+		d := i - v
+		if d < 0 {
+			d = -d
+		}
+		if d >= window {
+			t.Fatalf("element %d displaced %d >= %d", v, d, window)
+		}
+		if d != 0 {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("reorder was a no-op")
+	}
+}
+
+func TestDuplicate(t *testing.T) {
+	pkts := make([]int, 1000)
+	for i := range pkts {
+		pkts[i] = i
+	}
+	out := Duplicate(pkts, 0.2, 7)
+	if len(out) <= len(pkts) || len(out) > len(pkts)*2 {
+		t.Fatalf("unexpected duplication: %d -> %d", len(pkts), len(out))
+	}
+	last := -1
+	for _, v := range out {
+		if v < last {
+			t.Fatalf("duplication reordered: %d after %d", v, last)
+		}
+		last = v
+	}
+}
+
+type stamped struct{ ts time.Duration }
+
+func TestClockRegress(t *testing.T) {
+	pkts := make([]stamped, 1000)
+	for i := range pkts {
+		pkts[i].ts = time.Duration(i) * time.Millisecond
+	}
+	ClockRegress(pkts, func(p *stamped) *time.Duration { return &p.ts }, 0.3, 50*time.Millisecond, 13)
+	regressed := 0
+	for i := range pkts {
+		want := time.Duration(i) * time.Millisecond
+		if pkts[i].ts > want {
+			t.Fatalf("timestamp %d moved forward", i)
+		}
+		if pkts[i].ts < 0 {
+			t.Fatalf("timestamp %d negative", i)
+		}
+		if pkts[i].ts != want {
+			regressed++
+		}
+	}
+	if regressed == 0 {
+		t.Fatal("no timestamps regressed")
+	}
+}

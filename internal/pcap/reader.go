@@ -24,6 +24,11 @@ type Reader struct {
 	// truncated by the snap length cannot be verified and are accepted.
 	VerifyChecksums bool
 	buf             []byte
+
+	// lastTS is the monotonic high-water mark of emitted timestamps;
+	// clockRegressions counts records whose capture time ran backwards.
+	lastTS           time.Duration
+	clockRegressions int64
 }
 
 // NewReader parses the global header. clientNet classifies each packet's
@@ -91,10 +96,26 @@ func (r *Reader) ReadPacket() (*packet.Packet, error) {
 	if err != nil {
 		return nil, err
 	}
-	pkt.TS = ts.Sub(r.base)
+	// Capture clocks regress in the wild (NTP steps, per-queue NIC
+	// stamping). Surface the anomaly through ClockRegressions but emit a
+	// clamped, non-decreasing timestamp so downstream state machines
+	// never see time run backwards.
+	rel := ts.Sub(r.base)
+	if rel < r.lastTS {
+		r.clockRegressions++
+		rel = r.lastTS
+	} else {
+		r.lastTS = rel
+	}
+	pkt.TS = rel
 	pkt.Dir = packet.Classify(pkt.Pair, r.clientNet)
 	return pkt, nil
 }
+
+// ClockRegressions reports how many records so far carried a capture
+// timestamp behind an earlier record's. Their emitted TS values were
+// clamped to the preceding high-water mark.
+func (r *Reader) ClockRegressions() int64 { return r.clockRegressions }
 
 // decodeFrame parses Ethernet+IPv4+L4 headers into a Packet.
 func (r *Reader) decodeFrame(frame []byte, origLen int) (*packet.Packet, error) {

@@ -14,8 +14,11 @@ import (
 )
 
 // Meter measures the byte rate of one traffic direction over a sliding
-// window of fixed-width buckets. Time must advance monotonically through
-// Add calls; out-of-order timestamps are accounted to the current bucket.
+// window of fixed-width buckets. Time should advance monotonically
+// through Add calls, but the meter tolerates capture-clock regressions:
+// a timestamp behind the current bucket is accounted to the current
+// bucket rather than rewinding the window, so a backward NTP step can
+// never un-expire history or corrupt the ring cursors.
 type Meter struct {
 	bucketWidth time.Duration
 	buckets     []int64 // ring of per-bucket byte counts
@@ -75,6 +78,12 @@ func (m *Meter) advance(ts time.Duration) {
 	if !m.started {
 		m.started = true
 		m.headStart = ts - ts%m.bucketWidth
+		return
+	}
+	if ts < m.headStart {
+		// Clock regression: keep accounting to the current bucket. The
+		// window never rewinds, so the reported rate can only err toward
+		// counting recent bytes as more recent than they were.
 		return
 	}
 	if gap := ts - m.headStart; gap > m.bucketWidth*time.Duration(len(m.buckets)) {

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"p2pbound/internal/core"
+	"p2pbound/internal/hashes"
 	"p2pbound/internal/packet"
 	"p2pbound/internal/red"
 	"p2pbound/internal/throughput"
@@ -123,19 +124,46 @@ type Config struct {
 
 	// Seed makes the probabilistic drop decisions reproducible.
 	Seed uint64
+
+	// ReorderTolerance is the capture-reorder window for backward
+	// timestamps. The limiter never requires monotonic input: a packet
+	// timestamped behind the high-water mark of previous packets is
+	// processed against clamped (high-water) time, and only a regression
+	// larger than this window counts in Stats.TimeAnomalies. The default
+	// 0 counts every backward step. Small values (a few ms) absorb
+	// multi-queue NIC reordering; the clamp itself is unconditional.
+	ReorderTolerance time.Duration
 }
 
 // Stats is a snapshot of a Limiter's activity counters.
+//
+// Accounting invariant: InboundMatched + InboundUnmatched ==
+// InboundPackets, and every processed packet lands in exactly one of
+// OutboundPackets, InboundPackets, or Unroutable — chaos tests hold the
+// limiter to this under reordered, duplicated, and clock-regressed
+// input.
 type Stats struct {
 	OutboundPackets int64
 	InboundPackets  int64
 	InboundMatched  int64 // inbound packets matching tracked outbound state
-	Dropped         int64
-	Rotations       int64
+	// InboundUnmatched counts inbound packets with at least one unmarked
+	// filter bit; Dropped is the subset that lost a P_d draw.
+	InboundUnmatched int64
+	Dropped          int64
+	Rotations        int64
 	// Unroutable counts packets the limiter could not classify (a
 	// non-IPv4 source or destination address). They are dropped
 	// defensively and appear in no other counter.
 	Unroutable int64
+	// TimeAnomalies counts packets whose timestamp regressed behind the
+	// limiter's high-water mark by more than Config.ReorderTolerance.
+	// Their clocks were clamped forward; the packets were still decided.
+	TimeAnomalies int64
+	// ShedPassed and ShedDropped count packets a saturated Pipeline shed
+	// by policy instead of deciding (see ShedPolicy). Always zero for a
+	// plain Limiter or ShardedLimiter.
+	ShedPassed  int64
+	ShedDropped int64
 }
 
 // Limiter bounds P2P upload traffic for one client network. It is not
@@ -149,6 +177,14 @@ type Limiter struct {
 	now       time.Duration
 
 	unroutable int64
+
+	// Monotonic clock guard: maxTS is the high-water mark of processed
+	// timestamps, tolerance the reorder window, timeAnomalies the count
+	// of beyond-tolerance regressions (see Config.ReorderTolerance).
+	maxTS         time.Duration
+	tsStarted     bool
+	tolerance     time.Duration
+	timeAnomalies int64
 
 	// P_d cache. The linear prober is a pure function of the metered
 	// uplink rate, and the rate only changes when bytes are added or
@@ -191,6 +227,7 @@ func New(cfg Config) (*Limiter, error) {
 	}
 	coreCfg.HolePunch = cfg.HolePunch
 	coreCfg.Seed = cfg.Seed
+	coreCfg.ReorderTolerance = cfg.ReorderTolerance
 	filter, err := core.New(coreCfg)
 	if err != nil {
 		return nil, fmt.Errorf("p2pbound: %w", err)
@@ -213,11 +250,16 @@ func New(cfg Config) (*Limiter, error) {
 		meter:       meter,
 		clientNet:   clientNet,
 		bucketWidth: window / time.Duration(buckets),
+		tolerance:   cfg.ReorderTolerance,
 	}, nil
 }
 
-// Process decides one packet's fate. Packets must be fed in timestamp
-// order.
+// Process decides one packet's fate. Packets should be fed in timestamp
+// order, but the limiter is hardened against capture-clock anomalies: a
+// backward or duplicate timestamp is clamped to the high-water mark of
+// earlier packets (so rotation, metering, and the P_d cache only ever
+// move forward) and the packet is decided normally. Regressions beyond
+// Config.ReorderTolerance are counted in Stats.TimeAnomalies.
 //
 // Defensive-drop policy: a packet the limiter cannot classify (a
 // non-IPv4 source or destination address) is treated as unmatched
@@ -233,6 +275,15 @@ func (l *Limiter) Process(p Packet) Decision {
 	if !l.toInternal(p, &pkt) {
 		l.unroutable++
 		return Drop
+	}
+	if l.tsStarted && pkt.TS < l.maxTS {
+		if l.maxTS-pkt.TS > l.tolerance {
+			l.timeAnomalies++
+		}
+		pkt.TS = l.maxTS
+	} else {
+		l.maxTS = pkt.TS
+		l.tsStarted = true
 	}
 	l.now = pkt.TS
 	l.filter.Advance(pkt.TS)
@@ -298,12 +349,17 @@ func (l *Limiter) ExpiryHorizon() time.Duration { return l.filter.TE() }
 func (l *Limiter) Stats() Stats {
 	s := l.filter.Stats()
 	return Stats{
-		OutboundPackets: s.OutboundPackets,
-		InboundPackets:  s.InboundPackets,
-		InboundMatched:  s.InboundHits,
-		Dropped:         s.Dropped,
-		Rotations:       s.Rotations,
-		Unroutable:      l.unroutable,
+		OutboundPackets:  s.OutboundPackets,
+		InboundPackets:   s.InboundPackets,
+		InboundMatched:   s.InboundHits,
+		InboundUnmatched: s.InboundMisses,
+		Dropped:          s.Dropped,
+		Rotations:        s.Rotations,
+		Unroutable:       l.unroutable,
+		// The limiter clamps timestamps before they reach the filter, so
+		// the filter's own counter stays zero on this path; it is summed
+		// anyway so direct core.Filter restores never lose anomalies.
+		TimeAnomalies: l.timeAnomalies + s.TimeAnomalies,
 	}
 }
 
@@ -341,13 +397,63 @@ func (l *Limiter) SaveState(w io.Writer) error {
 }
 
 // RestoreState replaces the limiter's bitmap filter with one deserialized
-// from a SaveState stream. The snapshot's geometry (k, N, m, Δt) becomes
-// the limiter's geometry.
+// from a SaveState stream. The snapshot's geometry (k, N, m, Δt, hash
+// construction, hole-punch mode) must match the limiter's configured
+// geometry; a mismatch returns a descriptive error and leaves the
+// limiter untouched, because silently adopting a stale geometry changes
+// the false-positive rate and expiry horizon the operator configured.
+// Use AdoptState to deliberately take over a snapshot's geometry.
 func (l *Limiter) RestoreState(r io.Reader) error {
 	filter, err := core.ReadFilter(r)
 	if err != nil {
 		return fmt.Errorf("p2pbound: restore state: %w", err)
 	}
+	if err := geometryMismatch(l.filter.Config(), filter.Config()); err != nil {
+		return fmt.Errorf("p2pbound: restore state: %w (use AdoptState to accept the snapshot geometry)", err)
+	}
+	filter.SetReorderTolerance(l.tolerance)
 	l.filter = filter
+	return nil
+}
+
+// AdoptState is RestoreState without the geometry guard: the snapshot's
+// geometry (k, N, m, Δt, hash construction, hole-punch mode) becomes the
+// limiter's geometry. Intended for explicit operator action — migrating
+// state across a reconfiguration — not for the routine restart path.
+func (l *Limiter) AdoptState(r io.Reader) error {
+	filter, err := core.ReadFilter(r)
+	if err != nil {
+		return fmt.Errorf("p2pbound: adopt state: %w", err)
+	}
+	filter.SetReorderTolerance(l.tolerance)
+	l.filter = filter
+	return nil
+}
+
+// geometryMismatch compares the geometry-bearing fields of two filter
+// configurations, ignoring operational knobs (seed, reorder tolerance).
+// The zero HashKind means the default construction, so it is normalized
+// before comparing — snapshots always store the resolved kind.
+func geometryMismatch(want, got core.Config) error {
+	if want.HashKind == 0 {
+		want.HashKind = hashes.FNVDouble
+	}
+	if got.HashKind == 0 {
+		got.HashKind = hashes.FNVDouble
+	}
+	switch {
+	case want.K != got.K:
+		return fmt.Errorf("snapshot geometry mismatch: k=%d, configured k=%d", got.K, want.K)
+	case want.NBits != got.NBits:
+		return fmt.Errorf("snapshot geometry mismatch: n=%d, configured n=%d", got.NBits, want.NBits)
+	case want.M != got.M:
+		return fmt.Errorf("snapshot geometry mismatch: m=%d, configured m=%d", got.M, want.M)
+	case want.DeltaT != got.DeltaT:
+		return fmt.Errorf("snapshot geometry mismatch: Δt=%v, configured Δt=%v", got.DeltaT, want.DeltaT)
+	case want.HashKind != got.HashKind:
+		return fmt.Errorf("snapshot geometry mismatch: hash kind %d, configured %d", got.HashKind, want.HashKind)
+	case want.HolePunch != got.HolePunch:
+		return fmt.Errorf("snapshot geometry mismatch: holepunch=%v, configured holepunch=%v", got.HolePunch, want.HolePunch)
+	}
 	return nil
 }

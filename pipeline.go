@@ -1,11 +1,49 @@
 package p2pbound
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// ShedPolicy selects what a saturated Pipeline does with a packet whose
+// shard ring is full. Whatever the choice, the capture loop never
+// stalls indefinitely behind a slow shard by accident: overload
+// degrades by explicit policy.
+type ShedPolicy int
+
+const (
+	// ShedBlock applies backpressure: Submit and SubmitBatch block until
+	// the shard worker frees a slot. The default — lossless, but a
+	// saturated shard transfers its stall to the producer.
+	ShedBlock ShedPolicy = iota
+	// ShedFailOpen passes overflow packets undecided: the shed packet is
+	// treated as admitted and counted in Stats.ShedPassed. The safe
+	// choice when dropping legitimate traffic is worse than briefly
+	// under-enforcing the P2P bound.
+	ShedFailOpen
+	// ShedFailClosed drops overflow packets: the shed packet is treated
+	// as denied and counted in Stats.ShedDropped. The safe choice when
+	// an attacker could saturate the pipeline to smuggle traffic past
+	// the filter.
+	ShedFailClosed
+)
+
+// String names the policy.
+func (s ShedPolicy) String() string {
+	switch s {
+	case ShedBlock:
+		return "block"
+	case ShedFailOpen:
+		return "fail-open"
+	case ShedFailClosed:
+		return "fail-closed"
+	default:
+		return fmt.Sprintf("shedpolicy(%d)", int(s))
+	}
+}
 
 // PipelineConfig parameterizes a Pipeline. The zero value of every field
 // selects a sensible default.
@@ -20,6 +58,14 @@ type PipelineConfig struct {
 	// BatchSize is the maximum number of packets a shard worker drains
 	// and decides per wakeup. Default 256.
 	BatchSize int
+	// OnOverload selects the shed policy for packets arriving at a full
+	// shard ring. Default ShedBlock (backpressure).
+	OnOverload ShedPolicy
+
+	// testGate, when non-nil, holds every shard worker at startup until
+	// the channel is closed. Chaos tests use it to saturate the rings
+	// deterministically; it must be closed before Close is called.
+	testGate <-chan struct{}
 }
 
 // Pipeline is the concurrent driver for a ShardedLimiter: one worker
@@ -46,9 +92,16 @@ type Pipeline struct {
 	scratch sync.Pool // *routeScratch
 	wg      sync.WaitGroup
 	closed  atomic.Bool
+	policy  ShedPolicy
+	gate    <-chan struct{}
 
 	passed  atomic.Int64
 	dropped atomic.Int64
+
+	// Shed accounting: packets a full ring turned away by policy. They
+	// were never decided by a Limiter and appear in no per-shard counter.
+	shedPassed  atomic.Int64
+	shedDropped atomic.Int64
 }
 
 // NewPipeline builds the sharded limiter and starts one worker per
@@ -80,6 +133,8 @@ func NewPipeline(cfg Config, pcfg PipelineConfig) (*Pipeline, error) {
 	p := &Pipeline{
 		sharded: sharded,
 		rings:   make([]*ring, shards),
+		policy:  pcfg.OnOverload,
+		gate:    pcfg.testGate,
 	}
 	p.scratch.New = func() any {
 		sc := &routeScratch{byShard: make([][]Packet, shards)}
@@ -101,16 +156,55 @@ func NewPipeline(cfg Config, pcfg PipelineConfig) (*Pipeline, error) {
 // Shards returns the number of shard workers.
 func (p *Pipeline) Shards() int { return p.sharded.Shards() }
 
-// Submit routes one packet to its shard ring, blocking while the ring is
-// full. It must not be called after Close.
+// Submit routes one packet to its shard ring. Under the default
+// ShedBlock policy it blocks while the ring is full; under ShedFailOpen
+// or ShedFailClosed a packet arriving at a full ring is shed by policy
+// and counted instead of enqueued. It must not be called after Close.
 func (p *Pipeline) Submit(pkt Packet) {
 	if p.closed.Load() {
 		panic("p2pbound: Submit on closed Pipeline")
 	}
 	r := p.rings[p.sharded.ShardOf(pkt)]
+	if p.policy == ShedBlock {
+		r.mu.Lock()
+		r.push(pkt)
+		r.mu.Unlock()
+		return
+	}
 	r.mu.Lock()
-	r.push(pkt)
+	ok := r.tryPush(pkt)
 	r.mu.Unlock()
+	if !ok {
+		p.shed(1)
+	}
+}
+
+// TrySubmit attempts a non-blocking enqueue, regardless of the shed
+// policy. It reports false when the shard ring is full, in which case
+// the packet was not taken and nothing was counted — the caller owns the
+// overflow decision (retry, spill to a secondary queue, apply its own
+// verdict). It must not be called after Close.
+func (p *Pipeline) TrySubmit(pkt Packet) bool {
+	if p.closed.Load() {
+		panic("p2pbound: TrySubmit on closed Pipeline")
+	}
+	r := p.rings[p.sharded.ShardOf(pkt)]
+	r.mu.Lock()
+	ok := r.tryPush(pkt)
+	r.mu.Unlock()
+	return ok
+}
+
+// shed records n packets turned away by the overload policy.
+func (p *Pipeline) shed(n int) {
+	if n <= 0 {
+		return
+	}
+	if p.policy == ShedFailOpen {
+		p.shedPassed.Add(int64(n))
+	} else {
+		p.shedDropped.Add(int64(n))
+	}
 }
 
 // submitChunk bounds the staging buffer SubmitBatch classifies into
@@ -122,8 +216,9 @@ const submitChunk = 8192
 // publishes each shard's group with one lock acquisition and one ring
 // cursor update — the amortization that lets a single producer outrun
 // several shard workers. Packets must be in non-decreasing timestamp
-// order (per producer, as with Submit). It must not be called after
-// Close.
+// order (per producer, as with Submit). Under a non-blocking shed
+// policy, packets that do not fit a full shard ring are shed by policy
+// and counted instead of enqueued. It must not be called after Close.
 func (p *Pipeline) SubmitBatch(pkts []Packet) {
 	if p.closed.Load() {
 		panic("p2pbound: SubmitBatch on closed Pipeline")
@@ -149,8 +244,14 @@ func (p *Pipeline) SubmitBatch(pkts []Packet) {
 			}
 			r := p.rings[sh]
 			r.mu.Lock()
-			r.pushAll(group)
+			if p.policy == ShedBlock {
+				r.pushAll(group)
+				r.mu.Unlock()
+				continue
+			}
+			accepted := r.tryPushAll(group)
 			r.mu.Unlock()
+			p.shed(len(group) - accepted)
 		}
 	}
 	p.scratch.Put(sc)
@@ -186,17 +287,32 @@ func (p *Pipeline) Close() {
 }
 
 // Verdicts returns the number of passed and dropped packets decided so
-// far. It is safe to call at any time, including concurrently with
+// far. Shed packets were never decided and are reported separately by
+// Shed. It is safe to call at any time, including concurrently with
 // submission.
 func (p *Pipeline) Verdicts() (passed, dropped int64) {
 	return p.passed.Load(), p.dropped.Load()
 }
 
-// Stats sums the per-shard activity counters. The shard limiters are
-// owned by the worker goroutines, so Stats must only be called when the
-// pipeline is quiescent: after Close, or after a Drain with no
-// concurrent submissions.
-func (p *Pipeline) Stats() Stats { return p.sharded.Stats() }
+// Shed returns the number of packets turned away undecided by the
+// overload policy: fail-open sheds count as passed, fail-closed sheds as
+// dropped. Both are zero under ShedBlock. Safe to call at any time.
+func (p *Pipeline) Shed() (passed, dropped int64) {
+	return p.shedPassed.Load(), p.shedDropped.Load()
+}
+
+// Stats sums the per-shard activity counters and adds the pipeline's
+// shed counts (Stats.ShedPassed / Stats.ShedDropped — packets the
+// overload policy turned away without a Limiter decision). The shard
+// limiters are owned by the worker goroutines, so Stats must only be
+// called when the pipeline is quiescent: after Close, or after a Drain
+// with no concurrent submissions.
+func (p *Pipeline) Stats() Stats {
+	s := p.sharded.Stats()
+	s.ShedPassed = p.shedPassed.Load()
+	s.ShedDropped = p.shedDropped.Load()
+	return s
+}
 
 // MemoryBytes returns the total bitmap memory across shards.
 func (p *Pipeline) MemoryBytes() int { return p.sharded.MemoryBytes() }
@@ -210,6 +326,9 @@ func (p *Pipeline) ExpiryHorizon() time.Duration { return p.sharded.ExpiryHorizo
 // synchronizes on.
 func (p *Pipeline) worker(sh int, batchSize int) {
 	defer p.wg.Done()
+	if p.gate != nil {
+		<-p.gate
+	}
 	r := p.rings[sh]
 	limiter := p.sharded.shards[sh]
 	batch := make([]Packet, 0, batchSize)
@@ -280,6 +399,37 @@ func (r *ring) push(p Packet) {
 	}
 	r.buf[t&r.mask] = p
 	r.tail.Store(t + 1)
+}
+
+// tryPush appends one packet if the ring has a free slot, reporting
+// whether it did. Callers hold r.mu.
+func (r *ring) tryPush(p Packet) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() >= uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[t&r.mask] = p
+	r.tail.Store(t + 1)
+	return true
+}
+
+// tryPushAll appends as much of the group as fits without waiting and
+// returns the count accepted; the caller sheds the remainder. Callers
+// hold r.mu.
+func (r *ring) tryPushAll(pkts []Packet) int {
+	t := r.tail.Load()
+	free := uint64(len(r.buf)) - (t - r.head.Load())
+	n := uint64(len(pkts))
+	if n > free {
+		n = free
+	}
+	for i := uint64(0); i < n; i++ {
+		r.buf[(t+i)&r.mask] = pkts[i]
+	}
+	if n > 0 {
+		r.tail.Store(t + n)
+	}
+	return int(n)
 }
 
 // pushAll appends a group of packets, publishing the tail cursor once

@@ -97,9 +97,11 @@ func (s *ShardedLimiter) Stats() Stats {
 		sum.OutboundPackets += st.OutboundPackets
 		sum.InboundPackets += st.InboundPackets
 		sum.InboundMatched += st.InboundMatched
+		sum.InboundUnmatched += st.InboundUnmatched
 		sum.Dropped += st.Dropped
 		sum.Rotations += st.Rotations
 		sum.Unroutable += st.Unroutable
+		sum.TimeAnomalies += st.TimeAnomalies
 	}
 	return sum
 }
