@@ -390,6 +390,42 @@ func BenchmarkLimiterProcessBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkLimiterProcessBatchTelemetry is BenchmarkLimiterProcessBatch
+// with the full observability layer attached (telemetry registry, drop
+// P_d histogram, batch latency, sampled tracing). Compare the two to
+// measure the observability overhead; the acceptance budget is <= 5%.
+func BenchmarkLimiterProcessBatchTelemetry(b *testing.B) {
+	pkts := benchPublicTrace()
+	var traced int64
+	l, err := New(Config{
+		ClientNetwork: "140.112.0.0/16",
+		Telemetry:     NewTelemetry(),
+		TraceEveryN:   1024,
+		TraceFunc:     func(DropTrace) { traced++ },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const chunk = 256
+	dst := make([]Decision, 0, chunk)
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for n < b.N {
+		lo := n % len(pkts)
+		hi := lo + chunk
+		if hi > len(pkts) {
+			hi = len(pkts)
+		}
+		dst = l.ProcessBatch(pkts[lo:hi], dst[:0])
+		n += hi - lo
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "packets/sec")
+	}
+}
+
 // BenchmarkPipeline replays the shared 60 s bench trace through the
 // 4-shard concurrent Pipeline (SubmitBatch + Drain per iteration). One
 // op is one full-trace replay. The setup replays the same trace through

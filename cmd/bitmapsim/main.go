@@ -17,12 +17,17 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
 	"p2pbound/internal/core"
+	"p2pbound/internal/metrics"
 	"p2pbound/internal/naive"
 	"p2pbound/internal/netsim"
 	"p2pbound/internal/packet"
@@ -56,6 +61,7 @@ func run(args []string) error {
 		idle      = fs.Duration("idle", 240*time.Second, "spi: idle timeout")
 		seed      = fs.Uint64("seed", 42, "seed for probabilistic drops")
 		series    = fs.Bool("series", false, "print the per-second drop-rate series")
+		listen    = fs.String("listen", "", "serve /metrics and /debug/pprof/ on this address during the replay (empty = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,16 +70,6 @@ func run(args []string) error {
 		return fmt.Errorf("missing -i input path")
 	}
 	clientNet, err := packet.ParseNetwork(*netCIDR)
-	if err != nil {
-		return err
-	}
-
-	f, err := os.Open(*in)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	packets, err := pcap.ReadAll(bufio.NewReaderSize(f, 1<<20), clientNet, true)
 	if err != nil {
 		return err
 	}
@@ -118,6 +114,47 @@ func run(args []string) error {
 		cfg.Prober = prober
 	}
 
+	if *listen != "" {
+		obs := newObservedFilter(filter, *filterSel, memory)
+		filter = obs
+		if cfg.Prober != nil {
+			// The RED ramp is observable too: every computed P_d updates
+			// the gauge the scrape reads.
+			cfg.Prober = red.Observed{Prober: cfg.Prober, Fn: obs.observePd}
+		}
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: obs.reg.Handler()}
+		go func() {
+			if serveErr := srv.Serve(ln); serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "bitmapsim: metrics server: %v\n", serveErr)
+			}
+		}()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if shutErr := srv.Shutdown(ctx); shutErr != nil {
+				srv.Close()
+			}
+		}()
+		fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
+	}
+
+	// Open the input only after the metrics server is listening: with a
+	// streaming source (a FIFO fed by tcpdump), the load phase is the long
+	// part, and the endpoints should be reachable throughout it.
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	packets, err := pcap.ReadAll(bufio.NewReaderSize(f, 1<<20), clientNet, true)
+	if err != nil {
+		return err
+	}
+
 	start := time.Now()
 	res, err := netsim.Replay(packets, filter, cfg)
 	if err != nil {
@@ -144,3 +181,53 @@ func run(args []string) error {
 	}
 	return nil
 }
+
+// observedFilter instruments a netsim.Filter for live scraping during a
+// replay: verdict counters, the simulated clock, the memory footprint,
+// and (via observePd on a red.Observed wrapper) the current P_d. The
+// replay is single-threaded, so everything records on stripe 0; the HTTP
+// scrape goroutine only ever reads atomics.
+type observedFilter struct {
+	netsim.Filter
+	reg       *metrics.Registry
+	processed *metrics.Counter
+	dropped   *metrics.Counter
+	clock     *metrics.Gauge
+	pd        *metrics.Gauge
+	mem       *metrics.Gauge
+	memory    func() int
+}
+
+func newObservedFilter(f netsim.Filter, name string, memory func() int) *observedFilter {
+	reg := metrics.NewRegistry()
+	lbl := metrics.L("filter", name)
+	return &observedFilter{
+		Filter:    f,
+		reg:       reg,
+		memory:    memory,
+		processed: reg.Counter("bitmapsim_packets_total", "Packets decided by the replay filter.", 1, lbl),
+		dropped:   reg.Counter("bitmapsim_dropped_total", "Packets the replay filter dropped.", 1, lbl),
+		clock:     reg.Gauge("bitmapsim_trace_seconds", "Simulated trace time reached by the replay.", lbl),
+		pd:        reg.Gauge("bitmapsim_pd", "Drop probability most recently computed by the prober.", lbl),
+		mem:       reg.Gauge("bitmapsim_filter_bytes", "Memory footprint of the filter state.", lbl),
+	}
+}
+
+func (o *observedFilter) Advance(ts time.Duration) {
+	o.clock.Set(ts.Seconds())
+	// Sampled on the replay goroutine, not at scrape time: the SPI and
+	// naive baselines compute their footprint from mutable tables.
+	o.mem.Set(float64(o.memory()))
+	o.Filter.Advance(ts)
+}
+
+func (o *observedFilter) Process(pkt *packet.Packet, pd float64) core.Verdict {
+	v := o.Filter.Process(pkt, pd)
+	o.processed.Inc(0)
+	if v == core.Drop {
+		o.dropped.Inc(0)
+	}
+	return v
+}
+
+func (o *observedFilter) observePd(_, pd float64) { o.pd.Set(pd) }

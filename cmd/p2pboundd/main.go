@@ -28,10 +28,13 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"net/netip"
 	"os"
 	"os/signal"
@@ -75,6 +78,8 @@ func runSig(args []string, out io.Writer, sigc <-chan os.Signal) error {
 		seed       = fs.Uint64("seed", 0, "seed for probabilistic drops")
 		tolerance  = fs.Duration("reorder-tolerance", 10*time.Millisecond, "capture reorder window before a backward timestamp counts as an anomaly")
 		stopAfter  = fs.Int64("stop-after", 0, "gracefully stop after N packets, as if signalled (0 = run to EOF)")
+		listen     = fs.String("listen", "", "serve /metrics, /metrics.json, and /debug/pprof/ on this address (empty = disabled)")
+		traceEvery = fs.Int("trace-every", 0, "print a TRACE line for every Nth dropped packet (0 = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,16 +92,54 @@ func runSig(args []string, out io.Writer, sigc <-chan os.Signal) error {
 		return err
 	}
 
-	limiter, err := p2pbound.New(p2pbound.Config{
+	cfg := p2pbound.Config{
 		ClientNetwork:    *netCIDR,
 		LowMbps:          *lowMbps,
 		HighMbps:         *highMbps,
 		HolePunch:        *holePunch,
 		Seed:             *seed,
 		ReorderTolerance: *tolerance,
-	})
+	}
+	var tel *p2pbound.Telemetry
+	if *listen != "" {
+		tel = p2pbound.NewTelemetry()
+		cfg.Telemetry = tel
+	}
+	if *traceEvery > 0 {
+		cfg.TraceEveryN = *traceEvery
+		cfg.TraceFunc = func(tr p2pbound.DropTrace) {
+			// Runs synchronously on the processing goroutine, so it shares
+			// out with the drop and stats lines without extra locking.
+			fmt.Fprintf(out, "TRACE t=%v proto=%d %s:%d->%s:%d pd=%.3f uplink=%.2fMbps epoch=%d\n",
+				tr.Timestamp, tr.Protocol, tr.SrcAddr, tr.SrcPort, tr.DstAddr, tr.DstPort,
+				tr.Pd, tr.UplinkMbps, tr.Epoch)
+		}
+	}
+	limiter, err := p2pbound.New(cfg)
 	if err != nil {
 		return err
+	}
+	if *listen != "" {
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: tel.Handler()}
+		go func() {
+			if serveErr := srv.Serve(ln); serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "p2pboundd: metrics server: %v\n", serveErr)
+			}
+		}()
+		// Graceful HTTP shutdown on every exit path (EOF, signal, read
+		// error): in-flight scrapes finish, then the listener closes.
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if shutErr := srv.Shutdown(ctx); shutErr != nil {
+				srv.Close()
+			}
+		}()
+		fmt.Fprintf(out, "metrics on http://%s/metrics\n", ln.Addr())
 	}
 	if *statePath != "" {
 		switch restoreErr := restoreState(limiter, *statePath, *stateAdopt); {

@@ -17,6 +17,7 @@ package core
 import (
 	"fmt"
 	"math/rand/v2"
+	"sync/atomic"
 	"time"
 
 	"p2pbound/internal/bitvec"
@@ -102,6 +103,34 @@ type Stats struct {
 	TimeAnomalies int64
 }
 
+// counters is the live storage behind Stats. Every field is an atomic so
+// Stats can be snapshotted from a scrape or monitoring goroutine while
+// the owning goroutine processes packets: each counter read is torn-free
+// and monotone. The filter itself remains single-writer; the atomics buy
+// concurrent readers, not concurrent writers.
+type counters struct {
+	outbound      atomic.Int64
+	inbound       atomic.Int64
+	hits          atomic.Int64
+	misses        atomic.Int64
+	dropped       atomic.Int64
+	rotations     atomic.Int64
+	timeAnomalies atomic.Int64
+}
+
+// snapshot loads every counter into a Stats value.
+func (c *counters) snapshot() Stats {
+	return Stats{
+		OutboundPackets: c.outbound.Load(),
+		InboundPackets:  c.inbound.Load(),
+		InboundHits:     c.hits.Load(),
+		InboundMisses:   c.misses.Load(),
+		Dropped:         c.dropped.Load(),
+		Rotations:       c.rotations.Load(),
+		TimeAnomalies:   c.timeAnomalies.Load(),
+	}
+}
+
 // Filter is a {k×N}-bitmap filter. It is driven by simulated packet
 // timestamps via Advance and is not safe for concurrent use; wrap it or
 // shard per flow hash for multi-queue deployments.
@@ -127,7 +156,7 @@ type Filter struct {
 	next     time.Duration // simulated time of the next rotation
 	lastTS   time.Duration // monotonic high-water mark of Advance input
 	started  bool
-	stats    Stats
+	stats    counters
 }
 
 // New builds a bitmap filter from cfg.
@@ -186,8 +215,15 @@ func (f *Filter) Bytes() int {
 	return f.cfg.K * f.vectors[0].Bytes()
 }
 
-// Stats returns a snapshot of the activity counters.
-func (f *Filter) Stats() Stats { return f.stats }
+// Stats returns a snapshot of the activity counters. It may be called
+// from any goroutine, concurrently with packet processing: each counter
+// is loaded atomically, so individual values are never torn and only
+// ever increase.
+func (f *Filter) Stats() Stats { return f.stats.snapshot() }
+
+// Rotations returns the vector-rotation count alone — the filter's epoch,
+// cheap enough to read per sampled decision trace.
+func (f *Filter) Rotations() int64 { return f.stats.rotations.Load() }
 
 // Utilization returns the marked-bit fraction of the current bit vector,
 // the U = b/N of Equation 2.
@@ -213,7 +249,7 @@ func (f *Filter) Advance(ts time.Duration) {
 	}
 	if ts < f.lastTS {
 		if f.lastTS-ts > f.cfg.ReorderTolerance {
-			f.stats.TimeAnomalies++
+			f.stats.timeAnomalies.Add(1)
 		}
 		ts = f.lastTS
 	} else {
@@ -231,7 +267,7 @@ func (f *Filter) Advance(ts time.Duration) {
 		// All vectors are freshly cleared; sweep the one that is about
 		// to collect the longest-lived marks (the new current vector).
 		f.sweepVec = f.idx
-		f.stats.Rotations += due
+		f.stats.rotations.Add(due)
 		f.next += time.Duration(due) * f.cfg.DeltaT
 		return
 	}
@@ -258,7 +294,7 @@ func (f *Filter) Rotate() {
 	f.idx = (f.idx + 1) % f.cfg.K
 	f.vectors[last].Clear()
 	f.sweepVec = last
-	f.stats.Rotations++
+	f.stats.rotations.Add(1)
 }
 
 // stepSweep advances the deferred clear of the most recently rotated
@@ -284,11 +320,11 @@ func (f *Filter) stepSweep() {
 func (f *Filter) Process(pkt *packet.Packet, pd float64) Verdict {
 	f.stepSweep()
 	if pkt.Dir == packet.Outbound {
-		f.stats.OutboundPackets++
+		f.stats.outbound.Add(1)
 		f.Mark(pkt.Pair)
 		return Pass
 	}
-	f.stats.InboundPackets++
+	f.stats.inbound.Add(1)
 	f.sums = f.family.Sum(f.sums[:0], f.inboundKey(pkt.Pair))
 	cur := f.vectors[f.idx]
 	miss := false
@@ -298,15 +334,15 @@ func (f *Filter) Process(pkt *packet.Packet, pd float64) Verdict {
 		}
 		miss = true
 		if pd > 0 && f.rng.Float64() < pd {
-			f.stats.InboundMisses++
-			f.stats.Dropped++
+			f.stats.misses.Add(1)
+			f.stats.dropped.Add(1)
 			return Drop
 		}
 	}
 	if miss {
-		f.stats.InboundMisses++
+		f.stats.misses.Add(1)
 	} else {
-		f.stats.InboundHits++
+		f.stats.hits.Add(1)
 	}
 	return Pass
 }

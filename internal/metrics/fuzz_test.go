@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzWritePrometheus hunts for text-format violations: whatever metric
+// names, help strings, label pairs, bucket bounds, and values (including
+// NaN and the infinities) a caller registers, the encoder must emit a
+// parseable exposition — every line a well-formed comment or sample, all
+// emitted names inside the legal charset, label values quote-balanced.
+func FuzzWritePrometheus(f *testing.F) {
+	f.Add("name_total", "help text", "label", "value", 1.5, 0.5)
+	f.Add("", "", "", "", math.NaN(), math.Inf(1))
+	f.Add("9 weird\nname", "help\\with\nnewline", "l-k", "v\"q\\uote\n", math.Inf(-1), -1.0)
+	f.Add("a:b", "h", "le", "+Inf", 1e308, 1e-308)
+	f.Fuzz(func(t *testing.T, name, help, lkey, lval string, v, bound float64) {
+		r := NewRegistry()
+		c := r.Counter(name, help, 2, L(lkey, lval))
+		c.Add(0, 3)
+		g := r.Gauge(name+"_g", help, L(lkey, lval))
+		g.Set(v)
+		h := r.Histogram(name+"_h", help, []float64{bound, 0, v}, 2, L(lkey, lval))
+		h.Observe(0, v)
+		h.Observe(1, bound)
+		r.GaugeFunc(name+"_f", help, func() float64 { return v })
+
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatalf("WritePrometheus: %v", err)
+		}
+		checkExposition(t, b.String())
+
+		var jb strings.Builder
+		if err := r.WriteJSON(&jb); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+	})
+}
+
+// checkExposition asserts the structural invariants of the text format.
+func checkExposition(t *testing.T, out string) {
+	t.Helper()
+	if out == "" {
+		t.Fatal("empty exposition")
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatal("exposition does not end in newline")
+	}
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			rest := line[len("# HELP "):]
+			name, _, _ := strings.Cut(rest, " ")
+			checkName(t, name, line)
+			continue
+		}
+		// Sample line: name[{labels}] value
+		idx := strings.LastIndexByte(line, ' ')
+		if idx < 0 {
+			t.Fatalf("sample line without value separator: %q", line)
+		}
+		series, value := line[:idx], line[idx+1:]
+		switch value {
+		case "NaN", "+Inf", "-Inf":
+		default:
+			if !isFloatToken(value) {
+				t.Fatalf("unparseable value %q in line %q", value, line)
+			}
+		}
+		name := series
+		if brace := strings.IndexByte(series, '{'); brace >= 0 {
+			name = series[:brace]
+			labels := series[brace:]
+			if !strings.HasSuffix(labels, "}") {
+				t.Fatalf("unterminated label set in %q", line)
+			}
+			if n := countUnescapedQuotes(labels); n%2 != 0 {
+				t.Fatalf("unbalanced quotes (%d) in %q", n, line)
+			}
+		}
+		checkName(t, name, line)
+	}
+}
+
+func checkName(t *testing.T, name, line string) {
+	t.Helper()
+	if name == "" {
+		t.Fatalf("empty metric name in line %q", line)
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			t.Fatalf("illegal rune %q in metric name %q (line %q)", c, name, line)
+		}
+	}
+}
+
+func isFloatToken(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c >= '0' && c <= '9':
+		case c == '.' || c == '+' || c == '-' || c == 'e' || c == 'E':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func countUnescapedQuotes(s string) int {
+	n := 0
+	escaped := false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case escaped:
+			escaped = false
+		case s[i] == '\\':
+			escaped = true
+		case s[i] == '"':
+			n++
+		}
+	}
+	return n
+}

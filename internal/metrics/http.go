@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"math"
+	"net/http"
+	"net/http/pprof"
+)
+
+// WriteJSON renders every registered series as one JSON array of
+// {name, labels, value} objects (histograms carry buckets/sum/count
+// instead of value) — the machine-readable twin of the Prometheus text
+// format, served at /metrics.json.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	type jsonHist struct {
+		Buckets map[string]float64 `json:"buckets"`
+		Sum     any                `json:"sum"`
+		Count   float64            `json:"count"`
+	}
+	type jsonSeries struct {
+		Name   string            `json:"name"`
+		Kind   string            `json:"kind"`
+		Labels map[string]string `json:"labels,omitempty"`
+		Value  any               `json:"value,omitempty"`
+		Hist   *jsonHist         `json:"histogram,omitempty"`
+	}
+	var out []jsonSeries
+	for _, fam := range r.snapshot() {
+		for _, m := range fam.members {
+			if fam.kind == KindHistogram {
+				h := jsonHist{Buckets: make(map[string]float64)}
+				var labels map[string]string
+				m.collect(func(s sample) {
+					switch s.suffix {
+					case "_bucket":
+						le := ""
+						for _, l := range s.labels {
+							if l.Key == "le" {
+								le = l.Value
+							}
+						}
+						h.Buckets[le] = s.value
+					case "_sum":
+						h.Sum = jsonValue(s.value)
+					case "_count":
+						h.Count = s.value
+						labels = labelMap(s.labels)
+					}
+				})
+				out = append(out, jsonSeries{Name: fam.name, Kind: fam.kind.String(), Labels: labels, Hist: &h})
+				continue
+			}
+			m.collect(func(s sample) {
+				out = append(out, jsonSeries{
+					Name: fam.name, Kind: fam.kind.String(),
+					Labels: labelMap(s.labels), Value: jsonValue(s.value),
+				})
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// jsonValue maps a sample value into something encoding/json accepts:
+// finite floats pass through, NaN and the infinities become the strings
+// the Prometheus text format uses.
+func jsonValue(v float64) any {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return formatFloat(v)
+	}
+	return v
+}
+
+func labelMap(labels []Label) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels))
+	for _, l := range labels {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+// Handler returns the observability endpoint for one registry:
+//
+//	/metrics        Prometheus text format
+//	/metrics.json   the same series as JSON
+//	/debug/vars     expvar JSON (process-wide cmdline + memstats)
+//	/debug/pprof/   the standard pprof index, profiles, and traces
+//
+// The handler is safe to serve while the instrumented hot path records.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "p2pbound observability\n\n/metrics\n/metrics.json\n/debug/vars\n/debug/pprof/\n")
+	})
+	return mux
+}

@@ -1,0 +1,371 @@
+// Package metrics is the observability substrate of the limiter stack:
+// sharded atomic counters, gauges, and fixed-bucket histograms with zero
+// heap allocations on every record path, collected into a Registry that
+// renders Prometheus text format and JSON and serves both (plus
+// net/http/pprof) over HTTP.
+//
+// The package is deliberately small and dependency-free. Instruments are
+// created through a Registry and recorded against a stripe index — in the
+// limiter stack, the pipeline shard — so concurrent writers on different
+// shards never contend on a cache line. Reading (Value, the encoders) sums
+// the stripes; reads are torn-free per series because every cell is an
+// atomic, and may run concurrently with recording.
+package metrics
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind is the Prometheus metric type of a family.
+type Kind int
+
+// Metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String returns the Prometheus TYPE keyword.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// Label is one static key/value pair attached to a series at registration
+// time. The record paths never touch labels.
+type Label struct{ Key, Value string }
+
+// L is shorthand for constructing a Label.
+func L(k, v string) Label { return Label{Key: k, Value: v} }
+
+// sample is one encoded series value handed to the exporters.
+type sample struct {
+	suffix string  // appended to the family name ("_bucket", "_sum", …)
+	labels []Label // static labels plus any synthetic ones (le)
+	value  float64
+}
+
+// metric is the collection interface every instrument implements.
+type metric interface {
+	collect(emit func(sample))
+}
+
+// cacheLine is the assumed coherence granularity for stripe padding.
+const cacheLine = 64
+
+// padded is an atomic counter cell padded to a full cache line so
+// adjacent stripes never false-share.
+type padded struct {
+	n atomic.Int64
+	_ [cacheLine - 8]byte
+}
+
+// stripeCount rounds n up to a power of two (minimum 1) so stripe
+// selection is a mask, not a modulo.
+func stripeCount(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	for n&(n-1) != 0 {
+		n += n & -n
+	}
+	return n
+}
+
+// Counter is a monotonically increasing counter striped across
+// cache-line-padded atomic cells. Add/Inc are wait-free and
+// allocation-free; Value sums the stripes.
+type Counter struct {
+	cells  []padded
+	mask   uint32
+	labels []Label
+}
+
+// Add records n occurrences on the given stripe. Stripe indices wrap, so
+// any non-negative shard id is a valid stripe.
+func (c *Counter) Add(stripe int, n int64) {
+	c.cells[uint32(stripe)&c.mask].n.Add(n)
+}
+
+// Inc records one occurrence on the given stripe.
+func (c *Counter) Inc(stripe int) { c.Add(stripe, 1) }
+
+// Value returns the sum over all stripes.
+func (c *Counter) Value() int64 {
+	var sum int64
+	for i := range c.cells {
+		sum += c.cells[i].n.Load()
+	}
+	return sum
+}
+
+// StripeValue returns the count recorded on one stripe, for callers that
+// export per-shard views of a shared counter.
+func (c *Counter) StripeValue(stripe int) int64 {
+	return c.cells[uint32(stripe)&c.mask].n.Load()
+}
+
+func (c *Counter) collect(emit func(sample)) {
+	emit(sample{labels: c.labels, value: float64(c.Value())})
+}
+
+// Gauge is a single float64 value stored as atomic bits. Set and Value
+// are allocation-free and safe from any goroutine.
+type Gauge struct {
+	bits   atomic.Uint64
+	labels []Label
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value loads the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) collect(emit func(sample)) {
+	emit(sample{labels: g.labels, value: g.Value()})
+}
+
+// funcMetric samples a callback at collection time. It is the zero-cost
+// wiring for values another component already maintains atomically (e.g.
+// the limiter's stats counters): the hot path pays nothing, the scrape
+// pays one closure call.
+type funcMetric struct {
+	fn     func() float64
+	labels []Label
+}
+
+func (f *funcMetric) collect(emit func(sample)) {
+	emit(sample{labels: f.labels, value: f.fn()})
+}
+
+// histStripe is one stripe of a histogram: per-bucket counts plus a
+// float64-bits CAS-accumulated sum. Stripes are separate allocations, so
+// concurrent shards write disjoint cache lines.
+type histStripe struct {
+	counts []atomic.Int64 // len(bounds)+1; last cell is the +Inf bucket
+	sum    atomic.Uint64  // float64 bits
+}
+
+// Histogram is a fixed-bucket histogram striped like Counter. Observe is
+// allocation-free: a short linear scan over the bounds, one atomic add,
+// and one CAS on the stripe's sum. With one writer per stripe — the
+// limiter stack's sharding discipline — the CAS never retries.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds, +Inf excluded
+	stripes []*histStripe
+	mask    uint32
+	labels  []Label
+}
+
+// Observe records v on the given stripe. Following Prometheus semantics a
+// value lands in the first bucket whose upper bound is >= v; NaN lands in
+// the +Inf bucket and is excluded from the sum.
+func (h *Histogram) Observe(stripe int, v float64) {
+	s := h.stripes[uint32(stripe)&h.mask]
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	if math.IsNaN(v) {
+		i = len(h.bounds)
+	}
+	s.counts[i].Add(1)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	for {
+		old := s.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if s.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations across stripes.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for _, s := range h.stripes {
+		for i := range s.counts {
+			n += s.counts[i].Load()
+		}
+	}
+	return n
+}
+
+// Sum returns the sum of all non-NaN, finite observations.
+func (h *Histogram) Sum() float64 {
+	var sum float64
+	for _, s := range h.stripes {
+		sum += math.Float64frombits(s.sum.Load())
+	}
+	return sum
+}
+
+func (h *Histogram) collect(emit func(sample)) {
+	cum := int64(0)
+	for i := range h.bounds {
+		var n int64
+		for _, s := range h.stripes {
+			n += s.counts[i].Load()
+		}
+		cum += n
+		emit(sample{
+			suffix: "_bucket",
+			labels: append(append([]Label(nil), h.labels...), Label{Key: "le", Value: formatFloat(h.bounds[i])}),
+			value:  float64(cum),
+		})
+	}
+	var inf int64
+	for _, s := range h.stripes {
+		inf += s.counts[len(h.bounds)].Load()
+	}
+	cum += inf
+	emit(sample{
+		suffix: "_bucket",
+		labels: append(append([]Label(nil), h.labels...), Label{Key: "le", Value: "+Inf"}),
+		value:  float64(cum),
+	})
+	emit(sample{suffix: "_sum", labels: h.labels, value: h.Sum()})
+	emit(sample{suffix: "_count", labels: h.labels, value: float64(cum)})
+}
+
+// family groups all series registered under one metric name, carrying the
+// HELP and TYPE metadata the text format emits once per name.
+type family struct {
+	name    string
+	help    string
+	kind    Kind
+	members []metric
+}
+
+// Registry holds registered instruments in registration order. All
+// methods are safe for concurrent use; collection may run concurrently
+// with recording.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	index    map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[string]*family)}
+}
+
+// register adds a member to the (name, kind) family, creating it on first
+// use. Names and label keys are sanitized to the Prometheus charset, so
+// any string is accepted.
+func (r *Registry) register(name, help string, kind Kind, m metric) {
+	name = sanitizeName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := name + "\x00" + kind.String()
+	fam := r.index[key]
+	if fam == nil {
+		fam = &family{name: name, help: help, kind: kind}
+		r.index[key] = fam
+		r.families = append(r.families, fam)
+	}
+	fam.members = append(fam.members, m)
+}
+
+// Counter creates and registers a striped counter. stripes is rounded up
+// to a power of two; pass the shard count (or 1 for single-writer use).
+func (r *Registry) Counter(name, help string, stripes int, labels ...Label) *Counter {
+	c := NewCounter(stripes)
+	c.labels = sanitizeLabels(labels)
+	r.register(name, help, KindCounter, c)
+	return c
+}
+
+// NewCounter returns an unregistered striped counter, for components that
+// want the contention-free accounting regardless of whether a registry is
+// attached (e.g. the pipeline's verdict counters).
+func NewCounter(stripes int) *Counter {
+	n := stripeCount(stripes)
+	return &Counter{cells: make([]padded, n), mask: uint32(n - 1)}
+}
+
+// Gauge creates and registers a gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{labels: sanitizeLabels(labels)}
+	r.register(name, help, KindGauge, g)
+	return g
+}
+
+// CounterFunc registers a counter series sampled from fn at collection
+// time — the wiring for counters another component already maintains
+// atomically.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, KindCounter, &funcMetric{fn: fn, labels: sanitizeLabels(labels)})
+}
+
+// GaugeFunc registers a gauge series sampled from fn at collection time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, KindGauge, &funcMetric{fn: fn, labels: sanitizeLabels(labels)})
+}
+
+// Histogram creates and registers a striped fixed-bucket histogram.
+// bounds are ascending upper bucket bounds (the +Inf bucket is implicit);
+// they are copied, deduplicated of NaN, and sorted defensively.
+func (r *Registry) Histogram(name, help string, bounds []float64, stripes int, labels ...Label) *Histogram {
+	bs := make([]float64, 0, len(bounds))
+	for _, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, +1) {
+			continue // the +Inf bucket is implicit; NaN is unorderable
+		}
+		bs = append(bs, b)
+	}
+	sortFloats(bs)
+	n := stripeCount(stripes)
+	h := &Histogram{bounds: bs, stripes: make([]*histStripe, n), mask: uint32(n - 1), labels: sanitizeLabels(labels)}
+	for i := range h.stripes {
+		h.stripes[i] = &histStripe{counts: make([]atomic.Int64, len(bs)+1)}
+	}
+	r.register(name, help, KindHistogram, h)
+	return h
+}
+
+// sortFloats is an insertion sort: bucket lists are tiny and this avoids
+// pulling in package sort for one call.
+func sortFloats(x []float64) {
+	for i := 1; i < len(x); i++ {
+		for j := i; j > 0 && x[j] < x[j-1]; j-- {
+			x[j], x[j-1] = x[j-1], x[j]
+		}
+	}
+}
+
+// snapshot returns the family list under the lock. Family contents
+// (members) are append-only, so iterating the returned slice without the
+// lock is safe.
+// snapshot copies the family list AND each family's member list: a
+// concurrent register may append to a family's members, which rewrites
+// the slice header a collector would otherwise read unsynchronized.
+func (r *Registry) snapshot() []family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]family, len(r.families))
+	for i, f := range r.families {
+		out[i] = family{
+			name:    f.name,
+			help:    f.help,
+			kind:    f.kind,
+			members: append([]metric(nil), f.members...),
+		}
+	}
+	return out
+}

@@ -1,0 +1,312 @@
+package metrics
+
+import (
+	"math"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterStriping(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests", 4)
+	for stripe := 0; stripe < 4; stripe++ {
+		for i := 0; i <= stripe; i++ {
+			c.Inc(stripe)
+		}
+	}
+	if got := c.Value(); got != 1+2+3+4 {
+		t.Fatalf("Value = %d, want 10", got)
+	}
+	if got := c.StripeValue(2); got != 3 {
+		t.Fatalf("StripeValue(2) = %d, want 3", got)
+	}
+	// Stripe indices wrap instead of panicking.
+	c.Add(4, 5)
+	if got := c.StripeValue(0); got != 1+5 {
+		t.Fatalf("wrapped stripe = %d, want 6", got)
+	}
+}
+
+func TestStripeCountRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{-3, 1}, {0, 1}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {16, 16}, {17, 32},
+	} {
+		if got := stripeCount(tc.in); got != tc.want {
+			t.Errorf("stripeCount(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("temp", "temperature")
+	g.Set(3.5)
+	if got := g.Value(); got != 3.5 {
+		t.Fatalf("Value = %g", got)
+	}
+	g.Set(math.Inf(1))
+	if !math.IsInf(g.Value(), 1) {
+		t.Fatal("gauge lost +Inf")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "latency", []float64{0.1, 1, 10}, 2)
+	h.Observe(0, 0.05)        // le=0.1
+	h.Observe(0, 0.1)         // le=0.1 (boundary is inclusive)
+	h.Observe(1, 0.5)         // le=1
+	h.Observe(1, 100)         // +Inf
+	h.Observe(0, math.NaN())  // +Inf bucket, excluded from sum
+	h.Observe(0, math.Inf(1)) // +Inf bucket, excluded from sum
+	if got := h.Count(); got != 6 {
+		t.Fatalf("Count = %d, want 6", got)
+	}
+	if got, want := h.Sum(), 0.05+0.1+0.5+100; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Sum = %g, want %g", got, want)
+	}
+	var got []string
+	h.collect(func(s sample) {
+		got = append(got, s.suffix+":"+formatFloat(s.value))
+	})
+	want := []string{"_bucket:2", "_bucket:3", "_bucket:3", "_bucket:6", "_sum:100.65", "_count:6"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("collect = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramBoundsSanitized(t *testing.T) {
+	r := NewRegistry()
+	// Unsorted, with NaN and +Inf that must be discarded.
+	h := r.Histogram("x", "", []float64{10, math.NaN(), 1, math.Inf(1), 0.1}, 1)
+	if len(h.bounds) != 3 || h.bounds[0] != 0.1 || h.bounds[2] != 10 {
+		t.Fatalf("bounds = %v", h.bounds)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("p2pbound_dropped_total", "Dropped packets.", 1, L("verdict", "drop"))
+	c.Add(0, 7)
+	g := r.Gauge("p2pbound_pd", "Current drop probability.")
+	g.Set(0.25)
+	r.GaugeFunc("p2pbound_uplink_bps", "Uplink rate.", func() float64 { return 1e6 }, L("shard", "0"))
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP p2pbound_dropped_total Dropped packets.
+# TYPE p2pbound_dropped_total counter
+p2pbound_dropped_total{verdict="drop"} 7
+# HELP p2pbound_pd Current drop probability.
+# TYPE p2pbound_pd gauge
+p2pbound_pd 0.25
+# HELP p2pbound_uplink_bps Uplink rate.
+# TYPE p2pbound_uplink_bps gauge
+p2pbound_uplink_bps{shard="0"} 1e+06
+`
+	if b.String() != want {
+		t.Fatalf("output:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestFamilySharesOneTypeHeader(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("verdicts_total", "Verdicts.", 1, L("verdict", "pass")).Add(0, 1)
+	r.Counter("verdicts_total", "Verdicts.", 1, L("verdict", "drop")).Add(0, 2)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, "# TYPE verdicts_total counter") != 1 {
+		t.Fatalf("family split across TYPE headers:\n%s", out)
+	}
+	if !strings.Contains(out, `verdicts_total{verdict="pass"} 1`) ||
+		!strings.Contains(out, `verdicts_total{verdict="drop"} 2`) {
+		t.Fatalf("missing member series:\n%s", out)
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("bad name!", "multi\nline \\help", L("k-ey", "va\"l\\ue\nx"))
+	g.Set(math.NaN())
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# HELP bad_name_ multi\\nline \\\\help\n") {
+		t.Fatalf("help not escaped:\n%q", out)
+	}
+	if !strings.Contains(out, `bad_name_{k_ey="va\"l\\ue\nx"} NaN`) {
+		t.Fatalf("label value not escaped:\n%q", out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		want string
+	}{
+		{math.NaN(), "NaN"}, {math.Inf(1), "+Inf"}, {math.Inf(-1), "-Inf"},
+		{0, "0"}, {0.5, "0.5"}, {1e21, "1e+21"},
+	} {
+		if got := formatFloat(tc.v); got != tc.want {
+			t.Errorf("formatFloat(%g) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"", "_"}, {"ok_name:x9", "ok_name:x9"}, {"9lead", "_9lead"},
+		{"sp ace", "sp_ace"}, {"unicode\u00e9", "unicode__"},
+	} {
+		if got := sanitizeName(tc.in); got != tc.want {
+			t.Errorf("sanitizeName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "c", 1, L("a", "b")).Add(0, 3)
+	h := r.Histogram("h", "h", []float64{1}, 1)
+	h.Observe(0, 0.5)
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{`"name": "c_total"`, `"a": "b"`, `"value": 3`, `"histogram"`, `"count": 1`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("JSON missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "c", 1).Add(0, 1)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	for path, want := range map[string]string{
+		"/":                    "/metrics",
+		"/metrics":             "c_total 1",
+		"/metrics.json":        `"c_total"`,
+		"/debug/vars":          "memstats",
+		"/debug/pprof/":        "profiles",
+		"/debug/pprof/cmdline": "metrics",
+	} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body := make([]byte, 1<<20)
+		n, _ := resp.Body.Read(body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if !strings.Contains(string(body[:n]), want) {
+			t.Fatalf("GET %s: body missing %q:\n%s", path, want, body[:n])
+		}
+	}
+	resp, err := srv.Client().Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("unknown path: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestRecordPathsAllocationFree pins the zero-allocation guarantee of
+// every record path.
+func TestRecordPathsAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "", 8)
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", []float64{0.1, 0.5, 1, 5}, 8)
+	i := 0
+	if avg := testing.AllocsPerRun(1000, func() {
+		c.Add(i, 1)
+		g.Set(float64(i))
+		h.Observe(i, float64(i%7)/3)
+		i++
+	}); avg != 0 {
+		t.Fatalf("record path allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestConcurrentRecordAndCollect hammers every instrument from many
+// goroutines while the encoders run — the -race proof that recording and
+// scraping never need external synchronization.
+func TestConcurrentRecordAndCollect(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "", 8)
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", []float64{0.1, 0.5, 1}, 8)
+	const workers = 8
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(stripe int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc(stripe)
+				g.Set(float64(i))
+				h.Observe(stripe, float64(i%10)/10)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			if err := r.WritePrometheus(&b); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := r.WriteJSON(&b); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("Counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("Histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestConcurrentRegistration proves registration itself is goroutine-safe
+// and collection sees a consistent family list.
+func TestConcurrentRegistration(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				r.Counter("c"+strconv.Itoa(w)+"_total", "", 1, L("i", strconv.Itoa(i))).Add(0, 1)
+				var b strings.Builder
+				_ = r.WritePrometheus(&b)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

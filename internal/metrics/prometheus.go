@@ -1,0 +1,179 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4): one HELP and TYPE line per family,
+// then one sample line per series. Collection may run concurrently with
+// recording; each series value is a torn-free atomic read.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 4096)
+	for _, fam := range r.snapshot() {
+		bw.WriteString("# HELP ")
+		bw.WriteString(fam.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(fam.help))
+		bw.WriteByte('\n')
+		bw.WriteString("# TYPE ")
+		bw.WriteString(fam.name)
+		bw.WriteByte(' ')
+		bw.WriteString(fam.kind.String())
+		bw.WriteByte('\n')
+		for _, m := range fam.members {
+			m.collect(func(s sample) {
+				writeSample(bw, fam.name, s)
+			})
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample renders one series line: name{labels} value.
+func writeSample(bw *bufio.Writer, name string, s sample) {
+	bw.WriteString(name)
+	bw.WriteString(s.suffix)
+	if len(s.labels) > 0 {
+		bw.WriteByte('{')
+		for i, l := range s.labels {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(l.Key)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabelValue(l.Value))
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(s.value))
+	bw.WriteByte('\n')
+}
+
+// formatFloat renders a sample value. The text format spells the
+// non-finite values NaN, +Inf, and -Inf.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP string: backslash and newline. HELP text is
+// not quoted, so quotes pass through unescaped.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes a quoted label value: backslash, double
+// quote, and newline.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// sanitizeName maps an arbitrary string onto the metric-name charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*. Invalid runes become underscores; an empty or
+// digit-led result is prefixed with an underscore.
+func sanitizeName(s string) string {
+	var b strings.Builder
+	b.Grow(len(s) + 1)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// sanitizeLabelKey maps an arbitrary string onto the label-name charset
+// [a-zA-Z_][a-zA-Z0-9_]* (no colons).
+func sanitizeLabelKey(s string) string {
+	var b strings.Builder
+	b.Grow(len(s) + 1)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// sanitizeLabels copies and sanitizes a label set at registration time so
+// record and collect paths never re-validate.
+func sanitizeLabels(labels []Label) []Label {
+	if len(labels) == 0 {
+		return nil
+	}
+	out := make([]Label, len(labels))
+	for i, l := range labels {
+		out[i] = Label{Key: sanitizeLabelKey(l.Key), Value: l.Value}
+	}
+	return out
+}

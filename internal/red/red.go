@@ -111,3 +111,22 @@ func (e *EWMA) Pd(throughputBps float64) float64 {
 
 // Average returns the current smoothed throughput estimate.
 func (e *EWMA) Average() float64 { return e.avg }
+
+// Observed wraps a Prober and reports every computed (throughput, P_d)
+// pair to a callback — the seam observability layers use to watch the
+// RED ramp without re-deriving it. The callback runs synchronously on
+// the probing goroutine; it must be fast and must not call back into
+// the prober.
+type Observed struct {
+	Prober
+	Fn func(throughputBps, pd float64)
+}
+
+// Pd delegates to the wrapped prober and reports the result.
+func (o Observed) Pd(throughputBps float64) float64 {
+	pd := o.Prober.Pd(throughputBps)
+	if o.Fn != nil {
+		o.Fn(throughputBps, pd)
+	}
+	return pd
+}

@@ -154,3 +154,36 @@ func TestEWMAConvergesToLinear(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestObserved property: wrapping a prober changes nothing about its
+// verdicts and reports every (throughput, P_d) pair exactly once.
+func TestObserved(t *testing.T) {
+	l, err := NewLinear(50, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotBps, gotPd []float64
+	o := Observed{Prober: l, Fn: func(bps, pd float64) {
+		gotBps = append(gotBps, bps)
+		gotPd = append(gotPd, pd)
+	}}
+	inputs := []float64{0, 50, 75, 100, 200}
+	for _, b := range inputs {
+		if got, want := o.Pd(b), l.Pd(b); got != want {
+			t.Fatalf("Observed.Pd(%g) = %g, want %g", b, got, want)
+		}
+	}
+	if len(gotBps) != len(inputs) {
+		t.Fatalf("callback ran %d times, want %d", len(gotBps), len(inputs))
+	}
+	for i, b := range inputs {
+		if gotBps[i] != b || gotPd[i] != l.Pd(b) {
+			t.Fatalf("observation %d = (%g, %g), want (%g, %g)", i, gotBps[i], gotPd[i], b, l.Pd(b))
+		}
+	}
+	// A nil callback is legal and a pure pass-through.
+	nilObs := Observed{Prober: l}
+	if got := nilObs.Pd(75); got != l.Pd(75) {
+		t.Fatalf("nil-callback Pd = %g, want %g", got, l.Pd(75))
+	}
+}

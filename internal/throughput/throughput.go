@@ -10,6 +10,7 @@ package throughput
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -25,7 +26,9 @@ type Meter struct {
 	head        int     // ring index of the current bucket
 	headStart   time.Duration
 	started     bool
-	totalBytes  int64
+	// totalBytes is atomic so TotalBytes can serve a monitoring scrape
+	// concurrently with the single writer that drives Add.
+	totalBytes atomic.Int64
 }
 
 // NewMeter builds a meter whose window is nBuckets buckets of bucketWidth
@@ -48,7 +51,7 @@ func NewMeter(bucketWidth time.Duration, nBuckets int) (*Meter, error) {
 func (m *Meter) Add(ts time.Duration, n int) {
 	m.advance(ts)
 	m.buckets[m.head] += int64(n)
-	m.totalBytes += int64(n)
+	m.totalBytes.Add(int64(n))
 }
 
 // Rate returns the mean throughput in bits per second over the window
@@ -64,8 +67,9 @@ func (m *Meter) Rate(ts time.Duration) float64 {
 	return float64(sum*8) / window.Seconds()
 }
 
-// TotalBytes returns the total bytes accounted since construction.
-func (m *Meter) TotalBytes() int64 { return m.totalBytes }
+// TotalBytes returns the total bytes accounted since construction. It
+// is safe to call from any goroutine concurrently with Add.
+func (m *Meter) TotalBytes() int64 { return m.totalBytes.Load() }
 
 // Window returns the measurement window span.
 func (m *Meter) Window() time.Duration {

@@ -32,7 +32,9 @@ package p2pbound
 import (
 	"fmt"
 	"io"
+	"math"
 	"net/netip"
+	"sync/atomic"
 	"time"
 
 	"p2pbound/internal/core"
@@ -133,6 +135,24 @@ type Config struct {
 	// 0 counts every backward step. Small values (a few ms) absorb
 	// multi-queue NIC reordering; the clamp itself is unconditional.
 	ReorderTolerance time.Duration
+
+	// Telemetry, when non-nil, attaches the limiter to a metrics registry:
+	// every counter in Stats, the current P_d, and the uplink rate become
+	// scrapeable series (see Telemetry). Shards built through NewSharded or
+	// NewPipeline attach in shard order and carry a shard label. Nil keeps
+	// the limiter free of any observability cost beyond its own counters.
+	Telemetry *Telemetry
+
+	// TraceEveryN enables sampled decision tracing: every Nth packet the
+	// filter drops is reported to TraceFunc with its socket pair, the P_d
+	// in effect, the measured uplink rate, and the rotation epoch. Zero
+	// (or a nil TraceFunc) disables tracing. Unroutable defensive drops
+	// are counted but not traced — they never reach a P_d decision.
+	TraceEveryN int
+	// TraceFunc receives sampled drop traces. It is called synchronously
+	// on the processing goroutine, so it must be fast and must not block;
+	// it must not call back into the limiter.
+	TraceFunc func(DropTrace)
 }
 
 // Stats is a snapshot of a Limiter's activity counters.
@@ -176,7 +196,10 @@ type Limiter struct {
 	clientNet packet.Network
 	now       time.Duration
 
-	unroutable int64
+	// unroutable and timeAnomalies are atomic for the same reason as the
+	// filter's counters: one writer (the processing goroutine), any number
+	// of concurrent Stats/scrape readers.
+	unroutable atomic.Int64
 
 	// Monotonic clock guard: maxTS is the high-water mark of processed
 	// timestamps, tolerance the reorder window, timeAnomalies the count
@@ -184,7 +207,20 @@ type Limiter struct {
 	maxTS         time.Duration
 	tsStarted     bool
 	tolerance     time.Duration
-	timeAnomalies int64
+	timeAnomalies atomic.Int64
+
+	// Telemetry wiring (nil/zero when Config.Telemetry is unset). pdBits
+	// and uplinkBits mirror the P_d cache as atomic float bits so scrape
+	// goroutines can read the live values without touching the meter.
+	tel        *Telemetry
+	telShard   int
+	pdBits     atomic.Uint64
+	uplinkBits atomic.Uint64
+
+	// Sampled drop tracing (see Config.TraceEveryN).
+	traceEvery int64
+	traceFn    func(DropTrace)
+	dropSeen   int64
 
 	// P_d cache. The linear prober is a pure function of the metered
 	// uplink rate, and the rate only changes when bytes are added or
@@ -244,14 +280,22 @@ func New(cfg Config) (*Limiter, error) {
 	if err != nil {
 		return nil, fmt.Errorf("p2pbound: %w", err)
 	}
-	return &Limiter{
+	l := &Limiter{
 		filter:      filter,
 		prober:      prober,
 		meter:       meter,
 		clientNet:   clientNet,
 		bucketWidth: window / time.Duration(buckets),
 		tolerance:   cfg.ReorderTolerance,
-	}, nil
+	}
+	if cfg.TraceEveryN > 0 && cfg.TraceFunc != nil {
+		l.traceEvery = int64(cfg.TraceEveryN)
+		l.traceFn = cfg.TraceFunc
+	}
+	if cfg.Telemetry != nil {
+		cfg.Telemetry.attach(l)
+	}
+	return l, nil
 }
 
 // Process decides one packet's fate. Packets should be fed in timestamp
@@ -273,12 +317,12 @@ func New(cfg Config) (*Limiter, error) {
 func (l *Limiter) Process(p Packet) Decision {
 	var pkt packet.Packet
 	if !l.toInternal(p, &pkt) {
-		l.unroutable++
+		l.unroutable.Add(1)
 		return Drop
 	}
 	if l.tsStarted && pkt.TS < l.maxTS {
 		if l.maxTS-pkt.TS > l.tolerance {
-			l.timeAnomalies++
+			l.timeAnomalies.Add(1)
 		}
 		pkt.TS = l.maxTS
 	} else {
@@ -294,6 +338,25 @@ func (l *Limiter) Process(p Packet) Decision {
 		l.pdValid = false
 	}
 	if verdict == core.Drop {
+		if l.tel != nil {
+			l.tel.dropPd.Observe(l.telShard, pd)
+		}
+		if l.traceFn != nil {
+			l.dropSeen++
+			if l.dropSeen%l.traceEvery == 0 {
+				l.traceFn(DropTrace{
+					Timestamp:  p.Timestamp,
+					Protocol:   p.Protocol,
+					SrcAddr:    p.SrcAddr,
+					SrcPort:    p.SrcPort,
+					DstAddr:    p.DstAddr,
+					DstPort:    p.DstPort,
+					Pd:         pd,
+					UplinkMbps: l.meter.Rate(pkt.TS) / 1e6,
+					Epoch:      l.filter.Rotations(),
+				})
+			}
+		}
 		return Drop
 	}
 	return Pass
@@ -306,8 +369,15 @@ func (l *Limiter) Process(p Packet) Decision {
 // one at a time — the batch form exists to amortize call overhead and
 // feed fixed-size chunks through Pipeline ring buffers.
 func (l *Limiter) ProcessBatch(pkts []Packet, dst []Decision) []Decision {
+	var start time.Time
+	if l.tel != nil {
+		start = time.Now()
+	}
 	for i := range pkts {
 		dst = append(dst, l.Process(pkts[i]))
+	}
+	if l.tel != nil && len(pkts) > 0 {
+		l.tel.batchSeconds.Observe(l.telShard, time.Since(start).Seconds())
 	}
 	return dst
 }
@@ -319,9 +389,21 @@ func (l *Limiter) ProcessBatch(pkts []Packet, dst []Decision) []Decision {
 // path, so batch and per-packet runs draw identical P_d sequences.
 func (l *Limiter) pd(ts time.Duration) float64 {
 	if !l.pdValid || ts >= l.pdUntil {
-		l.cachedPd = l.prober.Pd(l.meter.Rate(ts))
+		crossed := ts >= l.pdUntil
+		rate := l.meter.Rate(ts)
+		l.cachedPd = l.prober.Pd(rate)
 		l.pdUntil = ts - ts%l.bucketWidth + l.bucketWidth
 		l.pdValid = true
+		if l.tel != nil && crossed {
+			// Mirror the fresh values as atomic bits so scrapes read a
+			// live P_d and rate without touching the (unsynchronized)
+			// meter. Gated on bucket crossings — once per bucketWidth of
+			// trace time — because outbound traffic invalidates the cache
+			// per packet and an atomic store is a full fence on the hot
+			// path; within-bucket drift is invisible at scrape cadence.
+			l.pdBits.Store(math.Float64bits(l.cachedPd))
+			l.uplinkBits.Store(math.Float64bits(rate))
+		}
 	}
 	return l.cachedPd
 }
@@ -345,7 +427,12 @@ func (l *Limiter) MemoryBytes() int { return l.filter.Bytes() }
 // outbound flow's inbound packets face the drop probability.
 func (l *Limiter) ExpiryHorizon() time.Duration { return l.filter.TE() }
 
-// Stats returns a snapshot of the activity counters.
+// Stats returns a snapshot of the activity counters. Unlike Process, it
+// may be called from any goroutine, concurrently with processing: every
+// counter is an atomic, so each value is torn-free and monotone. A
+// snapshot taken mid-packet may catch the accounting invariant between
+// increments (e.g. InboundPackets bumped before the matched/unmatched
+// split); quiesce the limiter before asserting cross-counter identities.
 func (l *Limiter) Stats() Stats {
 	s := l.filter.Stats()
 	return Stats{
@@ -355,11 +442,11 @@ func (l *Limiter) Stats() Stats {
 		InboundUnmatched: s.InboundMisses,
 		Dropped:          s.Dropped,
 		Rotations:        s.Rotations,
-		Unroutable:       l.unroutable,
+		Unroutable:       l.unroutable.Load(),
 		// The limiter clamps timestamps before they reach the filter, so
 		// the filter's own counter stays zero on this path; it is summed
 		// anyway so direct core.Filter restores never lose anomalies.
-		TimeAnomalies: l.timeAnomalies + s.TimeAnomalies,
+		TimeAnomalies: l.timeAnomalies.Load() + s.TimeAnomalies,
 	}
 }
 

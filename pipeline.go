@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"p2pbound/internal/metrics"
 )
 
 // ShedPolicy selects what a saturated Pipeline does with a packet whose
@@ -95,13 +97,15 @@ type Pipeline struct {
 	policy  ShedPolicy
 	gate    <-chan struct{}
 
-	passed  atomic.Int64
-	dropped atomic.Int64
-
-	// Shed accounting: packets a full ring turned away by policy. They
-	// were never decided by a Limiter and appear in no per-shard counter.
-	shedPassed  atomic.Int64
-	shedDropped atomic.Int64
+	// Verdict and shed counters are striped per shard (cache-line-padded
+	// atomic cells), so concurrent shard workers never contend on a
+	// counter cache line. Shed counts packets a full ring turned away by
+	// policy; they were never decided by a Limiter and appear in no
+	// per-shard limiter counter.
+	passed      *metrics.Counter
+	dropped     *metrics.Counter
+	shedPassed  *metrics.Counter
+	shedDropped *metrics.Counter
 }
 
 // NewPipeline builds the sharded limiter and starts one worker per
@@ -131,10 +135,17 @@ func NewPipeline(cfg Config, pcfg PipelineConfig) (*Pipeline, error) {
 		batch = 256
 	}
 	p := &Pipeline{
-		sharded: sharded,
-		rings:   make([]*ring, shards),
-		policy:  pcfg.OnOverload,
-		gate:    pcfg.testGate,
+		sharded:     sharded,
+		rings:       make([]*ring, shards),
+		policy:      pcfg.OnOverload,
+		gate:        pcfg.testGate,
+		passed:      metrics.NewCounter(shards),
+		dropped:     metrics.NewCounter(shards),
+		shedPassed:  metrics.NewCounter(shards),
+		shedDropped: metrics.NewCounter(shards),
+	}
+	if cfg.Telemetry != nil {
+		cfg.Telemetry.attachPipeline(p)
 	}
 	p.scratch.New = func() any {
 		sc := &routeScratch{byShard: make([][]Packet, shards)}
@@ -164,7 +175,8 @@ func (p *Pipeline) Submit(pkt Packet) {
 	if p.closed.Load() {
 		panic("p2pbound: Submit on closed Pipeline")
 	}
-	r := p.rings[p.sharded.ShardOf(pkt)]
+	sh := p.sharded.ShardOf(pkt)
+	r := p.rings[sh]
 	if p.policy == ShedBlock {
 		r.mu.Lock()
 		r.push(pkt)
@@ -175,7 +187,7 @@ func (p *Pipeline) Submit(pkt Packet) {
 	ok := r.tryPush(pkt)
 	r.mu.Unlock()
 	if !ok {
-		p.shed(1)
+		p.shed(sh, 1)
 	}
 }
 
@@ -195,15 +207,16 @@ func (p *Pipeline) TrySubmit(pkt Packet) bool {
 	return ok
 }
 
-// shed records n packets turned away by the overload policy.
-func (p *Pipeline) shed(n int) {
+// shed records n packets bound for shard sh turned away by the overload
+// policy.
+func (p *Pipeline) shed(sh, n int) {
 	if n <= 0 {
 		return
 	}
 	if p.policy == ShedFailOpen {
-		p.shedPassed.Add(int64(n))
+		p.shedPassed.Add(sh, int64(n))
 	} else {
-		p.shedDropped.Add(int64(n))
+		p.shedDropped.Add(sh, int64(n))
 	}
 }
 
@@ -251,7 +264,7 @@ func (p *Pipeline) SubmitBatch(pkts []Packet) {
 			}
 			accepted := r.tryPushAll(group)
 			r.mu.Unlock()
-			p.shed(len(group) - accepted)
+			p.shed(sh, len(group)-accepted)
 		}
 	}
 	p.scratch.Put(sc)
@@ -291,26 +304,28 @@ func (p *Pipeline) Close() {
 // Shed. It is safe to call at any time, including concurrently with
 // submission.
 func (p *Pipeline) Verdicts() (passed, dropped int64) {
-	return p.passed.Load(), p.dropped.Load()
+	return p.passed.Value(), p.dropped.Value()
 }
 
 // Shed returns the number of packets turned away undecided by the
 // overload policy: fail-open sheds count as passed, fail-closed sheds as
 // dropped. Both are zero under ShedBlock. Safe to call at any time.
 func (p *Pipeline) Shed() (passed, dropped int64) {
-	return p.shedPassed.Load(), p.shedDropped.Load()
+	return p.shedPassed.Value(), p.shedDropped.Value()
 }
 
 // Stats sums the per-shard activity counters and adds the pipeline's
 // shed counts (Stats.ShedPassed / Stats.ShedDropped — packets the
-// overload policy turned away without a Limiter decision). The shard
-// limiters are owned by the worker goroutines, so Stats must only be
-// called when the pipeline is quiescent: after Close, or after a Drain
-// with no concurrent submissions.
+// overload policy turned away without a Limiter decision). Every counter
+// is an atomic, so Stats is safe to call at any time, including while
+// workers are deciding packets; a live snapshot is a consistent lower
+// bound per counter, but cross-counter identities (matched + unmatched
+// == inbound) are only guaranteed on a quiescent pipeline — after Close,
+// or after a Drain with no concurrent submissions.
 func (p *Pipeline) Stats() Stats {
 	s := p.sharded.Stats()
-	s.ShedPassed = p.shedPassed.Load()
-	s.ShedDropped = p.shedDropped.Load()
+	s.ShedPassed = p.shedPassed.Value()
+	s.ShedDropped = p.shedDropped.Value()
 	return s
 }
 
@@ -359,8 +374,8 @@ func (p *Pipeline) worker(sh int, batchSize int) {
 				drop++
 			}
 		}
-		p.passed.Add(pass)
-		p.dropped.Add(drop)
+		p.passed.Add(sh, pass)
+		p.dropped.Add(sh, drop)
 		r.done.Add(uint64(len(batch)))
 	}
 }

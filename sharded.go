@@ -89,7 +89,9 @@ func (s *ShardedLimiter) ExpiryHorizon() time.Duration {
 	return s.shards[0].ExpiryHorizon()
 }
 
-// Stats sums the per-shard activity counters.
+// Stats sums the per-shard activity counters. Safe to call from any
+// goroutine concurrently with processing — every counter is an atomic —
+// but cross-counter identities only hold on a quiescent limiter.
 func (s *ShardedLimiter) Stats() Stats {
 	var sum Stats
 	for _, l := range s.shards {

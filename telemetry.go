@@ -1,0 +1,170 @@
+package p2pbound
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"net/netip"
+	"strconv"
+	"sync"
+	"time"
+
+	"p2pbound/internal/metrics"
+)
+
+// telemetryStripes is the stripe count of the shared histograms and
+// pipeline counters. Stripe indices wrap, so topologies with more shards
+// than stripes stay correct — they merely share cache lines.
+const telemetryStripes = 16
+
+// Telemetry is the observability root of a limiter topology: one metrics
+// registry that every Limiter, ShardedLimiter, and Pipeline built with a
+// Config referencing it reports into. Attach it once:
+//
+//	tel := p2pbound.NewTelemetry()
+//	limiter, err := p2pbound.New(p2pbound.Config{..., Telemetry: tel})
+//	go http.ListenAndServe("localhost:9090", tel.Handler())
+//
+// Limiters attach in construction order and label their series with a
+// shard index (a standalone limiter is shard 0; NewSharded and
+// NewPipeline shards attach in shard order). One Telemetry should back
+// one topology — attaching two independent pipelines to the same
+// instance interleaves their shard numbering.
+//
+// The exported series are sampled from the same atomic counters the
+// limiter already maintains, so attaching telemetry adds no work to the
+// per-packet path beyond two predictable nil checks; scrapes pay the
+// collection cost. Recording into the histograms (drop P_d, batch
+// latency) is wait-free and allocation-free.
+type Telemetry struct {
+	reg *metrics.Registry
+
+	// dropPd records the P_d in effect at each dropped packet; its shape
+	// shows whether drops happen at the bottom of the RED ramp (uplink
+	// barely over the low threshold) or under saturation.
+	dropPd *metrics.Histogram
+	// batchSeconds records the wall-clock latency of each ProcessBatch
+	// call on a telemetry-attached limiter.
+	batchSeconds *metrics.Histogram
+
+	mu        sync.Mutex
+	shards    int
+	pipelines int
+}
+
+// NewTelemetry returns an empty telemetry root ready to be referenced
+// from Config.
+func NewTelemetry() *Telemetry {
+	t := &Telemetry{reg: metrics.NewRegistry()}
+	t.dropPd = t.reg.Histogram(
+		"p2pbound_drop_pd",
+		"Drop probability P_d in effect at each dropped inbound packet.",
+		[]float64{0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99},
+		telemetryStripes,
+	)
+	t.batchSeconds = t.reg.Histogram(
+		"p2pbound_batch_seconds",
+		"Wall-clock latency of one ProcessBatch call.",
+		[]float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1},
+		telemetryStripes,
+	)
+	return t
+}
+
+// Handler returns the HTTP observability surface for this topology:
+// /metrics (Prometheus text format), /metrics.json, /debug/vars
+// (expvar), and /debug/pprof/. Safe to serve while packets are being
+// processed.
+func (t *Telemetry) Handler() http.Handler { return t.reg.Handler() }
+
+// WritePrometheus renders every series in the Prometheus text exposition
+// format.
+func (t *Telemetry) WritePrometheus(w io.Writer) error { return t.reg.WritePrometheus(w) }
+
+// WriteJSON renders every series as JSON.
+func (t *Telemetry) WriteJSON(w io.Writer) error { return t.reg.WriteJSON(w) }
+
+// attach registers one limiter's counters and gauges under the next
+// shard label. Called from New when Config.Telemetry is set; the scrape
+// closures read the limiter's atomic counters, so they are safe
+// concurrently with processing. (They read l.filter as a plain pointer,
+// so RestoreState/AdoptState must not race a scrape — restore state
+// before serving, as the daemon does.)
+func (t *Telemetry) attach(l *Limiter) {
+	t.mu.Lock()
+	shard := t.shards
+	t.shards++
+	t.mu.Unlock()
+	l.tel = t
+	l.telShard = shard
+	lbl := metrics.L("shard", strconv.Itoa(shard))
+
+	stat := func(pick func(Stats) int64) func() float64 {
+		return func() float64 { return float64(pick(l.Stats())) }
+	}
+	t.reg.CounterFunc("p2pbound_packets_total", "Packets processed, by direction.",
+		stat(func(s Stats) int64 { return s.OutboundPackets }), metrics.L("dir", "outbound"), lbl)
+	t.reg.CounterFunc("p2pbound_packets_total", "Packets processed, by direction.",
+		stat(func(s Stats) int64 { return s.InboundPackets }), metrics.L("dir", "inbound"), lbl)
+	t.reg.CounterFunc("p2pbound_inbound_total", "Inbound packets by bitmap-filter match result.",
+		stat(func(s Stats) int64 { return s.InboundMatched }), metrics.L("result", "matched"), lbl)
+	t.reg.CounterFunc("p2pbound_inbound_total", "Inbound packets by bitmap-filter match result.",
+		stat(func(s Stats) int64 { return s.InboundUnmatched }), metrics.L("result", "unmatched"), lbl)
+	t.reg.CounterFunc("p2pbound_dropped_total", "Unmatched inbound packets dropped by the P_d draw.",
+		stat(func(s Stats) int64 { return s.Dropped }), lbl)
+	t.reg.CounterFunc("p2pbound_unroutable_total", "Unclassifiable (non-IPv4) packets dropped defensively.",
+		stat(func(s Stats) int64 { return s.Unroutable }), lbl)
+	t.reg.CounterFunc("p2pbound_time_anomalies_total", "Timestamp regressions beyond the reorder tolerance.",
+		stat(func(s Stats) int64 { return s.TimeAnomalies }), lbl)
+	t.reg.CounterFunc("p2pbound_rotations_total", "Bit-vector rotations (the filter epoch).",
+		stat(func(s Stats) int64 { return s.Rotations }), lbl)
+	t.reg.CounterFunc("p2pbound_uplink_bytes_total", "Outbound bytes accounted by the throughput meter.",
+		func() float64 { return float64(l.meter.TotalBytes()) }, lbl)
+	t.reg.GaugeFunc("p2pbound_pd", "Drop probability currently applied to unmatched inbound packets.",
+		func() float64 { return math.Float64frombits(l.pdBits.Load()) }, lbl)
+	t.reg.GaugeFunc("p2pbound_uplink_bps", "Measured uplink throughput feeding the RED ramp, bits/s.",
+		func() float64 { return math.Float64frombits(l.uplinkBits.Load()) }, lbl)
+}
+
+// attachPipeline registers one pipeline's verdict and shed counters
+// under the next pipeline label. Called from NewPipeline when
+// Config.Telemetry is set.
+func (t *Telemetry) attachPipeline(p *Pipeline) {
+	t.mu.Lock()
+	idx := t.pipelines
+	t.pipelines++
+	t.mu.Unlock()
+	lbl := metrics.L("pipeline", strconv.Itoa(idx))
+
+	counter := func(c *metrics.Counter) func() float64 {
+		return func() float64 { return float64(c.Value()) }
+	}
+	t.reg.CounterFunc("p2pbound_pipeline_verdicts_total", "Packets decided by the pipeline, by verdict.",
+		counter(p.passed), metrics.L("verdict", "pass"), lbl)
+	t.reg.CounterFunc("p2pbound_pipeline_verdicts_total", "Packets decided by the pipeline, by verdict.",
+		counter(p.dropped), metrics.L("verdict", "drop"), lbl)
+	t.reg.CounterFunc("p2pbound_pipeline_shed_total", "Packets shed undecided by the overload policy.",
+		counter(p.shedPassed), metrics.L("verdict", "pass"), lbl)
+	t.reg.CounterFunc("p2pbound_pipeline_shed_total", "Packets shed undecided by the overload policy.",
+		counter(p.shedDropped), metrics.L("verdict", "drop"), lbl)
+}
+
+// DropTrace is one sampled drop decision, reported to Config.TraceFunc
+// every Config.TraceEveryN drops: the socket pair the filter rejected,
+// the P_d that won the draw, the uplink rate driving that P_d, and the
+// rotation epoch locating the decision against the filter's expiry
+// horizon.
+type DropTrace struct {
+	Timestamp time.Duration
+	Protocol  Protocol
+	SrcAddr   netip.Addr
+	SrcPort   uint16
+	DstAddr   netip.Addr
+	DstPort   uint16
+	// Pd is the drop probability applied to the packet.
+	Pd float64
+	// UplinkMbps is the measured uplink throughput at decision time.
+	UplinkMbps float64
+	// Epoch is the filter's rotation count at decision time.
+	Epoch int64
+}
