@@ -1,0 +1,33 @@
+# Developer conveniences. CI runs the same commands; see
+# .github/workflows/ci.yml.
+
+GO ?= go
+
+.PHONY: all build test lint vet fuzz-smoke
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# lint runs the p2pvet static-analysis suite (hotpath, atomicfield,
+# exhaustive, bannedimport) over the whole module in standalone mode.
+# Exit status 1 on any diagnostic. `go run ./cmd/p2pvet ./...` is the
+# same thing without make.
+lint:
+	$(GO) run ./cmd/p2pvet ./...
+
+# vet runs the same suite through the go vet driver, which caches facts
+# per package in the build cache — faster on incremental runs.
+vet:
+	$(GO) build -o ./p2pvet.bin ./cmd/p2pvet
+	$(GO) vet -vettool=$(CURDIR)/p2pvet.bin ./...
+	rm -f ./p2pvet.bin
+
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzReadPacket -fuzztime 10s ./internal/pcap
+	$(GO) test -run '^$$' -fuzz FuzzReadFilter -fuzztime 10s ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzWritePrometheus -fuzztime 10s ./internal/metrics

@@ -1,0 +1,84 @@
+// Command p2pvet runs the project's static-analysis suite: the
+// analyzers that prove the hot-path invariants (no allocation, no
+// locks, no wall clock), the //p2p:atomic field discipline, enum-switch
+// exhaustiveness, and the packet-path import policy.
+//
+// Two modes share the same analyzers:
+//
+//	go run ./cmd/p2pvet ./...              # standalone, loads via go list
+//	go vet -vettool=$(which p2pvet) ./...  # vet backend, fully build-cached
+//
+// In vet mode the tool speaks the go command's vettool protocol:
+// -V=full prints the build identity, -flags describes the (empty) flag
+// set, and a trailing *.cfg argument selects single-unit analysis.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"p2pbound/internal/analysis"
+	"p2pbound/internal/analysis/atomicfield"
+	"p2pbound/internal/analysis/bannedimport"
+	"p2pbound/internal/analysis/driver"
+	"p2pbound/internal/analysis/exhaustive"
+	"p2pbound/internal/analysis/hotpath"
+)
+
+// suite is the full p2pvet analyzer set, in reporting order.
+var suite = []*analysis.Analyzer{
+	hotpath.Analyzer,
+	atomicfield.Analyzer,
+	exhaustive.Analyzer,
+	bannedimport.Analyzer,
+}
+
+func main() {
+	progname := filepath.Base(os.Args[0])
+	args := os.Args[1:]
+
+	// Build-system protocol first: the go command probes the tool with
+	// these before ever handing it a compilation unit.
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full":
+			if err := driver.Handshake(os.Stdout, progname); err != nil {
+				fmt.Fprintln(os.Stderr, progname+":", err)
+				os.Exit(1)
+			}
+			return
+		case "-flags", "--flags":
+			fmt.Println("[]")
+			return
+		case "-h", "-help", "--help":
+			usage(progname)
+			return
+		}
+	}
+
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(driver.Vet(os.Stderr, args[0], suite))
+	}
+
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	os.Exit(driver.Standalone(os.Stderr, patterns, suite))
+}
+
+func usage(progname string) {
+	fmt.Printf(`%[1]s proves the p2pbound hot-path invariants statically.
+
+Usage:
+	%[1]s [packages]                 analyze packages (default ./...)
+	go vet -vettool=$(which %[1]s) ./...   run under go vet with build caching
+
+Analyzers:
+`, progname)
+	for _, a := range suite {
+		fmt.Printf("	%-14s %s\n", a.Name, a.Doc)
+	}
+}

@@ -1,0 +1,215 @@
+// Package analysis is a dependency-free core of a go/analysis-style
+// static-analysis framework: analyzers, passes, diagnostics, and
+// cross-package facts.
+//
+// It exists because this module takes no external dependencies (see
+// ROADMAP), so golang.org/x/tools/go/analysis cannot be imported; the
+// subset implemented here keeps the same shape — an Analyzer owns a Run
+// function over a Pass; a Pass reports Diagnostics and exchanges facts
+// with the passes of imported packages — so the suite can migrate to
+// x/tools mechanically if the dependency policy ever changes.
+//
+// Two drivers execute analyzers (package driver): a standalone loader
+// that type-checks the module from source with export data obtained from
+// `go list -export`, and a `go vet -vettool` backend speaking the vet
+// build-system protocol (-V=full / -flags / unit .cfg files), so the
+// same analyzers run both as `go run ./cmd/p2pvet ./...` and under
+// `go vet -vettool=$(which p2pvet) ./...` with full build caching.
+//
+// Facts are deliberately simpler than x/tools facts: a fact is an opaque
+// string key exported by the pass of the package that declares a symbol
+// (e.g. the fully qualified name of a function annotated //p2p:hotpath)
+// and visible to the passes of every package that transitively imports
+// it. String keys sidestep gob registration and object resolution while
+// carrying everything the p2pvet suite needs.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer is one static check. Run inspects a single package via the
+// Pass and reports diagnostics; it must be safe to call once per package
+// in dependency order.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and fact files. It
+	// must be a valid identifier.
+	Name string
+	// Doc is the help text.
+	Doc string
+	// Run executes the analyzer on one package.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Pass provides one analyzer with one type-checked package and the
+// fact streams connecting it to the package's dependencies.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Module is the module path of the package under analysis ("" when
+	// unknown, e.g. GOPATH builds).
+	Module string
+
+	// Report delivers a diagnostic to the driver.
+	Report func(Diagnostic)
+
+	// imported holds the union of the fact keys exported — for this
+	// analyzer — by every package the current one transitively imports.
+	imported map[string]bool
+	// export records a fact key for the current package.
+	export func(key string)
+	// isStandard reports whether an import path names a standard-library
+	// package. Drivers that know (go list's Standard field, the vet
+	// config's Standard map) supply it; nil falls back to a heuristic.
+	isStandard func(path string) bool
+}
+
+// NewPass assembles a Pass; it is exported for the drivers and the test
+// harness, not for analyzers.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, module string,
+	report func(Diagnostic), imported map[string]bool, export func(string), isStandard func(string) bool) *Pass {
+	return &Pass{
+		Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info, Module: module,
+		Report: report, imported: imported, export: export, isStandard: isStandard,
+	}
+}
+
+// Reportf reports a diagnostic at pos with a pre-formatted message.
+// (The framework takes no fmt dependency in its message path; analyzers
+// build messages with string concatenation and strconv.)
+func (p *Pass) Reportf(pos token.Pos, msg string) {
+	p.Report(Diagnostic{Pos: pos, Message: msg})
+}
+
+// ExportFact publishes a fact key from the current package to the
+// passes of every package that imports it.
+func (p *Pass) ExportFact(key string) {
+	if p.export != nil {
+		p.export(key)
+	}
+}
+
+// ImportedFact reports whether any transitively imported package
+// exported the given fact key for this analyzer.
+func (p *Pass) ImportedFact(key string) bool { return p.imported[key] }
+
+// IsStandard reports whether path names a standard-library package.
+// When the driver did not supply the exact set, a heuristic is used:
+// standard-library paths have a dot-free first element and never match
+// the module path.
+func (p *Pass) IsStandard(path string) bool {
+	if p.isStandard != nil {
+		return p.isStandard(path)
+	}
+	if p.Module != "" && (path == p.Module || strings.HasPrefix(path, p.Module+"/")) {
+		return false
+	}
+	first := path
+	if i := strings.IndexByte(first, '/'); i >= 0 {
+		first = first[:i]
+	}
+	return !strings.Contains(first, ".")
+}
+
+// InModule reports whether the package at path belongs to the module
+// under analysis — the domain over which the hotpath call discipline is
+// enforced. Anything that is not standard library is treated as module
+// code: this module has no third-party dependencies, and erring toward
+// "module" keeps the check conservative (an unannotated callee is
+// reported rather than silently trusted).
+func (p *Pass) InModule(path string) bool {
+	if p.Module != "" && (path == p.Module || strings.HasPrefix(path, p.Module+"/")) {
+		return true
+	}
+	return !p.IsStandard(path)
+}
+
+// IsTestFile reports whether pos lies in a _test.go file. The p2pvet
+// suite proves production invariants; tests exercise internals in ways
+// the invariants intentionally forbid (direct field pokes, fmt in
+// banned packages), so every analyzer skips test files.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Directive names understood by the suite. A directive comment is a
+// line of the form //p2p:<name>[ <note>] with no space after the
+// slashes, in the style of //go: directives.
+const (
+	// DirectiveHotpath marks a function whose body must be
+	// allocation-free, lock-free, and wall-clock-free, and which may
+	// statically call only other hotpath-annotated module functions.
+	DirectiveHotpath = "p2p:hotpath"
+	// DirectiveAtomic marks a struct field that may only be accessed
+	// through sync/atomic operations (or is of a sync/atomic type).
+	DirectiveAtomic = "p2p:atomic"
+	// DirectiveBounded waives the append diagnostic on one line: the
+	// author asserts the append can never grow its destination beyond
+	// pre-allocated capacity (and a runtime allocation guard proves it).
+	DirectiveBounded = "p2p:bounded"
+)
+
+// HasDirective reports whether the comment group contains the given
+// //p2p: directive.
+func HasDirective(cg *ast.CommentGroup, directive string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if isDirective(c.Text, directive) {
+			return true
+		}
+	}
+	return false
+}
+
+// isDirective matches "//p2p:<name>" exactly or followed by a space and
+// a free-form note.
+func isDirective(text, directive string) bool {
+	rest, ok := strings.CutPrefix(text, "//"+directive)
+	return ok && (rest == "" || rest[0] == ' ' || rest[0] == '\t')
+}
+
+// DirectiveLines collects, for one file, the set of lines carrying the
+// given directive as a trailing or standalone comment. Line-scoped
+// directives (//p2p:bounded) attach to the statement on their line.
+func DirectiveLines(fset *token.FileSet, file *ast.File, directive string) map[int]bool {
+	var lines map[int]bool
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if isDirective(c.Text, directive) {
+				if lines == nil {
+					lines = make(map[int]bool)
+				}
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// FuncKey returns the stable fact key of a function or method: its
+// package-qualified FullName, e.g. "(*p2pbound/internal/core.Filter).Process"
+// or "p2pbound/internal/bitvec.New". The form is identical whether the
+// *types.Func came from source type-checking or from export data, which
+// is what lets facts cross the source/export-data boundary.
+func FuncKey(fn *types.Func) string { return fn.FullName() }
+
+// FieldKey returns the stable fact key of a struct field:
+// "<pkgpath>.<StructName>.<FieldName>".
+func FieldKey(pkgPath, structName, fieldName string) string {
+	return pkgPath + "." + structName + "." + fieldName
+}

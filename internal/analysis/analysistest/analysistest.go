@@ -1,0 +1,234 @@
+// Package analysistest runs p2pvet analyzers over fixture packages and
+// checks their diagnostics against // want "regex" comments, in the
+// style of golang.org/x/tools/go/analysis/analysistest (which this
+// module cannot depend on).
+//
+// Fixtures live under <dir>/src/<importpath>/ — one directory per
+// package, named by its import path. A fixture may import another
+// fixture (resolved from the same tree, analyzed first so cross-package
+// facts flow) or the standard library (type-checked from GOROOT
+// source). Every fixture file may carry expectations:
+//
+//	bad()        // want "regex matched against the diagnostic message"
+//	worse()      // want "first" "second"
+//
+// Each want must be matched by a diagnostic reported on the same line,
+// and each diagnostic must match a want; any excess of either fails the
+// test with a precise file:line account.
+package analysistest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"p2pbound/internal/analysis"
+	"p2pbound/internal/analysis/driver"
+)
+
+// Run analyzes the fixture package at dir/src/<pkgpath> (and,
+// transitively, every fixture package it imports) with the given
+// analyzers and asserts the diagnostics match the fixtures' want
+// comments exactly.
+func Run(t *testing.T, dir string, analyzers []*analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	h := &harness{
+		t:         t,
+		root:      filepath.Join(dir, "src"),
+		fset:      token.NewFileSet(),
+		analyzers: analyzers,
+		loaded:    make(map[string]*fixture),
+	}
+	h.stdlib = importer.ForCompiler(h.fset, "source", nil)
+	h.load(pkgpath)
+
+	var diags []driver.Diagnostic
+	var files []*ast.File
+	// Deterministic order: fixtures sorted by import path.
+	paths := make([]string, 0, len(h.loaded))
+	for p := range h.loaded {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		f := h.loaded[p]
+		diags = append(diags, f.diags...)
+		files = append(files, f.files...)
+	}
+	checkWants(t, h.fset, files, diags)
+}
+
+// fixture is one analyzed fixture package.
+type fixture struct {
+	pkg   *types.Package
+	files []*ast.File
+	facts driver.FactSet // transitive: imported ∪ exported
+	diags []driver.Diagnostic
+}
+
+type harness struct {
+	t         *testing.T
+	root      string
+	fset      *token.FileSet
+	analyzers []*analysis.Analyzer
+	stdlib    types.Importer
+	loaded    map[string]*fixture
+	loading   []string // DFS stack for cycle reporting
+}
+
+// isFixture reports whether path names a fixture directory.
+func (h *harness) isFixture(path string) bool {
+	fi, err := os.Stat(filepath.Join(h.root, filepath.FromSlash(path)))
+	return err == nil && fi.IsDir()
+}
+
+// load parses, type-checks, and analyzes one fixture package,
+// memoizing the result. Fixture imports are loaded first so their
+// exported facts are visible.
+func (h *harness) load(path string) *fixture {
+	h.t.Helper()
+	if f, ok := h.loaded[path]; ok {
+		return f
+	}
+	for _, p := range h.loading {
+		if p == path {
+			h.t.Fatalf("fixture import cycle: %s", strings.Join(append(h.loading, path), " -> "))
+		}
+	}
+	h.loading = append(h.loading, path)
+	defer func() { h.loading = h.loading[:len(h.loading)-1] }()
+
+	dir := filepath.Join(h.root, filepath.FromSlash(path))
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		h.t.Fatalf("fixture %s: no Go files in %s", path, dir)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		file, err := parser.ParseFile(h.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			h.t.Fatalf("fixture %s: %v", path, err)
+		}
+		files = append(files, file)
+	}
+
+	// Resolve imports: fixture packages from the tree (analyzed first),
+	// everything else from GOROOT source.
+	imported := driver.NewFactSet()
+	imp := importerFunc(func(ipath string) (*types.Package, error) {
+		if ipath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if h.isFixture(ipath) {
+			dep := h.load(ipath)
+			imported.Merge(dep.facts)
+			return dep.pkg, nil
+		}
+		return h.stdlib.Import(ipath)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, h.fset, files, info)
+	if err != nil {
+		h.t.Fatalf("fixture %s: typecheck: %v", path, err)
+	}
+
+	isStandard := func(p string) bool { return !h.isFixture(p) }
+	diags, exported, err := driver.RunPackage(h.analyzers, h.fset, files, pkg, info, "", imported, isStandard)
+	if err != nil {
+		h.t.Fatalf("fixture %s: analyze: %v", path, err)
+	}
+	facts := driver.NewFactSet()
+	facts.Merge(imported)
+	facts.Merge(exported)
+	f := &fixture{pkg: pkg, files: files, facts: facts, diags: diags}
+	h.loaded[path] = f
+	return f
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file    string
+	line    int
+	pattern string
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantRE extracts the quoted patterns of a want comment. Both "double"
+// and `backquoted` Go string syntax are accepted.
+var wantRE = regexp.MustCompile("(\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)")
+
+// checkWants compares diagnostics against the want comments of files
+// and reports every mismatch in both directions.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []driver.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, file := range files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				// A want may be the whole comment or trail another
+				// marker on the same line ("//p2p:atomic // want ...").
+				i := strings.Index(c.Text, "// want ")
+				if i < 0 {
+					continue
+				}
+				text := c.Text[i+len("// want "):]
+				pos := fset.Position(c.Pos())
+				for _, lit := range wantRE.FindAllString(text, -1) {
+					pattern, err := strconv.Unquote(lit)
+					if err != nil {
+						t.Errorf("%s:%d: malformed want pattern %s: %v", pos.Filename, pos.Line, lit, err)
+						continue
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pattern, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, pattern: pattern, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Position.Filename && w.line == d.Position.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d.String())
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.pattern)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+// Package atomicfield implements the p2pvet analyzer that proves the
+// single-writer/concurrent-reader stats discipline: a struct field
+// annotated //p2p:atomic may only be touched through sync/atomic
+// operations, so a monitoring goroutine can never observe a torn value.
+// This is the static form of the torn-read bug class fixed in the
+// observability PR, where a plain int64 stats field was written by the
+// packet goroutine and read bare by the metrics scraper.
+//
+// The rules:
+//
+//   - A field of a sync/atomic type (atomic.Int64, atomic.Uint64, …) is
+//     atomic by construction; any use is legal and the annotation is
+//     purely documentary.
+//   - A plain integer field (int32/64, uint32/64, uintptr) annotated
+//     //p2p:atomic may appear ONLY as &x.f passed directly to a
+//     sync/atomic function (atomic.LoadInt64(&x.f), atomic.AddInt64,
+//     CompareAndSwap…). Every other read, write, ++/--, or address
+//     capture is reported.
+//   - A field of any other type cannot be made atomic by discipline and
+//     the annotation itself is reported.
+//   - Conversely, a plain integer field passed to sync/atomic that is
+//     NOT annotated is reported too: the annotation is the contract the
+//     next reader sees, so atomically-used fields must carry it.
+//
+// Cross-package accesses are covered by facts: the declaring package
+// exports the key of every annotated field, and importing packages
+// check their accesses against those keys.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/types"
+
+	"p2pbound/internal/analysis"
+)
+
+// Analyzer is the atomic-field discipline checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "check that //p2p:atomic struct fields are only accessed through sync/atomic operations",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Phase 1: collect annotated fields declared in this package.
+	local := make(map[*types.Var]string) // field object -> fact key
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !analysis.HasDirective(field.Doc, analysis.DirectiveAtomic) &&
+					!analysis.HasDirective(field.Comment, analysis.DirectiveAtomic) {
+					continue
+				}
+				for _, name := range field.Names {
+					obj, ok := pass.TypesInfo.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					key := analysis.FieldKey(pass.Pkg.Path(), ts.Name.Name, name.Name)
+					switch classify(obj.Type()) {
+					case kindTyped:
+						// Atomic by construction; export for documentation
+						// consistency but nothing to police.
+						pass.ExportFact(key)
+					case kindPlain:
+						local[obj] = key
+						pass.ExportFact(key)
+					default:
+						pass.Reportf(name.Pos(), "field "+name.Name+" is annotated //p2p:atomic but its type ("+obj.Type().String()+") supports neither sync/atomic operations nor a sync/atomic type; use atomic.Int64/Uint64/Pointer or drop the annotation")
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Phase 2: audit every field access in non-test files.
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		w := &walker{pass: pass, local: local}
+		w.walk(file)
+	}
+	return nil
+}
+
+type fieldKind int
+
+const (
+	kindOther fieldKind = iota
+	kindTyped           // a sync/atomic type: safe by construction
+	kindPlain           // a plain integer: needs the &field-to-atomic discipline
+)
+
+func classify(t types.Type) fieldKind {
+	if named, ok := types.Unalias(t).(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil && pkg.Path() == "sync/atomic" {
+			return kindTyped
+		}
+	}
+	if b, ok := types.Unalias(t).Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Int32, types.Int64, types.Uint32, types.Uint64, types.Uintptr:
+			return kindPlain
+		}
+	}
+	return kindOther
+}
+
+// walker tracks the ancestor chain so a SelectorExpr can be judged by
+// its context: the only legal context for a plain //p2p:atomic field is
+// CallExpr(atomicFunc, ..., UnaryExpr(&, SelectorExpr), ...).
+type walker struct {
+	pass  *analysis.Pass
+	local map[*types.Var]string
+	stack []ast.Node
+}
+
+func (w *walker) walk(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if n == nil {
+			w.stack = w.stack[:len(w.stack)-1]
+			return true
+		}
+		w.stack = append(w.stack, n)
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			w.checkSelector(sel)
+		}
+		return true
+	})
+}
+
+// checkSelector audits one x.f expression.
+func (w *walker) checkSelector(sel *ast.SelectorExpr) {
+	obj := w.fieldObject(sel)
+	if obj == nil {
+		return
+	}
+	key, annotated := w.annotationKey(sel, obj)
+	if classify(obj.Type()) != kindPlain {
+		return // typed atomics (and non-integer fields) need no use-site audit
+	}
+	legal := w.inAtomicCall()
+	switch {
+	case annotated && !legal:
+		w.pass.Reportf(sel.Pos(), "field "+key+" is annotated //p2p:atomic but is accessed non-atomically here; use sync/atomic (atomic.LoadInt64(&x."+obj.Name()+"), atomic.AddInt64, …)")
+	case !annotated && legal:
+		w.pass.Reportf(sel.Pos(), "field "+key+" is accessed atomically here but its declaration is not annotated //p2p:atomic; annotate the field so every other access is held to the same discipline")
+	}
+}
+
+// fieldObject resolves sel to the struct-field *types.Var it denotes,
+// or nil when sel is not a field selection.
+func (w *walker) fieldObject(sel *ast.SelectorExpr) *types.Var {
+	if s, ok := w.pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+	}
+	return nil
+}
+
+// annotationKey reports the fact key for the field and whether it is
+// annotated //p2p:atomic — locally for fields declared in this package,
+// via imported facts otherwise.
+func (w *walker) annotationKey(sel *ast.SelectorExpr, obj *types.Var) (string, bool) {
+	if key, ok := w.local[obj]; ok {
+		return key, true
+	}
+	key := w.keyOf(sel, obj)
+	if obj.Pkg() != nil && obj.Pkg() != w.pass.Pkg {
+		return key, w.pass.ImportedFact(key)
+	}
+	return key, false
+}
+
+// keyOf reconstructs the declaring-struct fact key of a field access by
+// walking the receiver type of the selection.
+func (w *walker) keyOf(sel *ast.SelectorExpr, obj *types.Var) string {
+	pkgPath := ""
+	if obj.Pkg() != nil {
+		pkgPath = obj.Pkg().Path()
+	}
+	structName := "?"
+	if s, ok := w.pass.TypesInfo.Selections[sel]; ok {
+		t := types.Unalias(s.Recv())
+		if p, ok := t.(*types.Pointer); ok {
+			t = types.Unalias(p.Elem())
+		}
+		if named, ok := t.(*types.Named); ok {
+			structName = named.Obj().Name()
+		}
+	}
+	return analysis.FieldKey(pkgPath, structName, obj.Name())
+}
+
+// inAtomicCall reports whether the selector currently on top of the
+// stack sits in the one legal position: &x.f as a direct argument of a
+// sync/atomic call. The stack ends [..., CallExpr, UnaryExpr, SelectorExpr].
+func (w *walker) inAtomicCall() bool {
+	n := len(w.stack)
+	if n < 3 {
+		return false
+	}
+	addr, ok := w.stack[n-2].(*ast.UnaryExpr)
+	if !ok || addr.Op.String() != "&" {
+		return false
+	}
+	call, ok := w.stack[n-3].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	for _, arg := range call.Args {
+		if arg == w.stack[n-2] {
+			return isAtomicFunc(w.pass.TypesInfo, call)
+		}
+	}
+	return false
+}
+
+// isAtomicFunc reports whether the call's static callee is a
+// package-level function of sync/atomic.
+func isAtomicFunc(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	return fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}

@@ -1,0 +1,13 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"p2pbound/internal/analysis"
+	"p2pbound/internal/analysis/analysistest"
+	"p2pbound/internal/analysis/atomicfield"
+)
+
+func TestAtomicField(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{atomicfield.Analyzer}, "atomictest")
+}

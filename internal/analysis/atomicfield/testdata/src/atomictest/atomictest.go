@@ -1,0 +1,42 @@
+// Package atomictest seeds the atomicfield rules, including the exact
+// torn-read pattern the analyzer exists to prevent: a plain int64
+// written atomically by one goroutine and read bare by another.
+package atomictest
+
+import "sync/atomic"
+
+type stats struct {
+	hits  int64        //p2p:atomic
+	typed atomic.Int64 //p2p:atomic
+	name  string       //p2p:atomic // want `supports neither sync/atomic operations nor a sync/atomic type`
+	plain int64
+}
+
+// good shows the two legal shapes: &field passed straight to a
+// sync/atomic function, and any use of a sync/atomic-typed field.
+func good(s *stats) int64 {
+	atomic.AddInt64(&s.hits, 1)
+	s.typed.Add(1)
+	_ = s.typed.Load()
+	return atomic.LoadInt64(&s.hits)
+}
+
+// torn reproduces the observability-PR bug class: the write side is
+// atomic, the read side tears.
+func torn(s *stats) int64 {
+	atomic.AddInt64(&s.hits, 1)
+	return s.hits // want `annotated //p2p:atomic but is accessed non-atomically`
+}
+
+func writes(s *stats) {
+	s.hits = 1   // want `accessed non-atomically`
+	s.hits++     // want `accessed non-atomically`
+	p := &s.hits // want `accessed non-atomically`
+	_ = p
+}
+
+// reverse: an unannotated plain field used atomically must gain the
+// annotation so every other access is held to the discipline.
+func reverse(s *stats) {
+	atomic.AddInt64(&s.plain, 1) // want `not annotated //p2p:atomic`
+}

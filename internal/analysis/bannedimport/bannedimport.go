@@ -1,0 +1,112 @@
+// Package bannedimport implements the p2pvet analyzer that keeps the
+// packet-path packages lean: packages holding per-packet code may not
+// import fmt, time, or other heap-happy or syscall-bearing standard
+// library packages.
+//
+// The policy is positional, not annotation-based: the banned set is
+// keyed by package path suffix under the module, so the contract is
+// visible in one table rather than scattered across files. Error paths
+// in these packages use errors.New and strconv instead of fmt.Errorf;
+// time handling is confined to the clamp owners (internal/core and
+// internal/throughput take a raw timestamp once per call and clamp it —
+// they may import time for the Duration/Time types) while the leaf
+// packages internal/bitvec and internal/red must stay time-free.
+package bannedimport
+
+import (
+	"strconv"
+	"strings"
+
+	"p2pbound/internal/analysis"
+)
+
+// Analyzer is the import-policy checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "bannedimport",
+	Doc:  "check that packet-path packages do not import fmt, time, or other heap-happy stdlib packages",
+	Run:  run,
+}
+
+// heapHappy lists the stdlib packages banned from every packet-path
+// package: formatting and reflection machinery that allocates on every
+// call, process-global registries, and I/O stacks that have no business
+// on a per-packet code path.
+var heapHappy = []string{
+	"fmt",
+	"log",
+	"log/slog",
+	"os",
+	"net",
+	"net/http",
+	"encoding/json",
+	"reflect",
+	"expvar",
+	"runtime/pprof",
+	"runtime/trace",
+}
+
+// policies maps module-relative package path suffixes to their banned
+// import lists. "time" appears only for the leaf packages; internal/core
+// and internal/throughput are the designated clamp owners and legally
+// use time.Duration in their configuration surface.
+var policies = map[string][]string{
+	"internal/core":       heapHappy,
+	"internal/bitvec":     append([]string{"time"}, heapHappy...),
+	"internal/red":        append([]string{"time"}, heapHappy...),
+	"internal/throughput": heapHappy,
+}
+
+func run(pass *analysis.Pass) error {
+	banned := policyFor(pass)
+	if banned == nil {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue // tests may format failures however they like
+		}
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			for _, b := range banned {
+				if path == b {
+					pass.Reportf(imp.Pos(), "package "+pass.Pkg.Path()+" is a packet-path package and may not import "+path+reason(path))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// policyFor returns the banned list applying to the package under
+// analysis, or nil when the package is unrestricted. Only module
+// packages are in scope: the suffix match must never catch a
+// standard-library package that happens to share a layout (the vet
+// build system runs this analyzer over the whole stdlib dependency
+// closure for facts).
+func policyFor(pass *analysis.Pass) []string {
+	path := pass.Pkg.Path()
+	if !pass.InModule(path) {
+		return nil
+	}
+	for suffix, banned := range policies {
+		if path == suffix || strings.HasSuffix(path, "/"+suffix) {
+			return banned
+		}
+	}
+	return nil
+}
+
+// reason appends the rationale for the most commonly hit bans.
+func reason(path string) string {
+	switch path {
+	case "fmt":
+		return " (fmt allocates on every call; build errors with errors.New and strconv)"
+	case "time":
+		return " (leaf packet-path packages are time-free; timestamps arrive pre-clamped from internal/core)"
+	default:
+		return ""
+	}
+}

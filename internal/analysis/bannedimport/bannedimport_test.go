@@ -1,0 +1,22 @@
+package bannedimport_test
+
+import (
+	"testing"
+
+	"p2pbound/internal/analysis"
+	"p2pbound/internal/analysis/analysistest"
+	"p2pbound/internal/analysis/bannedimport"
+)
+
+func TestBannedImport(t *testing.T) {
+	for _, pkg := range []string{
+		"p2pbound/internal/red",
+		"p2pbound/internal/throughput",
+		"p2pbound/internal/core",
+	} {
+		pkg := pkg
+		t.Run(pkg, func(t *testing.T) {
+			analysistest.Run(t, "testdata", []*analysis.Analyzer{bannedimport.Analyzer}, pkg)
+		})
+	}
+}

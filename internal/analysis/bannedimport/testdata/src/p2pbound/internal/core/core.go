@@ -1,0 +1,15 @@
+// Package core mirrors the filter package: a clamp owner (time
+// allowed) that must stay free of heap-happy imports.
+package core
+
+import (
+	"fmt" // want `may not import fmt`
+	"sync/atomic"
+	"time" // allowed: clamp owner
+)
+
+var (
+	_ = fmt.Sprint
+	_ = atomic.LoadInt64
+	_ = time.Duration(0)
+)

@@ -1,0 +1,17 @@
+// Package red mirrors the real packet-path package's import path; both
+// fmt and time are banned here.
+package red
+
+import (
+	"errors"  // allowed
+	"fmt"     // want `may not import fmt`
+	"strconv" // allowed
+	"time"    // want `may not import time`
+)
+
+var (
+	_ = errors.New
+	_ = fmt.Sprint
+	_ = strconv.Itoa
+	_ = time.Now
+)

@@ -1,0 +1,13 @@
+// Package throughput mirrors a clamp-owner package: time is allowed
+// (it owns timestamp clamping), heap-happy packages are not.
+package throughput
+
+import (
+	"encoding/json" // want `may not import encoding/json`
+	"time"          // allowed: clamp owner
+)
+
+var (
+	_ = json.Marshal
+	_ = time.Duration(0)
+)

@@ -1,0 +1,158 @@
+// Package driver executes the p2pvet analyzer suite. It provides two
+// entry points sharing one per-package runner:
+//
+//   - Standalone loads the module with `go list -export -deps -json`,
+//     type-checks module packages from source (standard-library
+//     dependencies come from compiler export data), and runs the
+//     analyzers in dependency order with facts flowing in memory. This
+//     backs `go run ./cmd/p2pvet ./...` and `make lint`.
+//
+//   - Vet analyzes the single compilation unit described by a go vet
+//     *.cfg file, speaking the `go vet -vettool` build-system protocol:
+//     types come from the export data files the build supplies, facts
+//     are read from the PackageVetx files of direct dependencies and
+//     written (transitively merged) to VetxOutput, and diagnostics are
+//     suppressed in VetxOnly mode. This backs
+//     `go vet -vettool=$(which p2pvet) ./...` with full build caching.
+//
+// Facts are serialized as deterministic JSON: analyzer name to sorted
+// fact-key list. The files are opaque to the go command — it only moves
+// them between vet runs — so the format is ours to choose, and JSON
+// keeps them inspectable when debugging a cross-package diagnostic.
+package driver
+
+import (
+	"encoding/json"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"p2pbound/internal/analysis"
+)
+
+// A Diagnostic is one finding with its position resolved, ready to
+// print or compare.
+type Diagnostic struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+// A FactSet is the fact keys exported per analyzer. The driver treats
+// keys as opaque.
+type FactSet map[string]map[string]bool
+
+// NewFactSet returns an empty fact set.
+func NewFactSet() FactSet { return make(FactSet) }
+
+// Add records one key for one analyzer.
+func (fs FactSet) Add(analyzer, key string) {
+	m := fs[analyzer]
+	if m == nil {
+		m = make(map[string]bool)
+		fs[analyzer] = m
+	}
+	m[key] = true
+}
+
+// Merge adds every fact of src into fs.
+func (fs FactSet) Merge(src FactSet) {
+	for a, keys := range src {
+		for k := range keys {
+			fs.Add(a, k)
+		}
+	}
+}
+
+// Encode renders the set as deterministic JSON (analyzers and keys
+// sorted), suitable for content-addressed build caching.
+func (fs FactSet) Encode() ([]byte, error) {
+	out := make(map[string][]string, len(fs))
+	for a, keys := range fs {
+		list := make([]string, 0, len(keys))
+		for k := range keys {
+			list = append(list, k)
+		}
+		sort.Strings(list)
+		out[a] = list
+	}
+	return json.Marshal(out) // encoding/json sorts map keys
+}
+
+// DecodeFactSet parses Encode's output. Unknown analyzers are kept:
+// fact files may outlive analyzer renames within a cached build.
+func DecodeFactSet(data []byte) (FactSet, error) {
+	var raw map[string][]string
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, err
+	}
+	fs := NewFactSet()
+	for a, keys := range raw {
+		for _, k := range keys {
+			fs.Add(a, k)
+		}
+	}
+	return fs, nil
+}
+
+// RunPackage executes every analyzer over one type-checked package.
+// imported carries the merged facts of the package's (transitive)
+// dependencies; the returned FactSet holds only the facts exported by
+// this package's passes. isStandard may be nil (heuristic fallback).
+func RunPackage(analyzers []*analysis.Analyzer, fset *token.FileSet, files []*ast.File,
+	pkg *types.Package, info *types.Info, module string, imported FactSet,
+	isStandard func(string) bool) ([]Diagnostic, FactSet, error) {
+
+	var diags []Diagnostic
+	exported := NewFactSet()
+	for _, a := range analyzers {
+		a := a
+		pass := analysis.NewPass(a, fset, files, pkg, info, module,
+			func(d analysis.Diagnostic) {
+				diags = append(diags, Diagnostic{
+					Position: fset.Position(d.Pos),
+					Analyzer: a.Name,
+					Message:  d.Message,
+				})
+			},
+			imported[a.Name],
+			func(key string) { exported.Add(a.Name, key) },
+			isStandard,
+		)
+		if err := a.Run(pass); err != nil {
+			return diags, exported, err
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Message < b.Message
+	})
+	return diags, exported, nil
+}
+
+// newTypesInfo allocates the types.Info maps the analyzers consume.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// String renders a diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return d.Position.String() + ": " + d.Message + " (" + d.Analyzer + ")"
+}

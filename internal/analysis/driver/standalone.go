@@ -1,0 +1,228 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"p2pbound/internal/analysis"
+)
+
+// listPackage is the subset of `go list -json` output the standalone
+// loader consumes.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Standard   bool
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Standalone loads the packages matching patterns (plus their full
+// dependency closure) via `go list -export -deps -json`, type-checks
+// every module package from source, runs the analyzer suite in
+// dependency order with facts flowing in memory, and prints diagnostics
+// to stderr. It returns the process exit code: 0 clean, 1 diagnostics
+// or load failure.
+func Standalone(stderr io.Writer, patterns []string, analyzers []*analysis.Analyzer) int {
+	diags, err := Load(patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, "p2pvet:", err)
+		return 1
+	}
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		d.Position.Filename = relPath(cwd, d.Position.Filename)
+		fmt.Fprintln(stderr, d.String())
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// Load performs the standalone analysis and returns the diagnostics for
+// the packages matching patterns (dependencies are analyzed for facts
+// but their diagnostics are reported too — in a single module every
+// dependency is equally ours).
+func Load(patterns []string, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	pkgs, err := goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	exportFiles := make(map[string]string) // package path -> export data file
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exportFiles[p.ImportPath] = p.Export
+		}
+	}
+	gcImporter := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exportFiles[path]
+		if !ok {
+			return nil, errors.New("no export data for " + strconv.Quote(path))
+		}
+		return os.Open(file)
+	})
+
+	checked := make(map[string]*types.Package) // module packages, from source
+	factsOut := make(map[string]FactSet)       // package path -> transitive fact closure
+	var diags []Diagnostic
+
+	// `go list -deps` emits dependencies before dependents, so every
+	// import of the current package has already been processed.
+	for _, p := range pkgs {
+		if p.Standard || p.Name == "" {
+			continue
+		}
+		if p.Error != nil {
+			return nil, errors.New(p.ImportPath + ": " + p.Error.Err)
+		}
+		module := ""
+		if p.Module != nil {
+			module = p.Module.Path
+		}
+
+		files, err := parsePackage(fset, p)
+		if err != nil {
+			return nil, err
+		}
+		pkg, info, err := checkPackage(fset, p, files, checked, gcImporter)
+		if err != nil {
+			return nil, err
+		}
+		checked[p.ImportPath] = pkg
+
+		imported := NewFactSet()
+		for _, imp := range p.Imports {
+			if fs, ok := factsOut[resolveImport(p, imp)]; ok {
+				imported.Merge(fs)
+			}
+		}
+		isStandard := func(path string) bool {
+			_, fromSource := checked[path]
+			return !fromSource && path != p.ImportPath
+		}
+		pdiags, exported, err := RunPackage(analyzers, fset, files, pkg, info, module, imported, isStandard)
+		if err != nil {
+			return nil, errors.New(p.ImportPath + ": " + err.Error())
+		}
+		diags = append(diags, pdiags...)
+		imported.Merge(exported)
+		factsOut[p.ImportPath] = imported
+	}
+	return diags, nil
+}
+
+// goList runs `go list -export -deps -json` over the patterns and
+// decodes the JSON stream (dependency order preserved).
+func goList(patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stdout, stderrBuf bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderrBuf
+	if err := cmd.Run(); err != nil {
+		msg := strings.TrimSpace(stderrBuf.String())
+		if msg == "" {
+			msg = err.Error()
+		}
+		return nil, errors.New("go list failed: " + msg)
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, errors.New("go list output: " + err.Error())
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+func parsePackage(fset *token.FileSet, p *listPackage) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// checkPackage type-checks one module package from source. Imports of
+// other module packages resolve to their freshly checked *types.Package
+// (dependency order guarantees availability); standard-library imports
+// resolve through gc export data.
+func checkPackage(fset *token.FileSet, p *listPackage, files []*ast.File,
+	checked map[string]*types.Package, gcImporter types.Importer) (*types.Package, *types.Info, error) {
+
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path := resolveImport(p, importPath)
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if pkg, ok := checked[path]; ok {
+			return pkg, nil
+		}
+		return gcImporter.Import(path)
+	})
+	tc := &types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", build.Default.GOARCH),
+	}
+	info := newTypesInfo()
+	pkg, err := tc.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, nil, errors.New("typecheck " + p.ImportPath + ": " + err.Error())
+	}
+	return pkg, info, nil
+}
+
+// resolveImport applies the package's vendor/import map to a source
+// import path.
+func resolveImport(p *listPackage, importPath string) string {
+	if mapped, ok := p.ImportMap[importPath]; ok {
+		return mapped
+	}
+	return importPath
+}
+
+// relPath shortens abs to a cwd-relative path when that is shorter.
+func relPath(cwd, abs string) string {
+	if cwd == "" {
+		return abs
+	}
+	if rel, err := filepath.Rel(cwd, abs); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return abs
+}

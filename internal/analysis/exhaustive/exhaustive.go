@@ -1,0 +1,214 @@
+// Package exhaustive implements the p2pvet analyzer that keeps switches
+// over the module's enum-like types total: when a new ShedPolicy,
+// Verdict, or Decision constant is added, every switch that dispatches
+// on the type must either gain a case or already carry a default.
+//
+// A type is enum-like when it is a named type declared in this module
+// whose underlying type is an integer and for which the declaring
+// package declares at least two package-level constants of exactly that
+// type (the iota block pattern). The declaring package exports one fact
+// per constant, so switches in importing packages are checked against
+// the full constant set even though export data has already erased the
+// declaration grouping.
+package exhaustive
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"p2pbound/internal/analysis"
+)
+
+// Analyzer is the enum-switch totality checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "exhaustive",
+	Doc:  "check that switches over module enum types cover every declared constant or have a default",
+	Run:  run,
+}
+
+// factPrefix namespaces the exported constant facts:
+// "enumconst\x00<typeKey>\x00<constName>".
+const factPrefix = "enumconst\x00"
+
+func enumConstFact(typeKey, constName string) string {
+	return factPrefix + typeKey + "\x00" + constName
+}
+
+// typeKey identifies an enum type across packages: "<pkgpath>.<Name>".
+func typeKey(named *types.Named) string {
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+func run(pass *analysis.Pass) error {
+	// Phase 1: find enum types declared in this package and the constant
+	// sets belonging to them, then export them as facts.
+	enums := collectEnums(pass.Pkg)
+	for key, consts := range enums {
+		for name := range consts {
+			pass.ExportFact(enumConstFact(key, name))
+		}
+	}
+
+	// Phase 2: check every switch statement in non-test files.
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, enums, sw)
+			return true
+		})
+	}
+	return nil
+}
+
+// collectEnums scans a package's scope for enum-like types: named
+// integer types with >= 2 package-level constants of that exact type.
+// The result maps type keys to their constant name sets.
+func collectEnums(pkg *types.Package) map[string]map[string]bool {
+	enums := make(map[string]map[string]bool)
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		named, ok := types.Unalias(c.Type()).(*types.Named)
+		if !ok || named.Obj().Pkg() != pkg {
+			continue
+		}
+		b, ok := named.Underlying().(*types.Basic)
+		if !ok || b.Info()&types.IsInteger == 0 {
+			continue
+		}
+		key := typeKey(named)
+		if enums[key] == nil {
+			enums[key] = make(map[string]bool)
+		}
+		enums[key][c.Name()] = true
+	}
+	for key, consts := range enums {
+		if len(consts) < 2 {
+			delete(enums, key) // a single constant is a sentinel, not an enum
+		}
+	}
+	return enums
+}
+
+// checkSwitch verifies one tagged switch. Switches with a default are
+// total by construction and always pass.
+func checkSwitch(pass *analysis.Pass, localEnums map[string]map[string]bool, sw *ast.SwitchStmt) {
+	tagType := pass.TypesInfo.TypeOf(sw.Tag)
+	if tagType == nil {
+		return
+	}
+	named, ok := types.Unalias(tagType).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return
+	}
+	if !pass.InModule(named.Obj().Pkg().Path()) {
+		return // only the module's own enums carry the contract
+	}
+	key := typeKey(named)
+
+	// The full constant set: from the local scan when the type is
+	// declared here, otherwise reconstructed from imported facts plus
+	// the declaring package's scope (for names).
+	want := localEnums[key]
+	if want == nil {
+		want = importedEnum(pass, named, key)
+	}
+	if len(want) < 2 {
+		return // not an enum by our definition
+	}
+
+	covered := make(map[string]bool)
+	hasDefault := false
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			continue
+		}
+		for _, e := range cc.List {
+			if c := constOf(pass.TypesInfo, e); c != nil {
+				covered[c.Name()] = true
+			}
+		}
+	}
+	if hasDefault {
+		return
+	}
+	var missing []string
+	for name := range want {
+		if !covered[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sortStrings(missing)
+	pass.Reportf(sw.Pos(), "switch over "+key+" is missing cases for "+strings.Join(missing, ", ")+" and has no default")
+}
+
+// importedEnum reconstructs the constant set of an enum declared in an
+// imported package: the declaring package's scope supplies the candidate
+// constant names (visible through export data) and the fact stream
+// confirms each one was part of the exported enum.
+func importedEnum(pass *analysis.Pass, named *types.Named, key string) map[string]bool {
+	pkg := named.Obj().Pkg()
+	want := make(map[string]bool)
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		if n, ok := types.Unalias(c.Type()).(*types.Named); !ok || n.Obj() != named.Obj() {
+			continue
+		}
+		if pass.ImportedFact(enumConstFact(key, c.Name())) {
+			want[c.Name()] = true
+		}
+	}
+	return want
+}
+
+// constOf resolves a case expression to the *types.Const it names, or
+// nil for non-constant or computed expressions.
+func constOf(info *types.Info, e ast.Expr) *types.Const {
+	switch e := e.(type) {
+	case *ast.Ident:
+		c, _ := info.Uses[e].(*types.Const)
+		return c
+	case *ast.SelectorExpr:
+		c, _ := info.Uses[e.Sel].(*types.Const)
+		return c
+	case *ast.ParenExpr:
+		return constOf(info, e.X)
+	}
+	return nil
+}
+
+// sortStrings is an insertion sort; missing-case lists are tiny and the
+// framework takes no sort dependency for one call.
+func sortStrings(x []string) {
+	for i := 1; i < len(x); i++ {
+		for j := i; j > 0 && x[j] < x[j-1]; j-- {
+			x[j], x[j-1] = x[j-1], x[j]
+		}
+	}
+}

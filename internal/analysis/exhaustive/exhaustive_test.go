@@ -1,0 +1,17 @@
+package exhaustive_test
+
+import (
+	"testing"
+
+	"p2pbound/internal/analysis"
+	"p2pbound/internal/analysis/analysistest"
+	"p2pbound/internal/analysis/exhaustive"
+)
+
+func TestExhaustiveLocal(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{exhaustive.Analyzer}, "exhtest")
+}
+
+func TestExhaustiveCrossPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{exhaustive.Analyzer}, "exhuser")
+}

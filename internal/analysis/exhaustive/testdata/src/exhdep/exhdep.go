@@ -1,0 +1,13 @@
+// Package exhdep declares an enum consumed by package exhuser; the
+// constant set travels as exported facts.
+package exhdep
+
+// Policy is an enum-like type switched on across packages.
+type Policy int
+
+// Policies.
+const (
+	Block Policy = iota
+	FailOpen
+	FailClosed
+)

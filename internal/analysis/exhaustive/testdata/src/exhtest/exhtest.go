@@ -1,0 +1,65 @@
+// Package exhtest seeds the enum-switch totality rules for a locally
+// declared enum.
+package exhtest
+
+// Mode is enum-like: a named integer type with >= 2 typed constants.
+type Mode int
+
+// Modes.
+const (
+	ModeA Mode = iota
+	ModeB
+	ModeC
+)
+
+// single has one constant only: a sentinel, not an enum.
+type single int
+
+const onlyOne single = 0
+
+func full(m Mode) string {
+	switch m {
+	case ModeA:
+		return "a"
+	case ModeB:
+		return "b"
+	case ModeC:
+		return "c"
+	}
+	return ""
+}
+
+func defaulted(m Mode) string {
+	switch m {
+	case ModeA:
+		return "a"
+	default:
+		return "?"
+	}
+}
+
+func missing(m Mode) string {
+	switch m { // want `switch over exhtest.Mode is missing cases for ModeB, ModeC and has no default`
+	case ModeA:
+		return "a"
+	}
+	return ""
+}
+
+func multi(m Mode) string {
+	switch m { // want `missing cases for ModeC`
+	case ModeA, ModeB:
+		return "ab"
+	}
+	return ""
+}
+
+// notEnum: switches over sentinels and non-module types are ignored.
+func notEnum(s single, n int) {
+	switch s {
+	case onlyOne:
+	}
+	switch n {
+	case 0:
+	}
+}

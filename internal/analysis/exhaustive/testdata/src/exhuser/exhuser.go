@@ -1,0 +1,25 @@
+// Package exhuser switches over an enum declared in package exhdep,
+// exercising the fact-driven cross-package constant set.
+package exhuser
+
+import "exhdep"
+
+func full(p exhdep.Policy) string {
+	switch p {
+	case exhdep.Block:
+		return "block"
+	case exhdep.FailOpen:
+		return "open"
+	case exhdep.FailClosed:
+		return "closed"
+	}
+	return ""
+}
+
+func missing(p exhdep.Policy) string {
+	switch p { // want `switch over exhdep.Policy is missing cases for FailClosed and has no default`
+	case exhdep.Block, exhdep.FailOpen:
+		return "known"
+	}
+	return ""
+}

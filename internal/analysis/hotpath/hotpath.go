@@ -1,0 +1,311 @@
+// Package hotpath implements the p2pvet analyzer that proves the
+// per-packet invariants of functions annotated //p2p:hotpath: no heap
+// allocation, no lock acquisition, no wall-clock reads, and a closed
+// call graph — every module function a hotpath function statically
+// calls must itself be annotated, so the properties hold transitively.
+//
+// The checked construct set is deliberately explicit (and documented in
+// DESIGN.md §11):
+//
+//   - allocation: make, new, append (unless the line carries a
+//     //p2p:bounded waiver backed by a runtime allocation guard), slice
+//     and map composite literals, address-taken composite literals,
+//     string concatenation, string<->[]byte/[]rune conversions, closures
+//     (func literals), go statements, defer, and variadic calls that
+//     materialize an argument slice;
+//   - locks: any call into package sync (sync/atomic remains allowed);
+//   - wall clock: any package-level call into package time (methods on
+//     time.Duration values stay allowed — they are pure arithmetic);
+//     timestamps must flow through the clamped parameters introduced by
+//     the fault-tolerance layer;
+//   - calls: a static call to a module function requires the callee to
+//     be annotated //p2p:hotpath (same package: checked from the AST;
+//     other packages: checked against exported facts). Package-level
+//     stdlib calls are restricted to an allowlist (sync/atomic, math,
+//     math/bits). Dynamic calls — interface methods and func values —
+//     are outside the static contract and are intentionally not
+//     reported; the race detector and runtime allocation guards cover
+//     them.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"p2pbound/internal/analysis"
+)
+
+// Analyzer is the hotpath invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "check that //p2p:hotpath functions do not allocate, lock, read the wall clock, or call unannotated module functions",
+	Run:  run,
+}
+
+// stdlibCallAllowlist lists the standard-library packages whose
+// package-level functions are safe on the packet path: pure arithmetic
+// and lock-free atomics.
+var stdlibCallAllowlist = map[string]bool{
+	"sync/atomic": true,
+	"math":        true,
+	"math/bits":   true,
+}
+
+func run(pass *analysis.Pass) error {
+	// Collect this package's annotated functions and export their keys
+	// as facts for importing packages.
+	annotated := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !analysis.HasDirective(fd.Doc, analysis.DirectiveHotpath) {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			annotated[fn] = fd
+			pass.ExportFact(analysis.FuncKey(fn))
+		}
+	}
+	for fn, fd := range annotated {
+		if fd.Body == nil {
+			pass.Reportf(fd.Pos(), "hotpath function "+fn.Name()+" has no body; the invariant cannot be checked")
+			continue
+		}
+		c := &checker{pass: pass, annotated: annotated, fn: fn}
+		c.bounded = analysis.DirectiveLines(pass.Fset, enclosingFile(pass, fd), analysis.DirectiveBounded)
+		ast.Inspect(fd.Body, c.check)
+	}
+	return nil
+}
+
+// enclosingFile returns the *ast.File containing decl.
+func enclosingFile(pass *analysis.Pass, decl *ast.FuncDecl) *ast.File {
+	for _, f := range pass.Files {
+		if f.FileStart <= decl.Pos() && decl.Pos() < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// checker walks one hotpath function body.
+type checker struct {
+	pass      *analysis.Pass
+	annotated map[*types.Func]*ast.FuncDecl
+	fn        *types.Func
+	bounded   map[int]bool
+}
+
+func (c *checker) report(pos token.Pos, msg string) {
+	c.pass.Reportf(pos, "hotpath function "+c.fn.Name()+" "+msg)
+}
+
+func (c *checker) check(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		c.checkCall(n)
+	case *ast.GoStmt:
+		c.report(n.Pos(), "starts a goroutine")
+	case *ast.DeferStmt:
+		c.report(n.Pos(), "defers a call (defer bookkeeping is not free on the packet path)")
+	case *ast.FuncLit:
+		c.report(n.Pos(), "allocates a closure")
+		return false // the literal's body is not part of the static hot path
+	case *ast.CompositeLit:
+		c.checkCompositeLit(n)
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			if _, ok := n.X.(*ast.CompositeLit); ok {
+				c.report(n.Pos(), "allocates: composite literal escapes via &")
+			}
+		}
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD && isString(c.pass.TypesInfo.TypeOf(n)) {
+			c.report(n.Pos(), "allocates: string concatenation")
+		}
+	}
+	return true
+}
+
+// checkCompositeLit flags literals whose backing store is heap-prone:
+// slices and maps. Value struct and array literals stay on the stack
+// (the escaping &T{} form is reported separately).
+func (c *checker) checkCompositeLit(lit *ast.CompositeLit) {
+	switch types.Unalias(c.pass.TypesInfo.TypeOf(lit)).Underlying().(type) {
+	case *types.Slice:
+		c.report(lit.Pos(), "allocates: slice literal")
+	case *types.Map:
+		c.report(lit.Pos(), "allocates: map literal")
+	}
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	info := c.pass.TypesInfo
+	// Type conversions: only the string<->bytes family allocates.
+	if tv, ok := info.Types[unparen(call.Fun)]; ok && tv.IsType() {
+		to := tv.Type
+		if len(call.Args) == 1 {
+			from := info.TypeOf(call.Args[0])
+			if stringBytesConversion(from, to) {
+				c.report(call.Pos(), "allocates: string/byte-slice conversion")
+			}
+		}
+		return
+	}
+	// Builtins.
+	if id := calleeIdent(call.Fun); id != nil {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				if !c.bounded[c.pass.Fset.Position(call.Pos()).Line] {
+					c.report(call.Pos(), "calls append, which may grow its backing array; prove the capacity bound and annotate the line //p2p:bounded, or write into a fixed buffer")
+				}
+			case "make":
+				c.report(call.Pos(), "allocates: make")
+			case "new":
+				c.report(call.Pos(), "allocates: new")
+			}
+			return
+		}
+	}
+	callee := staticCallee(info, call)
+	if callee == nil {
+		return // dynamic call: interface method or func value — out of static scope
+	}
+	// Variadic calls materialize their argument slice.
+	if sig, ok := callee.Type().(*types.Signature); ok && sig.Variadic() && !call.Ellipsis.IsValid() &&
+		len(call.Args) >= sig.Params().Len() {
+		c.report(call.Pos(), "allocates: variadic call to "+callee.Name()+" materializes an argument slice")
+	}
+	pkg := callee.Pkg()
+	if pkg == nil {
+		return // universe-scope methods (error.Error) — dynamic by nature
+	}
+	path := pkg.Path()
+	if c.pass.InModule(path) {
+		c.checkModuleCall(call, callee)
+		return
+	}
+	recv := callee.Type().(*types.Signature).Recv()
+	switch {
+	case path == "sync":
+		c.report(call.Pos(), "calls sync."+calleeDisplay(callee)+"; hotpath functions may not acquire locks (use sync/atomic)")
+	case recv != nil:
+		// Methods on stdlib values (time.Duration arithmetic,
+		// binary.LittleEndian, netip.Addr accessors, atomic.Int64) are
+		// allowed; the lock-bearing package sync is handled above.
+	case path == "time":
+		c.report(call.Pos(), "calls time."+callee.Name()+"; timestamps must flow through the clamped packet-time parameters, never the wall clock")
+	case !stdlibCallAllowlist[path]:
+		c.report(call.Pos(), "calls "+path+"."+callee.Name()+", which is outside the hot-path stdlib allowlist (sync/atomic, math, math/bits)")
+	}
+}
+
+// checkModuleCall enforces the closed call graph: a module callee must
+// itself be annotated //p2p:hotpath.
+func (c *checker) checkModuleCall(call *ast.CallExpr, callee *types.Func) {
+	if callee.Pkg() == c.pass.Pkg {
+		if _, ok := c.annotated[callee]; ok {
+			return
+		}
+		// A method and its value-receiver origin may differ; compare keys.
+		for fn := range c.annotated {
+			if analysis.FuncKey(fn) == analysis.FuncKey(callee) {
+				return
+			}
+		}
+		c.report(call.Pos(), "calls "+callee.Name()+", which is not annotated //p2p:hotpath; annotate it (and satisfy its checks) or move the call off the hot path")
+		return
+	}
+	if c.pass.ImportedFact(analysis.FuncKey(callee)) {
+		return
+	}
+	c.report(call.Pos(), "calls "+callee.Pkg().Path()+"."+calleeDisplay(callee)+", which is not annotated //p2p:hotpath; annotate it (and satisfy its checks) or move the call off the hot path")
+}
+
+// calleeIdent returns the identifier of a direct (unqualified) callee,
+// or nil when the call expression is qualified or computed.
+func calleeIdent(fun ast.Expr) *ast.Ident {
+	id, _ := unparen(fun).(*ast.Ident)
+	return id
+}
+
+// staticCallee resolves the *types.Func a call statically dispatches
+// to, or nil for dynamic calls (func values, interface methods).
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() == types.MethodVal {
+				fn, _ := sel.Obj().(*types.Func)
+				if fn != nil && isInterfaceMethod(fn) {
+					return nil
+				}
+				return fn
+			}
+			return nil // field value call: dynamic
+		}
+		obj = info.Uses[fun.Sel] // package-qualified function
+	default:
+		return nil
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// isInterfaceMethod reports whether fn is declared on an interface —
+// i.e. the call dispatches dynamically.
+func isInterfaceMethod(fn *types.Func) bool {
+	recv := fn.Type().(*types.Signature).Recv()
+	return recv != nil && types.IsInterface(recv.Type())
+}
+
+// calleeDisplay renders a function for a diagnostic: "Name" for
+// package-level functions, "(Recv).Name" for methods.
+func calleeDisplay(fn *types.Func) string {
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		return "(" + types.TypeString(recv.Type(), func(p *types.Package) string { return p.Name() }) + ")." + fn.Name()
+	}
+	return fn.Name()
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := types.Unalias(t).Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// stringBytesConversion reports whether a conversion between from and to
+// crosses the string/[]byte or string/[]rune boundary (both directions
+// copy).
+func stringBytesConversion(from, to types.Type) bool {
+	return (isString(from) && isByteOrRuneSlice(to)) || (isByteOrRuneSlice(from) && isString(to))
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := types.Unalias(t).Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := types.Unalias(s.Elem()).Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

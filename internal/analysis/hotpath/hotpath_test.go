@@ -1,0 +1,13 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"p2pbound/internal/analysis"
+	"p2pbound/internal/analysis/analysistest"
+	"p2pbound/internal/analysis/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{hotpath.Analyzer}, "hot")
+}

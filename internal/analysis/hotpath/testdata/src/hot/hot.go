@@ -1,0 +1,86 @@
+// Package hot seeds one violation per hotpath rule and one legal use
+// per allowance; the golden test asserts the exact diagnostic set.
+package hot
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hotdep"
+)
+
+type stats struct {
+	mu sync.Mutex
+	n  atomic.Int64
+}
+
+//p2p:hotpath
+func fastLocal(v int64) int64 { return v * 2 }
+
+//p2p:hotpath
+func variadicFast(vs ...int64) {}
+
+// ok exercises every allowance: atomic methods, annotated callees in
+// this package and across packages, fixed-buffer writes, allowlisted
+// stdlib packages, struct-value literals, and a waived append.
+//
+//p2p:hotpath
+func ok(s *stats, buf *[8]byte, scratch []byte, v int64) int64 {
+	s.n.Add(v)
+	buf[0] = byte(v)
+	scratch = scratch[:0]
+	scratch = append(scratch, byte(v)) //p2p:bounded caller presizes scratch
+	_ = stats{}
+	var d time.Duration
+	_ = d.Seconds()
+	variadicFast(nil...)
+	return fastLocal(hotdep.Fast(v))
+}
+
+func slowLocal() {}
+
+//p2p:hotpath
+func locks(s *stats) {
+	s.mu.Lock()   // want `may not acquire locks`
+	s.mu.Unlock() // want `may not acquire locks`
+}
+
+//p2p:hotpath
+func clock() int64 {
+	return time.Now().UnixNano() // want `calls time.Now`
+}
+
+//p2p:hotpath
+func allocs(xs []int, str string) {
+	xs = append(xs, 1) // want `calls append`
+	_ = make([]int, 4) // want `allocates: make`
+	_ = new(int)       // want `allocates: new`
+	_ = []int{1, 2}    // want `allocates: slice literal`
+	_ = map[int]int{}  // want `allocates: map literal`
+	_ = &stats{}       // want `composite literal escapes`
+	_ = str + "!"      // want `string concatenation`
+	_ = []byte(str)    // want `string/byte-slice conversion`
+}
+
+//p2p:hotpath
+func control() {
+	go slowLocal()    // want `starts a goroutine` `calls slowLocal, which is not annotated`
+	defer slowLocal() // want `defers a call` `calls slowLocal, which is not annotated`
+	f := func() {}    // want `allocates a closure`
+	f()
+}
+
+//p2p:hotpath
+func callees(v int64) {
+	slowLocal()        // want `calls slowLocal, which is not annotated`
+	hotdep.Slow()      // want `calls hotdep.Slow, which is not annotated`
+	variadicFast(v, v) // want `materializes an argument slice`
+}
+
+// cold is unannotated: the same constructs draw no diagnostics.
+func cold(str string) {
+	_ = make([]int, 4)
+	_ = str + "!"
+	go slowLocal()
+}

@@ -1,0 +1,9 @@
+// Package hotdep is the cross-package half of the hotpath fixtures: an
+// annotated function whose fact must reach importing packages, and an
+// unannotated one that must be reported when called from a hot path.
+package hotdep
+
+//p2p:hotpath
+func Fast(v int64) int64 { return v + 1 }
+
+func Slow() {}

@@ -25,8 +25,9 @@
 package bitvec
 
 import (
-	"fmt"
+	"errors"
 	"math/bits"
+	"strconv"
 )
 
 const wordBits = 64
@@ -94,6 +95,8 @@ func (v *Vector) Bytes() int { return len(v.words) * 8 }
 // touched block is stale from a deferred Clear it is zeroed first, so a
 // Set never resurrects old-epoch bits; this is the only hot-path work a
 // deferred clear can induce, and it is bounded by one block.
+//
+//p2p:hotpath
 func (v *Vector) Set(i uint32) {
 	j := uint(i & v.mask)
 	w := j / wordBits
@@ -109,6 +112,8 @@ func (v *Vector) Set(i uint32) {
 
 // Get reports whether bit i is marked. A bit in a block not yet swept or
 // written since the last Clear reads as zero.
+//
+//p2p:hotpath
 func (v *Vector) Get(i uint32) bool {
 	j := uint(i & v.mask)
 	w := j / wordBits
@@ -123,6 +128,8 @@ func (v *Vector) Get(i uint32) bool {
 // work spread across subsequent operations call StepClear repeatedly;
 // callers that never do still observe correct all-zero reads, because
 // Set and Get treat stale blocks as empty.
+//
+//p2p:hotpath
 func (v *Vector) Clear() {
 	v.epoch++
 	v.ones = 0
@@ -134,6 +141,8 @@ func (v *Vector) Clear() {
 // sweep has covered the whole vector. Each block is clearBlockBytes
 // bytes, so the caller controls exactly how much memclr latency one call
 // may add.
+//
+//p2p:hotpath
 func (v *Vector) StepClear(nblocks int) bool {
 	for nblocks > 0 && v.sweep < len(v.blockEpoch) {
 		if v.blockEpoch[v.sweep] != v.epoch {
@@ -146,6 +155,8 @@ func (v *Vector) StepClear(nblocks int) bool {
 }
 
 // freshen zeroes block blk and stamps it into the current epoch.
+//
+//p2p:hotpath
 func (v *Vector) freshen(blk int) {
 	lo := blk * clearBlockWords
 	hi := lo + clearBlockWords
@@ -166,9 +177,13 @@ func (v *Vector) normalize() {
 // OnesCount returns the number of marked bits, the quantity b in the
 // utilization U = b/N of Equation 2. The count is maintained
 // incrementally, so this is O(1).
+//
+//p2p:hotpath
 func (v *Vector) OnesCount() int { return v.ones }
 
 // Utilization returns the fraction of marked bits U = b/N in O(1).
+//
+//p2p:hotpath
 func (v *Vector) Utilization() float64 {
 	return float64(v.ones) / float64(v.nbits)
 }
@@ -177,7 +192,8 @@ func (v *Vector) Utilization() float64 {
 // must have the same size.
 func (v *Vector) CopyFrom(src *Vector) error {
 	if v.nbits != src.nbits {
-		return fmt.Errorf("bitvec: size mismatch: %d != %d", v.nbits, src.nbits)
+		return errors.New("bitvec: size mismatch: " + strconv.FormatUint(uint64(v.nbits), 10) +
+			" != " + strconv.FormatUint(uint64(src.nbits), 10))
 	}
 	src.normalize()
 	copy(v.words, src.words)
@@ -210,5 +226,6 @@ func (v *Vector) Equal(o *Vector) bool {
 
 // String summarizes the vector for debugging.
 func (v *Vector) String() string {
-	return fmt.Sprintf("bitvec(%d bits, %d set)", v.nbits, v.OnesCount())
+	return "bitvec(" + strconv.FormatUint(uint64(v.nbits), 10) + " bits, " +
+		strconv.Itoa(v.OnesCount()) + " set)"
 }

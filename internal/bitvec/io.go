@@ -2,9 +2,12 @@ package bitvec
 
 import (
 	"encoding/binary"
-	"fmt"
+	"errors"
 	"io"
 	"math/bits"
+	"strconv"
+
+	"p2pbound/internal/errfmt"
 )
 
 // WriteTo serializes the vector's words in little-endian order. It
@@ -18,7 +21,7 @@ func (v *Vector) WriteTo(w io.Writer) (int64, error) {
 	}
 	n, err := w.Write(buf)
 	if err != nil {
-		return int64(n), fmt.Errorf("bitvec: write: %w", err)
+		return int64(n), errfmt.Wrap("bitvec: write", err)
 	}
 	return int64(n), nil
 }
@@ -33,7 +36,7 @@ func (v *Vector) WriteFrame(w io.Writer) (int64, error) {
 	n, err := w.Write(hdr[:])
 	total := int64(n)
 	if err != nil {
-		return total, fmt.Errorf("bitvec: write frame header: %w", err)
+		return total, errfmt.Wrap("bitvec: write frame header", err)
 	}
 	m, err := v.WriteTo(w)
 	return total + m, err
@@ -48,10 +51,11 @@ func (v *Vector) ReadFrame(r io.Reader) (int64, error) {
 	n, err := io.ReadFull(r, hdr[:])
 	total := int64(n)
 	if err != nil {
-		return total, fmt.Errorf("bitvec: read frame header: %w", err)
+		return total, errfmt.Wrap("bitvec: read frame header", err)
 	}
 	if got := binary.LittleEndian.Uint32(hdr[:]); got != uint32(8*len(v.words)) {
-		return total, fmt.Errorf("bitvec: frame length %d does not match vector size %d", got, 8*len(v.words))
+		return total, errors.New("bitvec: frame length " + strconv.FormatUint(uint64(got), 10) +
+			" does not match vector size " + strconv.Itoa(8*len(v.words)))
 	}
 	m, err := v.ReadFrom(r)
 	return total + m, err
@@ -63,7 +67,7 @@ func (v *Vector) ReadFrom(r io.Reader) (int64, error) {
 	buf := make([]byte, 8*len(v.words))
 	n, err := io.ReadFull(r, buf)
 	if err != nil {
-		return int64(n), fmt.Errorf("bitvec: read: %w", err)
+		return int64(n), errfmt.Wrap("bitvec: read", err)
 	}
 	ones := 0
 	for i := range v.words {

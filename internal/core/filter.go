@@ -15,12 +15,14 @@
 package core
 
 import (
-	"fmt"
+	"errors"
 	"math/rand/v2"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"p2pbound/internal/bitvec"
+	"p2pbound/internal/errfmt"
 	"p2pbound/internal/hashes"
 	"p2pbound/internal/packet"
 )
@@ -43,7 +45,7 @@ func (v Verdict) String() string {
 	case Drop:
 		return "DROP"
 	default:
-		return fmt.Sprintf("verdict(%d)", int(v))
+		return "verdict(" + strconv.Itoa(int(v)) + ")"
 	}
 }
 
@@ -109,13 +111,13 @@ type Stats struct {
 // and monotone. The filter itself remains single-writer; the atomics buy
 // concurrent readers, not concurrent writers.
 type counters struct {
-	outbound      atomic.Int64
-	inbound       atomic.Int64
-	hits          atomic.Int64
-	misses        atomic.Int64
-	dropped       atomic.Int64
-	rotations     atomic.Int64
-	timeAnomalies atomic.Int64
+	outbound      atomic.Int64 //p2p:atomic
+	inbound       atomic.Int64 //p2p:atomic
+	hits          atomic.Int64 //p2p:atomic
+	misses        atomic.Int64 //p2p:atomic
+	dropped       atomic.Int64 //p2p:atomic
+	rotations     atomic.Int64 //p2p:atomic
+	timeAnomalies atomic.Int64 //p2p:atomic
 }
 
 // snapshot loads every counter into a Stats value.
@@ -162,16 +164,16 @@ type Filter struct {
 // New builds a bitmap filter from cfg.
 func New(cfg Config) (*Filter, error) {
 	if cfg.K <= 0 {
-		return nil, fmt.Errorf("core: K must be positive, got %d", cfg.K)
+		return nil, errors.New("core: K must be positive, got " + strconv.Itoa(cfg.K))
 	}
 	if cfg.NBits == 0 || cfg.NBits > 32 {
-		return nil, fmt.Errorf("core: NBits must be in [1,32], got %d", cfg.NBits)
+		return nil, errors.New("core: NBits must be in [1,32], got " + strconv.FormatUint(uint64(cfg.NBits), 10))
 	}
 	if cfg.M <= 0 {
-		return nil, fmt.Errorf("core: M must be positive, got %d", cfg.M)
+		return nil, errors.New("core: M must be positive, got " + strconv.Itoa(cfg.M))
 	}
 	if cfg.DeltaT <= 0 {
-		return nil, fmt.Errorf("core: DeltaT must be positive, got %v", cfg.DeltaT)
+		return nil, errors.New("core: DeltaT must be positive, got " + cfg.DeltaT.String())
 	}
 	kind := cfg.HashKind
 	if kind == 0 {
@@ -179,7 +181,7 @@ func New(cfg Config) (*Filter, error) {
 	}
 	family, err := hashes.NewFamily(kind, cfg.M, cfg.NBits)
 	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return nil, errfmt.Wrap("core", err)
 	}
 	vectors := make([]*bitvec.Vector, cfg.K)
 	for i := range vectors {
@@ -223,10 +225,14 @@ func (f *Filter) Stats() Stats { return f.stats.snapshot() }
 
 // Rotations returns the vector-rotation count alone — the filter's epoch,
 // cheap enough to read per sampled decision trace.
+//
+//p2p:hotpath
 func (f *Filter) Rotations() int64 { return f.stats.rotations.Load() }
 
 // Utilization returns the marked-bit fraction of the current bit vector,
 // the U = b/N of Equation 2.
+//
+//p2p:hotpath
 func (f *Filter) Utilization() float64 {
 	return f.vectors[f.idx].Utilization()
 }
@@ -240,6 +246,8 @@ func (f *Filter) Utilization() float64 {
 // more rotation periods takes the O(k) fast path — every vector is
 // cleared and the index repositioned — instead of rotating period by
 // period through the gap.
+//
+//p2p:hotpath
 func (f *Filter) Advance(ts time.Duration) {
 	if !f.started {
 		f.started = true
@@ -289,6 +297,8 @@ func (f *Filter) Advance(ts time.Duration) {
 // call. Reads and writes against the cleared vector observe all-zero
 // immediately (see bitvec), so rotation no longer injects an O(N)
 // latency spike into the packet decision that triggered it.
+//
+//p2p:hotpath
 func (f *Filter) Rotate() {
 	last := f.idx
 	f.idx = (f.idx + 1) % f.cfg.K
@@ -300,6 +310,8 @@ func (f *Filter) Rotate() {
 // stepSweep advances the deferred clear of the most recently rotated
 // vector by one block (a bounded, cache-friendly memclr unit), retiring
 // the sweep once the vector is fully materialized.
+//
+//p2p:hotpath
 func (f *Filter) stepSweep() {
 	if f.sweepVec >= 0 && f.vectors[f.sweepVec].StepClear(1) {
 		f.sweepVec = -1
@@ -317,6 +329,8 @@ func (f *Filter) stepSweep() {
 // first losing draw and the survive path that walked every unmarked bit
 // both record a single miss, preserving InboundHits + InboundMisses ==
 // InboundPackets (see Stats).
+//
+//p2p:hotpath
 func (f *Filter) Process(pkt *packet.Packet, pd float64) Verdict {
 	f.stepSweep()
 	if pkt.Dir == packet.Outbound {
@@ -348,6 +362,8 @@ func (f *Filter) Process(pkt *packet.Packet, pd float64) Verdict {
 }
 
 // Mark records an outbound socket pair in all k bit vectors.
+//
+//p2p:hotpath
 func (f *Filter) Mark(pair packet.SocketPair) {
 	f.sums = f.family.Sum(f.sums[:0], f.outboundKey(pair))
 	for _, h := range f.sums {
@@ -360,6 +376,8 @@ func (f *Filter) Mark(pair packet.SocketPair) {
 // Contains reports whether every hash bit of the inverse of an inbound
 // socket pair is marked in the current bit vector — i.e. whether an inbound
 // packet with this pair would be admitted unconditionally.
+//
+//p2p:hotpath
 func (f *Filter) Contains(inboundPair packet.SocketPair) bool {
 	f.sums = f.family.Sum(f.sums[:0], f.inboundKey(inboundPair))
 	cur := f.vectors[f.idx]
@@ -390,6 +408,8 @@ func (f *Filter) ProcessBatch(pkts []packet.Packet, pd float64, dst []Verdict) [
 // outboundKey encodes the hash key for an outbound packet's socket pair
 // into the filter's fixed key buffer: the full tuple, or {proto, saddr,
 // sport, daddr} in hole-punch mode. Each packet is encoded exactly once.
+//
+//p2p:hotpath
 func (f *Filter) outboundKey(pair packet.SocketPair) []byte {
 	if f.cfg.HolePunch {
 		pair.PutHolePunchKey(&f.hpKey)
@@ -404,6 +424,8 @@ func (f *Filter) outboundKey(pair packet.SocketPair) []byte {
 // key in both full and hole-punch modes ({proto, daddr, dport, saddr} of
 // the inbound packet equals {proto, saddr, sport, daddr} of the outbound
 // one).
+//
+//p2p:hotpath
 func (f *Filter) inboundKey(pair packet.SocketPair) []byte {
 	return f.outboundKey(pair.Inverse())
 }

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestRegenFuzzCorpus rewrites the checked-in seed corpus under
+// testdata/fuzz/FuzzReadFilter. The corpus mirrors the f.Add seeds so
+// CI machines — which run seeds but not the mutation engine — exercise
+// the interesting snapshot shapes from a cold checkout. Run with
+//
+//	P2PBOUND_REGEN_CORPUS=1 go test -run TestRegenFuzzCorpus ./internal/core
+//
+// after changing the snapshot format, and commit the result.
+func TestRegenFuzzCorpus(t *testing.T) {
+	if os.Getenv("P2PBOUND_REGEN_CORPUS") == "" {
+		t.Skip("set P2PBOUND_REGEN_CORPUS=1 to rewrite the seed corpus")
+	}
+	src, err := New(Config{K: 2, NBits: 10, M: 2, DeltaT: time.Second, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Advance(0)
+	for i := uint32(0); i < 100; i++ {
+		src.Process(outPkt(time.Duration(i)*time.Millisecond, pairN(i)), 1)
+	}
+	var v2, v1 bytes.Buffer
+	if _, err := src.WriteTo(&v2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.writeToV1(&v1); err != nil {
+		t.Fatal(err)
+	}
+	flipped := append([]byte(nil), v2.Bytes()...)
+	flipped[60] ^= 0x10
+	writeSeedCorpus(t, filepath.Join("testdata", "fuzz", "FuzzReadFilter"), map[string][]byte{
+		"seed-v2":        v2.Bytes(),
+		"seed-v1":        v1.Bytes(),
+		"seed-truncated": v2.Bytes()[:40],
+		"seed-flipped":   flipped,
+		"seed-empty":     {},
+	})
+}
+
+// writeSeedCorpus writes each entry in the `go test fuzz v1` format the
+// fuzzing engine loads from testdata/fuzz/<FuzzName>/.
+func writeSeedCorpus(t *testing.T, dir string, seeds map[string][]byte) {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range seeds {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -2,13 +2,19 @@ package core
 
 import (
 	"encoding/binary"
-	"fmt"
+	"errors"
 	"hash/crc32"
 	"io"
+	"strconv"
 	"time"
 
+	"p2pbound/internal/errfmt"
 	"p2pbound/internal/hashes"
 )
+
+// hex renders v as 0x-prefixed lowercase hexadecimal, the fmt %#x form
+// used in snapshot diagnostics.
+func hex(v uint64) string { return "0x" + strconv.FormatUint(v, 16) }
 
 // Snapshot format constants. The format is versioned so deployed state
 // files survive library upgrades that do not touch the layout.
@@ -58,13 +64,13 @@ func (f *Filter) WriteTo(w io.Writer) (int64, error) {
 	n, err := cw.Write(hdr[:])
 	total += int64(n)
 	if err != nil {
-		return total, fmt.Errorf("core: write snapshot header: %w", err)
+		return total, errfmt.Wrap("core: write snapshot header", err)
 	}
 	for _, v := range f.vectors {
 		m, err := v.WriteFrame(cw)
 		total += m
 		if err != nil {
-			return total, fmt.Errorf("core: write snapshot vectors: %w", err)
+			return total, errfmt.Wrap("core: write snapshot vectors", err)
 		}
 	}
 	var trailer [snapshotTrailerLen]byte
@@ -72,7 +78,7 @@ func (f *Filter) WriteTo(w io.Writer) (int64, error) {
 	n, err = w.Write(trailer[:])
 	total += int64(n)
 	if err != nil {
-		return total, fmt.Errorf("core: write snapshot trailer: %w", err)
+		return total, errfmt.Wrap("core: write snapshot trailer", err)
 	}
 	return total, nil
 }
@@ -112,13 +118,13 @@ func (f *Filter) writeToV1(w io.Writer) (int64, error) {
 	n, err := w.Write(hdr[:])
 	total += int64(n)
 	if err != nil {
-		return total, fmt.Errorf("core: write snapshot header: %w", err)
+		return total, errfmt.Wrap("core: write snapshot header", err)
 	}
 	for _, v := range f.vectors {
 		m, err := v.WriteTo(w)
 		total += m
 		if err != nil {
-			return total, fmt.Errorf("core: write snapshot vectors: %w", err)
+			return total, errfmt.Wrap("core: write snapshot vectors", err)
 		}
 	}
 	return total, nil
@@ -140,14 +146,14 @@ func ReadFilter(r io.Reader) (*Filter, error) {
 
 	var hdr [snapshotHeaderLen]byte
 	if _, err := io.ReadFull(tee, hdr[:]); err != nil {
-		return nil, fmt.Errorf("core: read snapshot header: %w", err)
+		return nil, errfmt.Wrap("core: read snapshot header", err)
 	}
 	if got := binary.LittleEndian.Uint32(hdr[0:]); got != snapshotMagic {
-		return nil, fmt.Errorf("core: bad snapshot magic %#x", got)
+		return nil, errors.New("core: bad snapshot magic " + hex(uint64(got)))
 	}
 	version := binary.LittleEndian.Uint32(hdr[4:])
 	if version != snapshotV1 && version != snapshotV2 {
-		return nil, fmt.Errorf("core: unsupported snapshot version %d", version)
+		return nil, errors.New("core: unsupported snapshot version " + strconv.FormatUint(uint64(version), 10))
 	}
 	cfg := Config{
 		K:         int(binary.LittleEndian.Uint32(hdr[8:])),
@@ -159,21 +165,21 @@ func ReadFilter(r io.Reader) (*Filter, error) {
 		Seed:      binary.LittleEndian.Uint64(hdr[48:]),
 	}
 	if cfg.K > maxSnapshotK {
-		return nil, fmt.Errorf("core: implausible snapshot geometry: k=%d exceeds %d", cfg.K, maxSnapshotK)
+		return nil, errors.New("core: implausible snapshot geometry: k=" + strconv.Itoa(cfg.K) + " exceeds " + strconv.Itoa(maxSnapshotK))
 	}
 	if cfg.K > 0 && cfg.NBits > 0 && cfg.NBits <= 32 {
 		if bytes := (int64(cfg.K) << cfg.NBits) / 8; bytes > maxSnapshotBytes {
-			return nil, fmt.Errorf("core: implausible snapshot geometry: %d vector bytes exceed %d", bytes, maxSnapshotBytes)
+			return nil, errors.New("core: implausible snapshot geometry: " + strconv.FormatInt(bytes, 10) + " vector bytes exceed " + strconv.Itoa(maxSnapshotBytes))
 		}
 	}
 	f, err := New(cfg)
 	if err != nil {
-		return nil, fmt.Errorf("core: snapshot config: %w", err)
+		return nil, errfmt.Wrap("core: snapshot config", err)
 	}
 	f.started = hdr[33] == 1
 	f.idx = int(binary.LittleEndian.Uint32(hdr[36:]))
 	if f.idx < 0 || f.idx >= cfg.K {
-		return nil, fmt.Errorf("core: snapshot index %d out of range", f.idx)
+		return nil, errors.New("core: snapshot index " + strconv.Itoa(f.idx) + " out of range")
 	}
 	f.next = time.Duration(binary.LittleEndian.Uint64(hdr[40:]))
 
@@ -184,17 +190,17 @@ func ReadFilter(r io.Reader) (*Filter, error) {
 			_, err = v.ReadFrame(tee)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("core: read snapshot vectors: %w", err)
+			return nil, errfmt.Wrap("core: read snapshot vectors", err)
 		}
 	}
 	if version == snapshotV2 {
 		want := crc.Sum32()
 		var trailer [snapshotTrailerLen]byte
 		if _, err := io.ReadFull(r, trailer[:]); err != nil {
-			return nil, fmt.Errorf("core: read snapshot trailer: %w", err)
+			return nil, errfmt.Wrap("core: read snapshot trailer", err)
 		}
 		if got := binary.LittleEndian.Uint32(trailer[:]); got != want {
-			return nil, fmt.Errorf("core: snapshot checksum mismatch: stored %#x, computed %#x", got, want)
+			return nil, errors.New("core: snapshot checksum mismatch: stored " + hex(uint64(got)) + ", computed " + hex(uint64(want)))
 		}
 	}
 	return f, nil

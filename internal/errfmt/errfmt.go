@@ -1,0 +1,22 @@
+// Package errfmt builds error values without importing fmt. The
+// packet-path packages (internal/core, internal/bitvec, internal/red,
+// internal/throughput) are barred from fmt by the bannedimport analyzer
+// — fmt allocates on every call and drags reflection into the binary —
+// so their cold error paths compose messages from string concatenation
+// and strconv, and use Wrap here where fmt.Errorf("...: %w", err) would
+// otherwise preserve an error chain.
+package errfmt
+
+// wrapped is an error with a fixed prefix that unwraps to its cause,
+// matching the chain behaviour of fmt.Errorf with %w.
+type wrapped struct {
+	prefix string
+	err    error
+}
+
+func (e *wrapped) Error() string { return e.prefix + ": " + e.err.Error() }
+func (e *wrapped) Unwrap() error { return e.err }
+
+// Wrap returns an error whose message is prefix+": "+err.Error() and
+// which unwraps to err, so errors.Is/As see through it.
+func Wrap(prefix string, err error) error { return &wrapped{prefix: prefix, err: err} }

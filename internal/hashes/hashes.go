@@ -80,6 +80,8 @@ func (f *Family) Kind() Kind { return f.kind }
 // Sum appends the m truncated hash values of key to dst and returns the
 // extended slice. Passing a reusable dst[:0] keeps the hot path
 // allocation-free.
+//
+//p2p:hotpath
 func (f *Family) Sum(dst []uint32, key []byte) []uint32 {
 	switch f.kind {
 	case FNVDouble:
@@ -97,21 +99,23 @@ func (f *Family) Sum(dst []uint32, key []byte) []uint32 {
 		h1 := uint32(h)
 		h2 := uint32(h>>32) | 1 // odd so strides cover the table
 		for i := 0; i < f.m; i++ {
-			dst = append(dst, (h1+uint32(i)*h2)&f.mask)
+			dst = append(dst, (h1+uint32(i)*h2)&f.mask) //p2p:bounded cap(dst) >= m on the reused hot-path buffer
 		}
 	case Jenkins:
 		for i := 0; i < f.m; i++ {
-			dst = append(dst, Lookup3(uint32(i)*0x9e3779b9+1, key)&f.mask)
+			dst = append(dst, Lookup3(uint32(i)*0x9e3779b9+1, key)&f.mask) //p2p:bounded cap(dst) >= m on the reused hot-path buffer
 		}
 	case Mix:
 		for i := 0; i < f.m; i++ {
-			dst = append(dst, MixHash(uint32(i)*0x85ebca6b+1, key)&f.mask)
+			dst = append(dst, MixHash(uint32(i)*0x85ebca6b+1, key)&f.mask) //p2p:bounded cap(dst) >= m on the reused hot-path buffer
 		}
 	}
 	return dst
 }
 
 // FNV1a64 is the 64-bit Fowler–Noll–Vo 1a hash.
+//
+//p2p:hotpath
 func FNV1a64(key []byte) uint64 {
 	const (
 		basis = 0xcbf29ce484222325
@@ -126,6 +130,8 @@ func FNV1a64(key []byte) uint64 {
 }
 
 // FNV1a is the 32-bit Fowler–Noll–Vo 1a hash with a custom basis.
+//
+//p2p:hotpath
 func FNV1a(basis uint32, key []byte) uint32 {
 	const prime = 16777619
 	h := basis
@@ -137,6 +143,8 @@ func FNV1a(basis uint32, key []byte) uint32 {
 }
 
 // MixHash hashes key with a Murmur3-style body and avalanche finalizer.
+//
+//p2p:hotpath
 func MixHash(seed uint32, key []byte) uint32 {
 	const (
 		c1 = 0xcc9e2d51
@@ -180,6 +188,8 @@ func MixHash(seed uint32, key []byte) uint32 {
 
 // Lookup3 is Bob Jenkins' lookup3 hashlittle function over key with the
 // given seed.
+//
+//p2p:hotpath
 func Lookup3(seed uint32, key []byte) uint32 {
 	a := uint32(0xdeadbeef) + uint32(len(key)) + seed
 	b, c := a, a

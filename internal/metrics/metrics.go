@@ -67,7 +67,7 @@ const cacheLine = 64
 // padded is an atomic counter cell padded to a full cache line so
 // adjacent stripes never false-share.
 type padded struct {
-	n atomic.Int64
+	n atomic.Int64 //p2p:atomic
 	_ [cacheLine - 8]byte
 }
 
@@ -94,11 +94,15 @@ type Counter struct {
 
 // Add records n occurrences on the given stripe. Stripe indices wrap, so
 // any non-negative shard id is a valid stripe.
+//
+//p2p:hotpath
 func (c *Counter) Add(stripe int, n int64) {
 	c.cells[uint32(stripe)&c.mask].n.Add(n)
 }
 
 // Inc records one occurrence on the given stripe.
+//
+//p2p:hotpath
 func (c *Counter) Inc(stripe int) { c.Add(stripe, 1) }
 
 // Value returns the sum over all stripes.
@@ -112,6 +116,8 @@ func (c *Counter) Value() int64 {
 
 // StripeValue returns the count recorded on one stripe, for callers that
 // export per-shard views of a shared counter.
+//
+//p2p:hotpath
 func (c *Counter) StripeValue(stripe int) int64 {
 	return c.cells[uint32(stripe)&c.mask].n.Load()
 }
@@ -123,14 +129,18 @@ func (c *Counter) collect(emit func(sample)) {
 // Gauge is a single float64 value stored as atomic bits. Set and Value
 // are allocation-free and safe from any goroutine.
 type Gauge struct {
-	bits   atomic.Uint64
+	bits   atomic.Uint64 //p2p:atomic
 	labels []Label
 }
 
 // Set stores v.
+//
+//p2p:hotpath
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Value loads the current value.
+//
+//p2p:hotpath
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 func (g *Gauge) collect(emit func(sample)) {
@@ -155,7 +165,7 @@ func (f *funcMetric) collect(emit func(sample)) {
 // concurrent shards write disjoint cache lines.
 type histStripe struct {
 	counts []atomic.Int64 // len(bounds)+1; last cell is the +Inf bucket
-	sum    atomic.Uint64  // float64 bits
+	sum    atomic.Uint64  //p2p:atomic (float64 bits)
 }
 
 // Histogram is a fixed-bucket histogram striped like Counter. Observe is
@@ -172,6 +182,8 @@ type Histogram struct {
 // Observe records v on the given stripe. Following Prometheus semantics a
 // value lands in the first bucket whose upper bound is >= v; NaN lands in
 // the +Inf bucket and is excluded from the sum.
+//
+//p2p:hotpath
 func (h *Histogram) Observe(stripe int, v float64) {
 	s := h.stripes[uint32(stripe)&h.mask]
 	i := 0

@@ -42,6 +42,8 @@ func (p Proto) String() string {
 type Addr uint32
 
 // AddrFrom4 builds an Addr from four dotted-quad octets.
+//
+//p2p:hotpath
 func AddrFrom4(a, b, c, d byte) Addr {
 	return Addr(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
 }
@@ -101,6 +103,8 @@ func CIDR(prefix Addr, bits int) Network {
 }
 
 // Contains reports whether addr falls inside the prefix.
+//
+//p2p:hotpath
 func (n Network) Contains(addr Addr) bool {
 	return addr&n.Mask == n.Prefix
 }
@@ -124,6 +128,8 @@ type SocketPair struct {
 }
 
 // Inverse returns σ̄, the same connection viewed from the other end.
+//
+//p2p:hotpath
 func (s SocketPair) Inverse() SocketPair {
 	return SocketPair{
 		Proto:   s.Proto,
@@ -167,6 +173,8 @@ func (s SocketPair) Key() [KeySize]byte {
 // the hot-path form of AppendKey: fixed stores into a caller-owned
 // array, no slice growth or bounds-check churn, so a filter can encode
 // one key per packet with zero allocations.
+//
+//p2p:hotpath
 func (s SocketPair) PutKey(dst *[KeySize]byte) {
 	dst[0] = byte(s.Proto)
 	dst[1], dst[2], dst[3], dst[4] = byte(s.SrcAddr>>24), byte(s.SrcAddr>>16), byte(s.SrcAddr>>8), byte(s.SrcAddr)
@@ -178,6 +186,8 @@ func (s SocketPair) PutKey(dst *[KeySize]byte) {
 // PutHolePunchKey writes the partial-tuple hole-punch encoding of σ
 // ({protocol, source-address, source-port, destination-address}) into
 // dst; the fixed-store analogue of AppendHolePunchKey.
+//
+//p2p:hotpath
 func (s SocketPair) PutHolePunchKey(dst *[HolePunchKeySize]byte) {
 	dst[0] = byte(s.Proto)
 	dst[1], dst[2], dst[3], dst[4] = byte(s.SrcAddr>>24), byte(s.SrcAddr>>16), byte(s.SrcAddr>>8), byte(s.SrcAddr)
@@ -268,6 +278,8 @@ type Packet struct {
 }
 
 // IsTCPData reports whether the packet is a TCP segment carrying payload.
+//
+//p2p:hotpath
 func (p *Packet) IsTCPData() bool {
 	return p.Pair.Proto == TCP && len(p.Payload) > 0
 }
@@ -276,6 +288,8 @@ func (p *Packet) IsTCPData() bool {
 // packet whose source lies inside the network is outbound. Packets with
 // both or neither endpoint inside the network are resolved in favour of the
 // source (hairpin and transit traffic is rare in a client network).
+//
+//p2p:hotpath
 func Classify(pair SocketPair, clientNet Network) Direction {
 	if clientNet.Contains(pair.SrcAddr) {
 		return Outbound

@@ -13,7 +13,10 @@
 // extension for ablation X1.
 package red
 
-import "fmt"
+import (
+	"errors"
+	"strconv"
+)
 
 // Prober yields the drop probability for the current uplink throughput in
 // bits per second. Implementations must return values in [0, 1].
@@ -33,12 +36,15 @@ type Linear struct {
 // simulation uses L = 50 Mbps and H = 100 Mbps.
 func NewLinear(lowBps, highBps float64) (*Linear, error) {
 	if lowBps < 0 || highBps <= lowBps {
-		return nil, fmt.Errorf("red: need 0 <= L < H, got L=%g H=%g", lowBps, highBps)
+		return nil, errors.New("red: need 0 <= L < H, got L=" + strconv.FormatFloat(lowBps, 'g', -1, 64) +
+			" H=" + strconv.FormatFloat(highBps, 'g', -1, 64))
 	}
 	return &Linear{low: lowBps, high: highBps}, nil
 }
 
 // Pd implements Prober with the Equation 1 piecewise-linear ramp.
+//
+//p2p:hotpath
 func (l *Linear) Pd(throughputBps float64) float64 {
 	switch {
 	case throughputBps <= l.low:
@@ -61,6 +67,8 @@ func (l *Linear) High() float64 { return l.high }
 type Always float64
 
 // Pd implements Prober with a constant probability.
+//
+//p2p:hotpath
 func (a Always) Pd(float64) float64 {
 	switch {
 	case a < 0:
@@ -92,13 +100,15 @@ func NewEWMA(lowBps, highBps, weight float64) (*EWMA, error) {
 		return nil, err
 	}
 	if weight <= 0 || weight > 1 {
-		return nil, fmt.Errorf("red: EWMA weight must be in (0,1], got %g", weight)
+		return nil, errors.New("red: EWMA weight must be in (0,1], got " + strconv.FormatFloat(weight, 'g', -1, 64))
 	}
 	return &EWMA{ramp: *ramp, weight: weight}, nil
 }
 
 // Pd implements Prober: it folds the sample into the moving average and
 // ramps on the average.
+//
+//p2p:hotpath
 func (e *EWMA) Pd(throughputBps float64) float64 {
 	if !e.primed {
 		e.avg = throughputBps

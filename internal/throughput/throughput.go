@@ -9,7 +9,8 @@
 package throughput
 
 import (
-	"fmt"
+	"errors"
+	"strconv"
 	"sync/atomic"
 	"time"
 )
@@ -28,7 +29,7 @@ type Meter struct {
 	started     bool
 	// totalBytes is atomic so TotalBytes can serve a monitoring scrape
 	// concurrently with the single writer that drives Add.
-	totalBytes atomic.Int64
+	totalBytes atomic.Int64 //p2p:atomic
 }
 
 // NewMeter builds a meter whose window is nBuckets buckets of bucketWidth
@@ -36,10 +37,10 @@ type Meter struct {
 // five seconds.
 func NewMeter(bucketWidth time.Duration, nBuckets int) (*Meter, error) {
 	if bucketWidth <= 0 {
-		return nil, fmt.Errorf("throughput: bucket width must be positive, got %v", bucketWidth)
+		return nil, errors.New("throughput: bucket width must be positive, got " + bucketWidth.String())
 	}
 	if nBuckets <= 0 {
-		return nil, fmt.Errorf("throughput: bucket count must be positive, got %d", nBuckets)
+		return nil, errors.New("throughput: bucket count must be positive, got " + strconv.Itoa(nBuckets))
 	}
 	return &Meter{
 		bucketWidth: bucketWidth,
@@ -48,6 +49,8 @@ func NewMeter(bucketWidth time.Duration, nBuckets int) (*Meter, error) {
 }
 
 // Add accounts n bytes observed at simulated time ts.
+//
+//p2p:hotpath
 func (m *Meter) Add(ts time.Duration, n int) {
 	m.advance(ts)
 	m.buckets[m.head] += int64(n)
@@ -57,6 +60,8 @@ func (m *Meter) Add(ts time.Duration, n int) {
 // Rate returns the mean throughput in bits per second over the window
 // ending at simulated time ts. Buckets that have rotated out since the
 // last Add contribute zero.
+//
+//p2p:hotpath
 func (m *Meter) Rate(ts time.Duration) float64 {
 	m.advance(ts)
 	var sum int64
@@ -69,6 +74,8 @@ func (m *Meter) Rate(ts time.Duration) float64 {
 
 // TotalBytes returns the total bytes accounted since construction. It
 // is safe to call from any goroutine concurrently with Add.
+//
+//p2p:hotpath
 func (m *Meter) TotalBytes() int64 { return m.totalBytes.Load() }
 
 // Window returns the measurement window span.
@@ -78,6 +85,8 @@ func (m *Meter) Window() time.Duration {
 
 // advance rotates the ring so that ts falls inside the current bucket,
 // clearing buckets that fall out of the window.
+//
+//p2p:hotpath
 func (m *Meter) advance(ts time.Duration) {
 	if !m.started {
 		m.started = true

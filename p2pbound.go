@@ -199,7 +199,7 @@ type Limiter struct {
 	// unroutable and timeAnomalies are atomic for the same reason as the
 	// filter's counters: one writer (the processing goroutine), any number
 	// of concurrent Stats/scrape readers.
-	unroutable atomic.Int64
+	unroutable atomic.Int64 //p2p:atomic
 
 	// Monotonic clock guard: maxTS is the high-water mark of processed
 	// timestamps, tolerance the reorder window, timeAnomalies the count
@@ -207,15 +207,15 @@ type Limiter struct {
 	maxTS         time.Duration
 	tsStarted     bool
 	tolerance     time.Duration
-	timeAnomalies atomic.Int64
+	timeAnomalies atomic.Int64 //p2p:atomic
 
 	// Telemetry wiring (nil/zero when Config.Telemetry is unset). pdBits
 	// and uplinkBits mirror the P_d cache as atomic float bits so scrape
 	// goroutines can read the live values without touching the meter.
 	tel        *Telemetry
 	telShard   int
-	pdBits     atomic.Uint64
-	uplinkBits atomic.Uint64
+	pdBits     atomic.Uint64 //p2p:atomic
+	uplinkBits atomic.Uint64 //p2p:atomic
 
 	// Sampled drop tracing (see Config.TraceEveryN).
 	traceEvery int64
@@ -314,6 +314,8 @@ func New(cfg Config) (*Limiter, error) {
 //
 // The call is allocation-free: the packet travels the whole internal
 // chain by value.
+//
+//p2p:hotpath
 func (l *Limiter) Process(p Packet) Decision {
 	var pkt packet.Packet
 	if !l.toInternal(p, &pkt) {
@@ -387,6 +389,8 @@ func (l *Limiter) ProcessBatch(pkts []Packet, dst []Decision) []Decision {
 // the first call, after an outbound packet added bytes to the meter, or
 // when ts enters a new meter bucket. Process and ProcessBatch share this
 // path, so batch and per-packet runs draw identical P_d sequences.
+//
+//p2p:hotpath
 func (l *Limiter) pd(ts time.Duration) float64 {
 	if !l.pdValid || ts >= l.pdUntil {
 		crossed := ts >= l.pdUntil
@@ -454,6 +458,8 @@ func (l *Limiter) Stats() Stats {
 // leaves dst undefined — when either address is not IPv4. Writing
 // through a caller-owned value keeps the hot path free of heap
 // allocations (the internal packet never escapes).
+//
+//p2p:hotpath
 func (l *Limiter) toInternal(p Packet, dst *packet.Packet) bool {
 	if !p.SrcAddr.Is4() || !p.DstAddr.Is4() {
 		return false

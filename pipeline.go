@@ -93,7 +93,7 @@ type Pipeline struct {
 	rings   []*ring
 	scratch sync.Pool // *routeScratch
 	wg      sync.WaitGroup
-	closed  atomic.Bool
+	closed  atomic.Bool //p2p:atomic
 	policy  ShedPolicy
 	gate    <-chan struct{}
 
@@ -391,11 +391,11 @@ type ring struct {
 
 	// The three cursors live on separate cache lines so the producer's
 	// tail stores do not false-share with the consumer's head/done.
-	tail atomic.Uint64
+	tail atomic.Uint64 //p2p:atomic
 	_    [7]uint64
-	head atomic.Uint64
+	head atomic.Uint64 //p2p:atomic
 	_    [7]uint64
-	done atomic.Uint64
+	done atomic.Uint64 //p2p:atomic
 }
 
 func newRing(size int) *ring {
