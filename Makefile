@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint vet fuzz-smoke
+.PHONY: all build test lint vet fuzz-smoke bench bench-smoke
 
 all: build lint test
 
@@ -31,3 +31,17 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReadPacket -fuzztime 10s ./internal/pcap
 	$(GO) test -run '^$$' -fuzz FuzzReadFilter -fuzztime 10s ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzWritePrometheus -fuzztime 10s ./internal/metrics
+
+# bench runs the root-package benchmarks at a stable benchtime and
+# records them as BENCH_p2pbound.json via cmd/benchjson. The committed
+# report is the before/after evidence for hot-path performance work;
+# regenerate it on a quiet machine and commit the result.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 2s . | $(GO) run ./cmd/benchjson -o BENCH_p2pbound.json
+
+# bench-smoke is the CI form: a fixed tiny iteration count proves the
+# benchmarks still run and the JSON pipeline still parses, without
+# pretending a shared runner produces meaningful timings.
+bench-smoke:
+	$(GO) test -run '^$$' -bench BenchmarkFilterProcessBatch -benchmem -benchtime 100x . | $(GO) run ./cmd/benchjson -o BENCH_smoke.json
+	rm -f BENCH_smoke.json

@@ -364,3 +364,43 @@ func TestChaosRestoreStateGeometryMismatch(t *testing.T) {
 			dst.MemoryBytes(), src.MemoryBytes())
 	}
 }
+
+// TestRestoreStateRejectsSchemeLayoutMismatch: hash scheme and bit
+// layout are part of snapshot geometry — marks made under one index
+// derivation are meaningless under another, so restoring across a
+// scheme or layout change must fail like any other geometry mismatch.
+func TestRestoreStateRejectsSchemeLayoutMismatch(t *testing.T) {
+	src, err := New(Config{ClientNetwork: "140.112.0.0/16", Layout: LayoutBlocked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.ProcessBatch(chaosTrace(200, 7), nil)
+	var snap bytes.Buffer
+	if err := src.SaveState(&snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []Config{
+		{ClientNetwork: "140.112.0.0/16"},                          // default: per-index classic
+		{ClientNetwork: "140.112.0.0/16", HashScheme: HashOneShot}, // one-shot but classic
+	} {
+		dst, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = dst.RestoreState(bytes.NewReader(snap.Bytes()))
+		if err == nil {
+			t.Fatalf("cfg %+v: scheme/layout mismatch accepted", cfg)
+		}
+		if !strings.Contains(err.Error(), "geometry mismatch") {
+			t.Fatalf("undescriptive error: %v", err)
+		}
+	}
+	// Matching scheme+layout restores cleanly.
+	twin, err := New(Config{ClientNetwork: "140.112.0.0/16", Layout: LayoutBlocked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := twin.RestoreState(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatalf("matching blocked restore rejected: %v", err)
+	}
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: p2pbound
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFilterProcessBatch/layout=classic/scheme=perindex         	24801018	        97.67 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFilterProcessBatch/layout=blocked                         	43117920	        56.83 ns/op	       0 B/op	       0 allocs/op
+BenchmarkLimiterProcessBatch-4   	 5000000	       120.4 ns/op	  8300000 packets/sec	       0 B/op	       0 allocs/op
+BenchmarkNoMem   	 1000	       42.5 ns/op
+PASS
+ok  	p2pbound	7.632s
+`
+
+func TestParseSample(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" || rep.Pkg != "p2pbound" {
+		t.Fatalf("header context wrong: %+v", rep)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Fatalf("cpu = %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[1]
+	if b.Name != "BenchmarkFilterProcessBatch/layout=blocked" {
+		t.Fatalf("name = %q", b.Name)
+	}
+	if b.Iterations != 43117920 || b.NsPerOp != 56.83 {
+		t.Fatalf("iterations/ns wrong: %+v", b)
+	}
+	if b.BytesPerOp == nil || *b.BytesPerOp != 0 || b.AllocsPerOp == nil || *b.AllocsPerOp != 0 {
+		t.Fatalf("benchmem fields wrong: %+v", b)
+	}
+	// Custom ReportMetric units land in extra.
+	lim := rep.Benchmarks[2]
+	if got := lim.Extra["packets/sec"]; got != 8300000 {
+		t.Fatalf("packets/sec = %v", got)
+	}
+	// A line without -benchmem leaves the memory fields absent, not zero.
+	nomem := rep.Benchmarks[3]
+	if nomem.BytesPerOp != nil || nomem.AllocsPerOp != nil {
+		t.Fatalf("memory fields should be nil without -benchmem: %+v", nomem)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok p2pbound 1.0s\n")); err == nil {
+		t.Fatal("empty benchmark output accepted")
+	}
+}
+
+func TestParseSkipsNonResultBenchmarkLines(t *testing.T) {
+	in := "BenchmarkFoo: some log output\nBenchmarkBar   	 100	 5.0 ns/op\n"
+	rep, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Name != "BenchmarkBar" {
+		t.Fatalf("got %+v", rep.Benchmarks)
+	}
+}

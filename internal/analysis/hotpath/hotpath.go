@@ -164,8 +164,13 @@ func (c *checker) checkCall(call *ast.CallExpr) {
 		if b, ok := info.Uses[id].(*types.Builtin); ok {
 			switch b.Name() {
 			case "append":
-				if !c.bounded[c.pass.Fset.Position(call.Pos()).Line] {
-					c.report(call.Pos(), "calls append, which may grow its backing array; prove the capacity bound and annotate the line //p2p:bounded, or write into a fixed buffer")
+				// The waiver may sit as a trailing comment on the append's
+				// own line or as a standalone comment on the line above —
+				// long append expressions (batch scratch fills) don't fit a
+				// trailing note.
+				line := c.pass.Fset.Position(call.Pos()).Line
+				if !c.bounded[line] && !c.bounded[line-1] {
+					c.report(call.Pos(), "calls append, which may grow its backing array; prove the capacity bound and annotate the line (or the line above) //p2p:bounded, or write into a fixed buffer")
 				}
 			case "make":
 				c.report(call.Pos(), "allocates: make")

@@ -31,6 +31,8 @@ func ok(s *stats, buf *[8]byte, scratch []byte, v int64) int64 {
 	buf[0] = byte(v)
 	scratch = scratch[:0]
 	scratch = append(scratch, byte(v)) //p2p:bounded caller presizes scratch
+	//p2p:bounded caller presizes scratch (standalone waiver on the line above)
+	scratch = append(scratch, byte(v))
 	_ = stats{}
 	var d time.Duration
 	_ = d.Seconds()
@@ -54,6 +56,9 @@ func clock() int64 {
 //p2p:hotpath
 func allocs(xs []int, str string) {
 	xs = append(xs, 1) // want `calls append`
+	//p2p:bounded a waiver two lines up does not reach
+
+	xs = append(xs, 2) // want `calls append`
 	_ = make([]int, 4) // want `allocates: make`
 	_ = new(int)       // want `allocates: new`
 	_ = []int{1, 2}    // want `allocates: slice literal`

@@ -28,6 +28,7 @@ import (
 	"errors"
 	"math/bits"
 	"strconv"
+	"sync/atomic"
 )
 
 const wordBits = 64
@@ -108,6 +109,72 @@ func (v *Vector) Set(i uint32) {
 		v.words[w] |= bit
 		v.ones++
 	}
+}
+
+// SetAligned marks every bit in idx, which the caller guarantees all
+// fall in one 512-bit cache line of the vector (the blocked-layout
+// contract: indexes derived by hashes.AppendBlocked). Because one line
+// never straddles a clear block — both are power-of-two sized and
+// aligned — the stale-epoch check and any deferred-clear freshening are
+// paid once for the whole group instead of once per bit, and the ones
+// counter stays exact.
+//
+//p2p:hotpath
+func (v *Vector) SetAligned(idx []uint32) {
+	if len(idx) == 0 {
+		return
+	}
+	j0 := uint(idx[0]&v.mask) / wordBits
+	if blk := int(j0 / clearBlockWords); v.blockEpoch[blk] != v.epoch {
+		v.freshen(blk)
+	}
+	for _, i := range idx {
+		j := uint(i & v.mask)
+		w := j / wordBits
+		bit := uint64(1) << (j % wordBits)
+		if v.words[w]&bit == 0 {
+			v.words[w] |= bit
+			v.ones++
+		}
+	}
+}
+
+// GetAligned reports whether every bit in idx is marked, under the same
+// one-cache-line contract as SetAligned. A stale clear block means the
+// whole group logically reads zero, so the answer is false after a
+// single stamp comparison.
+//
+//p2p:hotpath
+func (v *Vector) GetAligned(idx []uint32) bool {
+	if len(idx) == 0 {
+		return true
+	}
+	j0 := uint(idx[0]&v.mask) / wordBits
+	if v.blockEpoch[j0/clearBlockWords] != v.epoch {
+		return false
+	}
+	for _, i := range idx {
+		j := uint(i & v.mask)
+		if v.words[j/wordBits]&(1<<(j%wordBits)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Touch issues demand loads of the cache lines a later Set or Get of
+// bit i will need — the word and its epoch stamp — without changing any
+// state. Batch pass A calls it for every packet in a chunk so the
+// (independent) line fills overlap instead of serializing behind each
+// packet's decision in pass B. The loads are atomic only so the
+// compiler cannot discard them; the vector remains single-writer.
+//
+//p2p:hotpath
+func (v *Vector) Touch(i uint32) {
+	j := uint(i & v.mask)
+	w := j / wordBits
+	atomic.LoadUint64(&v.blockEpoch[w/clearBlockWords])
+	atomic.LoadUint64(&v.words[w])
 }
 
 // Get reports whether bit i is marked. A bit in a block not yet swept or

@@ -20,13 +20,28 @@ import (
 type Filter struct {
 	vec    *bitvec.Vector
 	family *hashes.Family
+	scheme hashes.Scheme
+	layout hashes.Layout
 	sums   []uint32
 	adds   int
 }
 
 // New builds a Bloom filter with 2^nbits bits and m hash functions of the
-// given kind.
+// given kind, in the classic per-index scheme and scattered layout.
 func New(kind hashes.Kind, m int, nbits uint) (*Filter, error) {
+	return NewWithOptions(kind, hashes.SchemePerIndex, hashes.LayoutClassic, m, nbits)
+}
+
+// NewWithOptions builds a Bloom filter with an explicit index-derivation
+// scheme and bit layout. Zero values select the classic defaults; the
+// blocked layout requires (and implies, when the scheme is unset) the
+// one-shot scheme, because the block choice consumes the high bits of
+// the 64-bit one-shot hash.
+func NewWithOptions(kind hashes.Kind, scheme hashes.Scheme, layout hashes.Layout, m int, nbits uint) (*Filter, error) {
+	scheme, layout, err := hashes.ResolveSchemeLayout(scheme, layout)
+	if err != nil {
+		return nil, fmt.Errorf("bloom: %w", err)
+	}
 	family, err := hashes.NewFamily(kind, m, nbits)
 	if err != nil {
 		return nil, fmt.Errorf("bloom: %w", err)
@@ -34,15 +49,33 @@ func New(kind hashes.Kind, m int, nbits uint) (*Filter, error) {
 	return &Filter{
 		vec:    bitvec.New(1 << nbits),
 		family: family,
+		scheme: scheme,
+		layout: layout,
 		sums:   make([]uint32, 0, m),
 	}, nil
 }
 
+// sum derives the key's m indexes per the configured scheme and layout.
+func (f *Filter) sum(key []byte) {
+	switch {
+	case f.layout == hashes.LayoutBlocked:
+		f.sums = f.family.AppendBlocked(f.sums[:0], f.family.Sum64(key))
+	case f.scheme == hashes.SchemeOneShot:
+		f.sums = f.family.AppendDerived(f.sums[:0], f.family.Sum64(key))
+	default:
+		f.sums = f.family.Sum(f.sums[:0], key)
+	}
+}
+
 // Add inserts key into the filter.
 func (f *Filter) Add(key []byte) {
-	f.sums = f.family.Sum(f.sums[:0], key)
-	for _, h := range f.sums {
-		f.vec.Set(h)
+	f.sum(key)
+	if f.layout == hashes.LayoutBlocked {
+		f.vec.SetAligned(f.sums)
+	} else {
+		for _, h := range f.sums {
+			f.vec.Set(h)
+		}
 	}
 	f.adds++
 }
@@ -50,7 +83,10 @@ func (f *Filter) Add(key []byte) {
 // Test reports whether key may have been added. False positives are
 // possible; false negatives are not.
 func (f *Filter) Test(key []byte) bool {
-	f.sums = f.family.Sum(f.sums[:0], key)
+	f.sum(key)
+	if f.layout == hashes.LayoutBlocked {
+		return f.vec.GetAligned(f.sums)
+	}
 	for _, h := range f.sums {
 		if !f.vec.Get(h) {
 			return false

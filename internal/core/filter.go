@@ -63,6 +63,17 @@ type Config struct {
 	DeltaT time.Duration
 	// HashKind selects the hash construction; zero value means FNVDouble.
 	HashKind hashes.Kind
+	// HashScheme selects how the m indexes are derived per key: the
+	// per-index family (zero value) or the one-shot 64-bit hash expanded
+	// arithmetically (hashes.SchemeOneShot — one key traversal per
+	// packet regardless of m). Snapshots record the resolved scheme.
+	HashScheme hashes.Scheme
+	// Layout selects where a key's m bits land: scattered across the
+	// whole vector (zero value) or confined to one 512-bit cache line
+	// (hashes.LayoutBlocked — at most one memory stall per vector
+	// instead of m, for a bounded false-positive-rate increase; see
+	// DESIGN.md §12). The blocked layout implies the one-shot scheme.
+	Layout hashes.Layout
 	// HolePunch enables partial-tuple hashing (remote port excluded) so
 	// NAT hole punching keeps working behind the filter (Section 4.2).
 	HolePunch bool
@@ -141,14 +152,34 @@ type Filter struct {
 	vectors []*bitvec.Vector
 	idx     int // index of the current bit vector
 	family  *hashes.Family
+	scheme  hashes.Scheme
+	layout  hashes.Layout
 	rng     *rand.Rand
 	sums    []uint32
-	// key and hpKey are the reusable socket-pair key buffers; each
-	// packet encodes its key exactly once into one of them and the m
-	// hash sums derived from it are shared by the mark fan-out across
-	// all k vectors (outbound) or the current-vector lookup (inbound).
-	key   [packet.KeySize]byte
-	hpKey [packet.HolePunchKeySize]byte
+	// enc is the reusable socket-pair key encoder; each packet encodes
+	// its key exactly once and the m hash sums derived from it are
+	// shared by the mark fan-out across all k vectors (outbound) or the
+	// current-vector lookup (inbound).
+	enc packet.KeyEncoder
+	// pend accumulates the per-packet counter deltas of processSums as
+	// plain single-writer increments; FlushStats publishes them into the
+	// atomic counters. Batching the publication turns up to two LOCK-
+	// prefixed read-modify-writes per packet into a handful per chunk.
+	pend struct {
+		outbound, inbound, hits, misses, dropped int64
+	}
+	// bsums is the pass-A scratch of the two-pass batch path: the m
+	// derived indexes of each packet in the current chunk, laid out
+	// [i·m, i·m+m). Preallocated to BatchChunk·m at construction, so
+	// HashBatch never grows it.
+	bsums []uint32
+	// touch gates pass A's advisory cache-line touches on the filter's
+	// bit footprint (see touchMinBytes): when the vectors fit in the
+	// last-level cache, the touches cannot hide any DRAM latency and are
+	// pure extra loads, so small filters hash ahead without touching.
+	touch bool
+	// hashed is the number of packets pass A stored in bsums.
+	hashed int
 	// sweepVec is the index of the vector whose deferred clear is being
 	// swept across packet calls, or −1 when no sweep is pending. Each
 	// Process call advances the sweep by one block, bounding the
@@ -179,6 +210,14 @@ func New(cfg Config) (*Filter, error) {
 	if kind == 0 {
 		kind = hashes.FNVDouble
 	}
+	scheme, layout, err := hashes.ResolveSchemeLayout(cfg.HashScheme, cfg.Layout)
+	if err != nil {
+		return nil, errfmt.Wrap("core", err)
+	}
+	// Store the resolved values back so Config() — and therefore
+	// snapshot round-trips and geometry comparisons — never see the
+	// ambiguous zero defaults.
+	cfg.HashScheme, cfg.Layout = scheme, layout
 	family, err := hashes.NewFamily(kind, cfg.M, cfg.NBits)
 	if err != nil {
 		return nil, errfmt.Wrap("core", err)
@@ -191,14 +230,34 @@ func New(cfg Config) (*Filter, error) {
 		cfg:      cfg,
 		vectors:  vectors,
 		family:   family,
+		scheme:   scheme,
+		layout:   layout,
 		rng:      rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15)),
 		sums:     make([]uint32, 0, cfg.M),
+		enc:      packet.NewKeyEncoder(cfg.HolePunch),
+		bsums:    make([]uint32, BatchChunk*cfg.M),
+		touch:    int64(cfg.K)<<cfg.NBits>>3 > touchMinBytes,
 		sweepVec: -1,
 	}, nil
 }
 
+// touchMinBytes is the bit-vector footprint above which pass A of the
+// two-pass batch path issues its advisory line touches. Below it the
+// vectors are resident in any mainstream last-level cache, the out-of-
+// order window already hides the (hit) latency of pass B's accesses,
+// and the touches are measurably pure overhead; above it the batch of
+// independent line fills is what keeps the filter off the DRAM latency
+// critical path.
+const touchMinBytes = 16 << 20
+
 // Config returns the filter's configuration.
 func (f *Filter) Config() Config { return f.cfg }
+
+// HashScheme returns the resolved index-derivation scheme (never zero).
+func (f *Filter) HashScheme() hashes.Scheme { return f.scheme }
+
+// Layout returns the resolved bit layout (never zero).
+func (f *Filter) Layout() hashes.Layout { return f.layout }
 
 // SetReorderTolerance adjusts the backward-timestamp tolerance window
 // (see Config.ReorderTolerance). It is an operational knob, not filter
@@ -249,6 +308,19 @@ func (f *Filter) Utilization() float64 {
 //
 //p2p:hotpath
 func (f *Filter) Advance(ts time.Duration) {
+	if f.started && ts >= f.lastTS && ts < f.next {
+		// Steady state: time moved forward within the current rotation
+		// period. Kept tiny so the once-per-packet call inlines; first
+		// call, clock regressions, and due rotations take the outlined
+		// slow path.
+		f.lastTS = ts
+		return
+	}
+	f.advanceSlow(ts)
+}
+
+//p2p:hotpath
+func (f *Filter) advanceSlow(ts time.Duration) {
 	if !f.started {
 		f.started = true
 		f.lastTS = ts
@@ -332,41 +404,129 @@ func (f *Filter) stepSweep() {
 //
 //p2p:hotpath
 func (f *Filter) Process(pkt *packet.Packet, pd float64) Verdict {
+	if pkt.Dir == packet.Outbound {
+		f.sums = f.appendSums(f.sums[:0], f.enc.Outbound(pkt.Pair))
+	} else {
+		f.sums = f.appendSums(f.sums[:0], f.enc.Inbound(pkt.Pair))
+	}
+	v := f.processSums(pkt, f.sums, pd)
+	f.FlushStats()
+	return v
+}
+
+// appendSums derives the m filter indexes of key per the configured
+// scheme and layout, appending them to dst. This is the single point
+// where a key's bytes become bit positions — Process, Mark, Contains,
+// and the batch pass A all route through it, so every path provably
+// derives identical indexes for identical keys.
+//
+//p2p:hotpath
+func (f *Filter) appendSums(dst []uint32, key []byte) []uint32 {
+	switch {
+	case f.layout == hashes.LayoutBlocked:
+		return f.family.AppendBlocked(dst, f.family.Sum64(key))
+	case f.scheme == hashes.SchemeOneShot:
+		return f.family.AppendDerived(dst, f.family.Sum64(key))
+	default:
+		return f.family.Sum(dst, key)
+	}
+}
+
+// processSums is pass B of the packet decision: Algorithm 2 over
+// already-derived indexes. Shared by Process (which derives inline) and
+// ProcessHashed (which reads the pass-A scratch); both therefore make
+// bit-identical decisions and draw from the rng in the same order.
+//
+//p2p:hotpath
+func (f *Filter) processSums(pkt *packet.Packet, sums []uint32, pd float64) Verdict {
 	f.stepSweep()
 	if pkt.Dir == packet.Outbound {
-		f.stats.outbound.Add(1)
-		f.Mark(pkt.Pair)
+		f.pend.outbound++
+		f.markSums(sums)
 		return Pass
 	}
-	f.stats.inbound.Add(1)
-	f.sums = f.family.Sum(f.sums[:0], f.inboundKey(pkt.Pair))
+	f.pend.inbound++
 	cur := f.vectors[f.idx]
+	if f.layout == hashes.LayoutBlocked && cur.GetAligned(sums) {
+		// Fast path for the blocked layout: the whole group reads from
+		// one line, so a full match needs no per-bit epoch checks. A
+		// partial match falls through to the per-bit loop below, which
+		// draws from the rng exactly as the classic path does.
+		f.pend.hits++
+		return Pass
+	}
 	miss := false
-	for _, h := range f.sums {
+	for _, h := range sums {
 		if cur.Get(h) {
 			continue
 		}
 		miss = true
 		if pd > 0 && f.rng.Float64() < pd {
-			f.stats.misses.Add(1)
-			f.stats.dropped.Add(1)
+			f.pend.misses++
+			f.pend.dropped++
 			return Drop
 		}
 	}
 	if miss {
-		f.stats.misses.Add(1)
+		f.pend.misses++
 	} else {
-		f.stats.hits.Add(1)
+		f.pend.hits++
 	}
 	return Pass
+}
+
+// FlushStats publishes the counter deltas accumulated since the last
+// flush into the atomic counters Stats reads. Process flushes itself;
+// callers driving the two-pass batch API (HashBatch/ProcessHashed)
+// directly must call it once per chunk — ProcessBatch does. Until the
+// flush, pending deltas are invisible to concurrent Stats readers,
+// which only weakens a snapshot by at most one chunk of packets.
+//
+//p2p:hotpath
+func (f *Filter) FlushStats() {
+	if f.pend.outbound != 0 {
+		f.stats.outbound.Add(f.pend.outbound)
+		f.pend.outbound = 0
+	}
+	if f.pend.inbound != 0 {
+		f.stats.inbound.Add(f.pend.inbound)
+		f.pend.inbound = 0
+	}
+	if f.pend.hits != 0 {
+		f.stats.hits.Add(f.pend.hits)
+		f.pend.hits = 0
+	}
+	if f.pend.misses != 0 {
+		f.stats.misses.Add(f.pend.misses)
+		f.pend.misses = 0
+	}
+	if f.pend.dropped != 0 {
+		f.stats.dropped.Add(f.pend.dropped)
+		f.pend.dropped = 0
+	}
 }
 
 // Mark records an outbound socket pair in all k bit vectors.
 //
 //p2p:hotpath
 func (f *Filter) Mark(pair packet.SocketPair) {
-	f.sums = f.family.Sum(f.sums[:0], f.outboundKey(pair))
-	for _, h := range f.sums {
+	f.sums = f.appendSums(f.sums[:0], f.enc.Outbound(pair))
+	f.markSums(f.sums)
+}
+
+// markSums sets the derived indexes in all k bit vectors. In the
+// blocked layout the per-vector group shares one cache line, so the set
+// fan-out costs one potential memory stall per vector instead of m.
+//
+//p2p:hotpath
+func (f *Filter) markSums(sums []uint32) {
+	if f.layout == hashes.LayoutBlocked {
+		for _, v := range f.vectors {
+			v.SetAligned(sums)
+		}
+		return
+	}
+	for _, h := range sums {
 		for _, v := range f.vectors {
 			v.Set(h)
 		}
@@ -379,14 +539,123 @@ func (f *Filter) Mark(pair packet.SocketPair) {
 //
 //p2p:hotpath
 func (f *Filter) Contains(inboundPair packet.SocketPair) bool {
-	f.sums = f.family.Sum(f.sums[:0], f.inboundKey(inboundPair))
+	f.sums = f.appendSums(f.sums[:0], f.enc.Inbound(inboundPair))
 	cur := f.vectors[f.idx]
+	if f.layout == hashes.LayoutBlocked {
+		return cur.GetAligned(f.sums)
+	}
 	for _, h := range f.sums {
 		if !cur.Get(h) {
 			return false
 		}
 	}
 	return true
+}
+
+// BatchChunk is the pass-A window of the two-pass batch path: the
+// number of packets whose indexes are derived and whose target cache
+// lines are touched ahead of the decision loop. Large enough that the
+// independent line fills of a chunk overlap deeply in the memory
+// subsystem, small enough that the scratch (BatchChunk·m indexes) and
+// the touched lines stay resident until pass B consumes them.
+const BatchChunk = 64
+
+// HashBatch is pass A: it derives the indexes of up to BatchChunk
+// packets into the filter's preallocated scratch and touches each
+// packet's target cache lines, returning the number of packets hashed.
+// Index derivation depends only on key bytes and configuration — never
+// on rotation state — so hashing ahead of the per-packet Advance in
+// pass B cannot change any decision; the touches are advisory loads
+// (never writes), so a rotation between the passes at worst wastes a
+// prefetch. Callers run the two passes back to back per chunk:
+//
+//	n := f.HashBatch(pkts)
+//	for i := 0; i < n; i++ {
+//		f.Advance(pkts[i].TS)
+//		dst = append(dst, f.ProcessHashed(i, &pkts[i], pd))
+//	}
+//
+//p2p:hotpath
+func (f *Filter) HashBatch(pkts []packet.Packet) int {
+	n := len(pkts)
+	if n > BatchChunk {
+		n = BatchChunk
+	}
+	m := f.cfg.M
+	// The scratch goes through a local header so stores to it are not
+	// pinned behind the opaque hash calls. One-shot derivations hash
+	// from the socket-pair fields directly (KeyWords): the key never
+	// round-trips through the encoder buffer, whose byte stores and
+	// overlapping word loads defeat store-to-load forwarding. Per-index
+	// families walk key bytes and keep the encoder path.
+	sums := f.bsums
+	cur := f.vectors[f.idx]
+	blocked := f.layout == hashes.LayoutBlocked
+	oneshot := f.scheme == hashes.SchemeOneShot
+	hp := f.cfg.HolePunch
+	klen := uint64(packet.KeySize)
+	if hp {
+		klen = packet.HolePunchKeySize
+	}
+	fam := f.family
+	for i := 0; i < n; i++ {
+		// Inverting inbound pairs inline keeps the encoder call a leaf
+		// (Outbound inlines here; the Inbound wrapper does not).
+		pair := pkts[i].Pair
+		out := pkts[i].Dir == packet.Outbound
+		if !out {
+			pair = pair.Inverse()
+		}
+		group := sums[i*m : i*m+m]
+		if oneshot {
+			var a, b uint64
+			if hp {
+				a, b = pair.HolePunchKeyWords()
+			} else {
+				a, b = pair.KeyWords()
+			}
+			h := hashes.Sum64Words(a, b, klen)
+			if blocked {
+				fam.BlockedInto(group, h)
+			} else {
+				fam.DerivedInto(group, h)
+			}
+		} else {
+			fam.SumInto(group, f.enc.Outbound(pair))
+		}
+		if !f.touch {
+			continue
+		}
+		if blocked {
+			// All m bits share one line per vector; one touch covers them.
+			group = group[:1]
+		}
+		if out {
+			for _, v := range f.vectors {
+				for _, h := range group {
+					v.Touch(h)
+				}
+			}
+		} else {
+			for _, h := range group {
+				cur.Touch(h)
+			}
+		}
+	}
+	f.hashed = n
+	return n
+}
+
+// ProcessHashed is pass B for the i-th packet of the chunk most
+// recently hashed by HashBatch: the Algorithm 2 decision over the
+// pass-A indexes. pkt must be the same packet passed to HashBatch at
+// position i. Verdicts, statistics, and rng draws are identical to
+// calling Process on the same sequence.
+//
+//p2p:hotpath
+func (f *Filter) ProcessHashed(i int, pkt *packet.Packet, pd float64) Verdict {
+	m := f.cfg.M
+	return f.processSums(pkt, f.bsums[i*m:i*m+m], pd)
 }
 
 // ProcessBatch runs Advance and Process over a timestamp-sorted slice of
@@ -397,35 +666,21 @@ func (f *Filter) Contains(inboundPair packet.SocketPair) bool {
 // comparison per packet and the caller evaluates P_d once per batch
 // instead of once per packet (appropriate whenever the throughput meter
 // feeding P_d is updated at batch granularity, as in trace replay).
+//
+// Internally the batch is decided in two passes per BatchChunk window —
+// hash-and-touch, then test-and-set — so the random cache-line fills of
+// independent packets overlap instead of serializing; verdicts and
+// counters are identical to the one-packet-at-a-time loop (see
+// HashBatch for why the split is safe under rotation).
 func (f *Filter) ProcessBatch(pkts []packet.Packet, pd float64, dst []Verdict) []Verdict {
-	for i := range pkts {
-		f.Advance(pkts[i].TS)
-		dst = append(dst, f.Process(&pkts[i], pd))
+	for len(pkts) > 0 {
+		n := f.HashBatch(pkts)
+		for i := 0; i < n; i++ {
+			f.Advance(pkts[i].TS)
+			dst = append(dst, f.ProcessHashed(i, &pkts[i], pd))
+		}
+		f.FlushStats()
+		pkts = pkts[n:]
 	}
 	return dst
-}
-
-// outboundKey encodes the hash key for an outbound packet's socket pair
-// into the filter's fixed key buffer: the full tuple, or {proto, saddr,
-// sport, daddr} in hole-punch mode. Each packet is encoded exactly once.
-//
-//p2p:hotpath
-func (f *Filter) outboundKey(pair packet.SocketPair) []byte {
-	if f.cfg.HolePunch {
-		pair.PutHolePunchKey(&f.hpKey)
-		return f.hpKey[:]
-	}
-	pair.PutKey(&f.key)
-	return f.key[:]
-}
-
-// inboundKey encodes the hash key for an inbound packet's socket pair: the
-// inverse tuple σ̄, whose encoding coincides with the matching outbound
-// key in both full and hole-punch modes ({proto, daddr, dport, saddr} of
-// the inbound packet equals {proto, saddr, sport, daddr} of the outbound
-// one).
-//
-//p2p:hotpath
-func (f *Filter) inboundKey(pair packet.SocketPair) []byte {
-	return f.outboundKey(pair.Inverse())
 }

@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"testing"
 	"time"
+
+	"p2pbound/internal/hashes"
 )
 
 // TestRegenFuzzCorpus rewrites the checked-in seed corpus under
@@ -38,12 +40,29 @@ func TestRegenFuzzCorpus(t *testing.T) {
 	}
 	flipped := append([]byte(nil), v2.Bytes()...)
 	flipped[60] ^= 0x10
+
+	// A blocked-geometry snapshot, so the fuzzer mutates header bytes
+	// 34/35 (scheme/layout) from a stream where they are non-zero.
+	blockedSrc, err := New(Config{K: 2, NBits: 10, M: 2, DeltaT: time.Second, Seed: 11, Layout: hashes.LayoutBlocked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockedSrc.Advance(0)
+	for i := uint32(0); i < 100; i++ {
+		blockedSrc.Process(outPkt(time.Duration(i)*time.Millisecond, pairN(i)), 1)
+	}
+	var v2blocked bytes.Buffer
+	if _, err := blockedSrc.WriteTo(&v2blocked); err != nil {
+		t.Fatal(err)
+	}
+
 	writeSeedCorpus(t, filepath.Join("testdata", "fuzz", "FuzzReadFilter"), map[string][]byte{
-		"seed-v2":        v2.Bytes(),
-		"seed-v1":        v1.Bytes(),
-		"seed-truncated": v2.Bytes()[:40],
-		"seed-flipped":   flipped,
-		"seed-empty":     {},
+		"seed-v2":         v2.Bytes(),
+		"seed-v1":         v1.Bytes(),
+		"seed-v2-blocked": v2blocked.Bytes(),
+		"seed-truncated":  v2.Bytes()[:40],
+		"seed-flipped":    flipped,
+		"seed-empty":      {},
 	})
 }
 

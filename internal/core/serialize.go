@@ -43,6 +43,7 @@ const (
 // caps (the paper's configuration is k=4, 128 KiB per vector).
 const (
 	maxSnapshotK     = 1024
+	maxSnapshotM     = 1024
 	maxSnapshotBytes = 1 << 28 // 256 MiB of vector payload
 )
 
@@ -103,6 +104,12 @@ func (f *Filter) encodeHeader(version uint32) [snapshotHeaderLen]byte {
 	if f.started {
 		hdr[33] = 1
 	}
+	// Bytes 34 and 35 were reserved-zero until the blocked-layout
+	// release; they now carry the resolved index-derivation scheme and
+	// bit layout. Older streams read as zero, which maps back to the
+	// defaults, so every previously written snapshot keeps its meaning.
+	hdr[34] = byte(f.scheme)
+	hdr[35] = byte(f.layout)
 	binary.LittleEndian.PutUint32(hdr[36:], uint32(f.idx))
 	binary.LittleEndian.PutUint64(hdr[40:], uint64(f.next))
 	binary.LittleEndian.PutUint64(hdr[48:], f.cfg.Seed)
@@ -156,16 +163,24 @@ func ReadFilter(r io.Reader) (*Filter, error) {
 		return nil, errors.New("core: unsupported snapshot version " + strconv.FormatUint(uint64(version), 10))
 	}
 	cfg := Config{
-		K:         int(binary.LittleEndian.Uint32(hdr[8:])),
-		NBits:     uint(binary.LittleEndian.Uint32(hdr[12:])),
-		M:         int(binary.LittleEndian.Uint32(hdr[16:])),
-		DeltaT:    time.Duration(binary.LittleEndian.Uint64(hdr[20:])),
-		HashKind:  hashes.Kind(binary.LittleEndian.Uint32(hdr[28:])),
-		HolePunch: hdr[32] == 1,
-		Seed:      binary.LittleEndian.Uint64(hdr[48:]),
+		K:          int(binary.LittleEndian.Uint32(hdr[8:])),
+		NBits:      uint(binary.LittleEndian.Uint32(hdr[12:])),
+		M:          int(binary.LittleEndian.Uint32(hdr[16:])),
+		DeltaT:     time.Duration(binary.LittleEndian.Uint64(hdr[20:])),
+		HashKind:   hashes.Kind(binary.LittleEndian.Uint32(hdr[28:])),
+		HashScheme: hashes.Scheme(hdr[34]),
+		Layout:     hashes.Layout(hdr[35]),
+		HolePunch:  hdr[32] == 1,
+		Seed:       binary.LittleEndian.Uint64(hdr[48:]),
 	}
 	if cfg.K > maxSnapshotK {
 		return nil, errors.New("core: implausible snapshot geometry: k=" + strconv.Itoa(cfg.K) + " exceeds " + strconv.Itoa(maxSnapshotK))
+	}
+	// M is capped before New runs because the filter pre-sizes its batch
+	// hash scratch proportionally to M — an unchecked corrupt header
+	// could demand an absurd allocation before the checksum is verified.
+	if cfg.M > maxSnapshotM {
+		return nil, errors.New("core: implausible snapshot geometry: m=" + strconv.Itoa(cfg.M) + " exceeds " + strconv.Itoa(maxSnapshotM))
 	}
 	if cfg.K > 0 && cfg.NBits > 0 && cfg.NBits <= 32 {
 		if bytes := (int64(cfg.K) << cfg.NBits) / 8; bytes > maxSnapshotBytes {

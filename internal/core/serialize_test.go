@@ -29,9 +29,12 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// The snapshot normalizes the zero HashKind to the default family.
+	// The snapshot normalizes the zero HashKind to the default family and
+	// the zero scheme/layout to the classic defaults.
 	wantCfg := cfg
 	wantCfg.HashKind = hashes.FNVDouble
+	wantCfg.HashScheme = hashes.SchemePerIndex
+	wantCfg.Layout = hashes.LayoutClassic
 	if restored.Config() != wantCfg {
 		t.Fatalf("config drift: %+v vs %+v", restored.Config(), wantCfg)
 	}

@@ -12,6 +12,7 @@ package hashes
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 )
 
 // Kind selects a hash construction for a Family.
@@ -43,11 +44,108 @@ func (k Kind) String() string {
 	}
 }
 
+// Scheme selects how the m bit indexes of a key are obtained.
+type Scheme int
+
+// Index-derivation schemes. The zero value means SchemePerIndex, the
+// original construction.
+const (
+	// SchemePerIndex runs the full per-index family: m independent
+	// full-key hash computations (Jenkins and Mix) or the classic
+	// Kirsch–Mitzenmacher expansion (FNVDouble).
+	SchemePerIndex Scheme = iota + 1
+	// SchemeOneShot hashes the key once into 64 bits (Sum64) and derives
+	// all m indexes arithmetically from that value — one key traversal
+	// per packet regardless of m. For FNVDouble the derived indexes are
+	// bit-identical to SchemePerIndex; for Jenkins and Mix they differ
+	// (two seeded passes are folded into the one-shot value).
+	SchemeOneShot
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case SchemePerIndex:
+		return "per-index"
+	case SchemeOneShot:
+		return "one-shot"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// Layout selects where a key's m bits land in the bit vector.
+type Layout int
+
+// Bit layouts. The zero value means LayoutClassic.
+const (
+	// LayoutClassic scatters the m indexes uniformly across the whole
+	// n-bit vector — the paper's layout, and the textbook Bloom filter.
+	LayoutClassic Layout = iota + 1
+	// LayoutBlocked confines a key's m bits to a single 512-bit
+	// (one-cache-line) block chosen by the high bits of the one-shot
+	// hash, so testing or setting a key costs at most one memory stall
+	// per bit vector instead of m. The block concentration raises the
+	// false positive rate by the block-occupancy variance (Putze et al.;
+	// see DESIGN.md §12 for the bound the tests hold it to). Requires
+	// SchemeOneShot.
+	LayoutBlocked
+)
+
+// String names the layout.
+func (l Layout) String() string {
+	switch l {
+	case LayoutClassic:
+		return "classic"
+	case LayoutBlocked:
+		return "blocked"
+	default:
+		return fmt.Sprintf("layout(%d)", int(l))
+	}
+}
+
+// LineBits is the blocked-layout block size in bits: 512 bits = 64
+// bytes, one cache line on every mainstream CPU. A vector smaller than
+// LineBits degenerates to a single block covering the whole vector.
+const LineBits = 512
+
+// ResolveSchemeLayout normalizes zero values to the defaults
+// (SchemePerIndex, LayoutClassic) and validates the combination: the
+// blocked layout needs the 64-bit one-shot hash for its block choice,
+// so an unset scheme is upgraded to SchemeOneShot and an explicit
+// SchemePerIndex is rejected.
+func ResolveSchemeLayout(scheme Scheme, layout Layout) (Scheme, Layout, error) {
+	if layout == 0 {
+		layout = LayoutClassic
+	}
+	switch layout {
+	case LayoutClassic, LayoutBlocked:
+	default:
+		return 0, 0, fmt.Errorf("hashes: unknown layout %d", int(layout))
+	}
+	if scheme == 0 {
+		scheme = SchemePerIndex
+		if layout == LayoutBlocked {
+			scheme = SchemeOneShot
+		}
+	}
+	switch scheme {
+	case SchemePerIndex, SchemeOneShot:
+	default:
+		return 0, 0, fmt.Errorf("hashes: unknown scheme %d", int(scheme))
+	}
+	if layout == LayoutBlocked && scheme == SchemePerIndex {
+		return 0, 0, fmt.Errorf("hashes: the blocked layout requires the one-shot scheme (the block choice consumes the high hash bits)")
+	}
+	return scheme, layout, nil
+}
+
 // Family computes m independent n-bit hash values per key.
 type Family struct {
-	kind Kind
-	m    int
-	mask uint32
+	kind  Kind
+	m     int
+	mask  uint32
+	nbits uint
 }
 
 // NewFamily builds a family of m hash functions truncated to nbits-bit
@@ -68,7 +166,7 @@ func NewFamily(kind Kind, m int, nbits uint) (*Family, error) {
 	if nbits < 32 {
 		mask = 1<<nbits - 1
 	}
-	return &Family{kind: kind, m: m, mask: mask}, nil
+	return &Family{kind: kind, m: m, mask: mask, nbits: nbits}, nil
 }
 
 // M returns the number of hash functions in the family.
@@ -89,18 +187,10 @@ func (f *Family) Sum(dst []uint32, key []byte) []uint32 {
 		// the low and high words give the two independent hashes of the
 		// Kirsch–Mitzenmacher construction. (Two 32-bit FNV passes with
 		// different bases are affinely related for equal-length keys
-		// and collide structurally.)
-		h := FNV1a64(key)
-		h ^= h >> 30
-		h *= 0xbf58476d1ce4e5b9
-		h ^= h >> 27
-		h *= 0x94d049bb133111eb
-		h ^= h >> 31
-		h1 := uint32(h)
-		h2 := uint32(h>>32) | 1 // odd so strides cover the table
-		for i := 0; i < f.m; i++ {
-			dst = append(dst, (h1+uint32(i)*h2)&f.mask) //p2p:bounded cap(dst) >= m on the reused hot-path buffer
-		}
+		// and collide structurally.) This derivation is frozen: snapshots
+		// written before the scheme byte existed resolve to
+		// SchemePerIndex, so their marks must keep hashing identically.
+		return f.AppendDerived(dst, mix64(FNV1a64(key)))
 	case Jenkins:
 		for i := 0; i < f.m; i++ {
 			dst = append(dst, Lookup3(uint32(i)*0x9e3779b9+1, key)&f.mask) //p2p:bounded cap(dst) >= m on the reused hot-path buffer
@@ -111,6 +201,181 @@ func (f *Family) Sum(dst []uint32, key []byte) []uint32 {
 		}
 	}
 	return dst
+}
+
+// Sum64 is the one-shot 64-bit hash of key: two overlapping word loads
+// folded through one 64×64→128 multiply and the splitmix64 finalizer,
+// so every output bit avalanches. All m indexes of the SchemeOneShot
+// derivations (AppendDerived, AppendBlocked) come from this single
+// value.
+//
+// The function is deliberately kind-independent. Per-index hashing
+// walks the key once per construction (FNV's byte-serial chain alone is
+// a ~50-cycle dependency per 13-byte key); the whole point of the
+// one-shot scheme is that index derivation collapses to a handful of
+// register operations, so it uses the one fixed short-key hash and the
+// kind keeps selecting only the per-index family. SchemeOneShot is
+// recorded in snapshots and never the resolved default for pre-scheme
+// snapshots, so no stored marks depend on an older one-shot derivation.
+//
+//p2p:hotpath
+func (f *Family) Sum64(key []byte) uint64 {
+	if len(key) >= 8 {
+		// The two loads overlap for keys shorter than 16 bytes; every
+		// key byte reaches at least one word, so distinct keys of equal
+		// length map to distinct (a, b) pairs.
+		return Sum64Words(
+			binary.LittleEndian.Uint64(key),
+			binary.LittleEndian.Uint64(key[len(key)-8:]),
+			uint64(len(key)))
+	}
+	return sum64Short(key)
+}
+
+// Sum64Words is Sum64 over a key already loaded as its two overlapping
+// words — a is bytes [0,8), b is bytes [n-8,n) — for key lengths n in
+// [8,16]. Callers that can produce the words from in-register fields
+// (packet.SocketPair.KeyWords) skip the key buffer round trip entirely.
+//
+//p2p:hotpath
+func Sum64Words(a, b, n uint64) uint64 {
+	hi, lo := bits.Mul64(a^0x9e3779b97f4a7c15, b^0xe7037ed1a0b428db)
+	return mix64(hi ^ lo ^ n*0x9ddfea08eb382d69)
+}
+
+// sum64Short is the sub-word-key fallback of Sum64, outlined so the
+// fast path stays small enough to inline into the batch hash loops.
+//
+//p2p:hotpath
+func sum64Short(key []byte) uint64 {
+	return mix64(FNV1a64(key) ^ uint64(len(key))<<56)
+}
+
+// AppendDerived appends the m classic-layout indexes derived from the
+// one-shot hash h: the Kirsch–Mitzenmacher expansion h1 + i·h2 over the
+// low and high words, truncated to n bits.
+//
+//p2p:hotpath
+func (f *Family) AppendDerived(dst []uint32, h uint64) []uint32 {
+	h1 := uint32(h)
+	h2 := uint32(h>>32) | 1 // odd so strides cover the table
+	for i := 0; i < f.m; i++ {
+		dst = append(dst, (h1+uint32(i)*h2)&f.mask) //p2p:bounded cap(dst) >= m on the reused hot-path buffer
+	}
+	return dst
+}
+
+// AppendBlocked appends the m blocked-layout indexes derived from the
+// one-shot hash h. The 512-bit block is chosen by multiply-shift range
+// reduction on the high word of h; the in-block offsets double-hash a
+// remixed copy of h, so the offset stream is decorrelated from the
+// block choice. All m indexes fall in [block·512, block·512+512), i.e.
+// one cache line of the bit vector. Vectors smaller than 512 bits use
+// the whole vector as the single block.
+//
+//p2p:hotpath
+func (f *Family) AppendBlocked(dst []uint32, h uint64) []uint32 {
+	lineBits := uint32(LineBits)
+	if n := uint64(1) << f.nbits; n < LineBits {
+		lineBits = uint32(n)
+	}
+	lines := uint32((uint64(1) << f.nbits) / uint64(lineBits))
+	base := uint32((uint64(uint32(h>>32))*uint64(lines))>>32) * lineBits
+	g := mix64(h ^ 0x9e3779b97f4a7c15)
+	g1 := uint32(g)
+	g2 := uint32(g>>32) | 1
+	off := lineBits - 1
+	for i := 0; i < f.m; i++ {
+		dst = append(dst, base+((g1+uint32(i)*g2)&off)) //p2p:bounded cap(dst) >= m on the reused hot-path buffer
+	}
+	return dst
+}
+
+// SumDerivedInto fills dst (length M) with the classic-layout indexes
+// of key: exactly AppendDerived(Sum64(key)) but as one fused call, so
+// the per-key hot path pays a single function-call boundary instead of
+// three and the intermediate hash never leaves registers.
+//
+//p2p:hotpath
+func (f *Family) SumDerivedInto(dst []uint32, key []byte) {
+	f.DerivedInto(dst, f.Sum64(key))
+}
+
+// DerivedInto is AppendDerived writing into a fixed-length dst.
+//
+//p2p:hotpath
+func (f *Family) DerivedInto(dst []uint32, h uint64) {
+	h1 := uint32(h)
+	h2 := uint32(h>>32) | 1
+	for i := range dst {
+		dst[i] = (h1 + uint32(i)*h2) & f.mask
+	}
+}
+
+// SumBlockedInto fills dst (length M) with the blocked-layout indexes
+// of key: exactly AppendBlocked(Sum64(key)) as one fused call. See
+// SumDerivedInto for why the fusion exists.
+//
+//p2p:hotpath
+func (f *Family) SumBlockedInto(dst []uint32, key []byte) {
+	f.BlockedInto(dst, f.Sum64(key))
+}
+
+// BlockedInto is AppendBlocked writing into a fixed-length dst.
+//
+//p2p:hotpath
+func (f *Family) BlockedInto(dst []uint32, h uint64) {
+	lineBits := uint32(LineBits)
+	if n := uint64(1) << f.nbits; n < LineBits {
+		lineBits = uint32(n)
+	}
+	lines := uint32((uint64(1) << f.nbits) / uint64(lineBits))
+	base := uint32((uint64(uint32(h>>32))*uint64(lines))>>32) * lineBits
+	g := mix64(h ^ 0x9e3779b97f4a7c15)
+	g1 := uint32(g)
+	g2 := uint32(g>>32) | 1
+	off := lineBits - 1
+	for i := range dst {
+		dst[i] = base + ((g1 + uint32(i)*g2) & off)
+	}
+}
+
+// SumInto fills dst (length M) with the per-index-scheme indexes of
+// key, the fused-call equivalent of Sum.
+//
+//p2p:hotpath
+func (f *Family) SumInto(dst []uint32, key []byte) {
+	switch f.kind {
+	case FNVDouble:
+		// The frozen per-index derivation — see Sum, not Sum64.
+		h := mix64(FNV1a64(key))
+		h1 := uint32(h)
+		h2 := uint32(h>>32) | 1
+		for i := range dst {
+			dst[i] = (h1 + uint32(i)*h2) & f.mask
+		}
+	case Jenkins:
+		for i := range dst {
+			dst[i] = Lookup3(uint32(i)*0x9e3779b9+1, key) & f.mask
+		}
+	case Mix:
+		for i := range dst {
+			dst[i] = MixHash(uint32(i)*0x85ebca6b+1, key) & f.mask
+		}
+	}
+}
+
+// mix64 is the splitmix64 finalizer: a full-avalanche bijection over
+// uint64.
+//
+//p2p:hotpath
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
 }
 
 // FNV1a64 is the 64-bit Fowler–Noll–Vo 1a hash.

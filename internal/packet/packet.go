@@ -9,6 +9,7 @@ package packet
 
 import (
 	"fmt"
+	"math/bits"
 	"net"
 	"time"
 )
@@ -193,6 +194,82 @@ func (s SocketPair) PutHolePunchKey(dst *[HolePunchKeySize]byte) {
 	dst[1], dst[2], dst[3], dst[4] = byte(s.SrcAddr>>24), byte(s.SrcAddr>>16), byte(s.SrcAddr>>8), byte(s.SrcAddr)
 	dst[5], dst[6] = byte(s.SrcPort>>8), byte(s.SrcPort)
 	dst[7], dst[8], dst[9], dst[10] = byte(s.DstAddr>>24), byte(s.DstAddr>>16), byte(s.DstAddr>>8), byte(s.DstAddr)
+}
+
+// KeyEncoder encodes socket pairs into a reusable fixed buffer — the
+// single shared encoder behind every filter's hash key construction, so
+// the one-shot hash and the per-index family provably consume identical
+// key bytes. The hole-punch encoding is exactly the first
+// HolePunchKeySize bytes of the full encoding (the remote port is the
+// trailing field), so one buffer serves both modes; Outbound and
+// Inbound return a slice of the encoder's own storage, valid until the
+// next call.
+type KeyEncoder struct {
+	buf       [KeySize]byte
+	holePunch bool
+}
+
+// NewKeyEncoder returns an encoder producing full-tuple keys, or
+// partial-tuple (remote-port-free) keys when holePunch is set.
+func NewKeyEncoder(holePunch bool) KeyEncoder {
+	return KeyEncoder{holePunch: holePunch}
+}
+
+// Outbound encodes the hash key of an outbound packet's socket pair:
+// the canonical PutKey bytes, truncated to the hole-punch prefix when
+// the encoder is in hole-punch mode.
+//
+//p2p:hotpath
+func (e *KeyEncoder) Outbound(pair SocketPair) []byte {
+	pair.PutKey(&e.buf)
+	if e.holePunch {
+		return e.buf[:HolePunchKeySize]
+	}
+	return e.buf[:KeySize]
+}
+
+// Inbound encodes the hash key of an inbound packet's socket pair: the
+// inverse tuple σ̄, whose encoding coincides with the matching outbound
+// key in both full and hole-punch modes ({proto, daddr, dport, saddr}
+// of the inbound packet equals {proto, saddr, sport, daddr} of the
+// outbound one).
+//
+//p2p:hotpath
+func (e *KeyEncoder) Inbound(pair SocketPair) []byte {
+	return e.Outbound(pair.Inverse())
+}
+
+// KeyWords returns the full-tuple key as the two overlapping words the
+// one-shot hash consumes: a and b are the little-endian loads of bytes
+// [0,8) and [5,13) of the PutKey encoding, computed directly from the
+// fields. The batch hash loop uses this instead of encoding the key
+// into a buffer and loading it back — the byte stores of PutKey and the
+// misaligned overlapping loads of the hash defeat store-to-load
+// forwarding, so the round trip costs more than the hash itself.
+// KeyWordsMatchBytes (keyencoder_test.go) pins the equivalence.
+//
+//p2p:hotpath
+func (s SocketPair) KeyWords() (a, b uint64) {
+	sa := bits.ReverseBytes32(uint32(s.SrcAddr))
+	da := bits.ReverseBytes32(uint32(s.DstAddr))
+	sp := bits.ReverseBytes16(s.SrcPort)
+	a = uint64(byte(s.Proto)) | uint64(sa)<<8 | uint64(sp)<<40 | uint64(byte(s.DstAddr>>24))<<56
+	b = uint64(sp) | uint64(da)<<16 | uint64(bits.ReverseBytes16(s.DstPort))<<48
+	return a, b
+}
+
+// HolePunchKeyWords is KeyWords for the partial-tuple hole-punch key:
+// the little-endian loads of bytes [0,8) and [3,11) of the
+// PutHolePunchKey encoding.
+//
+//p2p:hotpath
+func (s SocketPair) HolePunchKeyWords() (a, b uint64) {
+	sa := bits.ReverseBytes32(uint32(s.SrcAddr))
+	da := bits.ReverseBytes32(uint32(s.DstAddr))
+	sp := bits.ReverseBytes16(s.SrcPort)
+	a = uint64(byte(s.Proto)) | uint64(sa)<<8 | uint64(sp)<<40 | uint64(byte(s.DstAddr>>24))<<56
+	b = uint64(sa)>>16 | uint64(sp)<<16 | uint64(da)<<32
+	return a, b
 }
 
 // AppendHolePunchKey appends the partial-tuple encoding used for

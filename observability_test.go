@@ -86,6 +86,7 @@ func TestGoldenMetricsLimiter(t *testing.T) {
 		`p2pbound_time_anomalies_total{shard="0"} 1`,
 		`p2pbound_drop_pd_count 51`,
 		`p2pbound_batch_seconds_count 1`,
+		`p2pbound_filter_info{hash_scheme="per-index",layout="classic",shard="0"} 1`,
 	} {
 		if !strings.Contains(out, line+"\n") {
 			t.Errorf("exposition missing %q", line)

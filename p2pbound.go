@@ -75,6 +75,34 @@ func (d Decision) String() string {
 	}
 }
 
+// HashScheme selects how the m filter indexes are derived per packet.
+type HashScheme int
+
+// Hash schemes. The zero value selects HashPerIndex.
+const (
+	// HashPerIndex runs m independent hash computations per key — the
+	// paper's construction.
+	HashPerIndex HashScheme = iota + 1
+	// HashOneShot hashes each key once into 64 bits and derives all m
+	// indexes arithmetically (Kirsch–Mitzenmacher), so per-packet hash
+	// cost is independent of m.
+	HashOneShot
+)
+
+// Layout selects where a key's m bits land in each bit vector.
+type Layout int
+
+// Bit layouts. The zero value selects LayoutClassic.
+const (
+	// LayoutClassic scatters the m bits across the whole vector.
+	LayoutClassic Layout = iota + 1
+	// LayoutBlocked confines each key's m bits to one 512-bit cache
+	// line per vector, cutting the per-packet memory stalls from m·k to
+	// k at production table sizes, for a bounded false-positive-rate
+	// increase (see DESIGN.md §12). Implies HashOneShot.
+	LayoutBlocked
+)
+
 // Packet is one observed packet. Timestamp is an offset from any fixed
 // origin (trace start, limiter start); the limiter is driven entirely by
 // these timestamps, so replayed traces behave identically to live traffic.
@@ -115,6 +143,17 @@ type Config struct {
 	// RotateEvery is Δt, the rotation period (default 5 s). Together
 	// with Vectors it sets the expiry horizon T_e = k·Δt.
 	RotateEvery time.Duration
+
+	// HashScheme selects how the m indexes are derived from each key
+	// (default HashPerIndex, the paper's construction; HashOneShot
+	// derives all m from one 64-bit hash).
+	HashScheme HashScheme
+	// Layout selects where a key's m bits land in each vector (default
+	// LayoutClassic; LayoutBlocked confines them to one cache line and
+	// implies HashOneShot). Snapshots record both choices, so restores
+	// across a scheme or layout change are rejected like any other
+	// geometry mismatch.
+	Layout Layout
 
 	// HolePunch hashes partial tuples (remote port excluded) so NAT
 	// hole punching keeps working behind the limiter.
@@ -222,6 +261,13 @@ type Limiter struct {
 	traceFn    func(DropTrace)
 	dropSeen   int64
 
+	// Two-pass batch scratch: one chunk of converted internal packets
+	// and their routability flags, indexed in lockstep with the filter's
+	// hash scratch (see processChunk). Fixed arrays keep ProcessBatch
+	// allocation-free.
+	bpkts [core.BatchChunk]packet.Packet
+	bok   [core.BatchChunk]bool
+
 	// P_d cache. The linear prober is a pure function of the metered
 	// uplink rate, and the rate only changes when bytes are added or
 	// simulated time crosses a meter bucket boundary — so the drop
@@ -261,6 +307,8 @@ func New(cfg Config) (*Limiter, error) {
 	if cfg.RotateEvery != 0 {
 		coreCfg.DeltaT = cfg.RotateEvery
 	}
+	coreCfg.HashScheme = hashes.Scheme(cfg.HashScheme)
+	coreCfg.Layout = hashes.Layout(cfg.Layout)
 	coreCfg.HolePunch = cfg.HolePunch
 	coreCfg.Seed = cfg.Seed
 	coreCfg.ReorderTolerance = cfg.ReorderTolerance
@@ -322,6 +370,17 @@ func (l *Limiter) Process(p Packet) Decision {
 		l.unroutable.Add(1)
 		return Drop
 	}
+	l.clampTS(&pkt)
+	l.filter.Advance(pkt.TS)
+	pd := l.pd(pkt.TS)
+	return l.decide(&p, &pkt, pd, l.filter.Process(&pkt, pd))
+}
+
+// clampTS applies the monotonic clock guard to pkt and advances the
+// limiter's notion of now (see Config.ReorderTolerance).
+//
+//p2p:hotpath
+func (l *Limiter) clampTS(pkt *packet.Packet) {
 	if l.tsStarted && pkt.TS < l.maxTS {
 		if l.maxTS-pkt.TS > l.tolerance {
 			l.timeAnomalies.Add(1)
@@ -332,9 +391,14 @@ func (l *Limiter) Process(p Packet) Decision {
 		l.tsStarted = true
 	}
 	l.now = pkt.TS
-	l.filter.Advance(pkt.TS)
-	pd := l.pd(pkt.TS)
-	verdict := l.filter.Process(&pkt, pd)
+}
+
+// decide applies the post-verdict bookkeeping — uplink metering, P_d
+// cache invalidation, drop telemetry, and sampled tracing — shared by
+// Process and ProcessBatch, and maps the filter verdict to a Decision.
+//
+//p2p:hotpath
+func (l *Limiter) decide(p *Packet, pkt *packet.Packet, pd float64, verdict core.Verdict) Decision {
 	if verdict == core.Pass && pkt.Dir == packet.Outbound {
 		l.meter.Add(pkt.TS, p.Size)
 		l.pdValid = false
@@ -368,19 +432,59 @@ func (l *Limiter) Process(p Packet) Decision {
 // one Decision per packet to dst and returning the extended slice.
 // Passing a reusable dst[:0] keeps the call allocation-free. Verdicts
 // and counters are identical to feeding the same packets through Process
-// one at a time — the batch form exists to amortize call overhead and
-// feed fixed-size chunks through Pipeline ring buffers.
+// one at a time; internally the batch runs in two passes per chunk of
+// core.BatchChunk packets — pass A converts and hashes every packet and
+// touches the target cache lines so the DRAM fetches overlap, pass B
+// replays the per-packet decision sequence against warm lines (see
+// DESIGN.md §12). The split is invisible in the results because index
+// derivation depends only on key bytes and configuration, never on
+// rotation or meter state.
 func (l *Limiter) ProcessBatch(pkts []Packet, dst []Decision) []Decision {
 	var start time.Time
 	if l.tel != nil {
 		start = time.Now()
 	}
-	for i := range pkts {
-		dst = append(dst, l.Process(pkts[i]))
+	for lo := 0; lo < len(pkts); lo += core.BatchChunk {
+		hi := lo + core.BatchChunk
+		if hi > len(pkts) {
+			hi = len(pkts)
+		}
+		dst = l.processChunk(pkts[lo:hi], dst)
 	}
 	if l.tel != nil && len(pkts) > 0 {
 		l.tel.batchSeconds.Observe(l.telShard, time.Since(start).Seconds())
 	}
+	return dst
+}
+
+// processChunk runs one two-pass chunk of at most core.BatchChunk
+// packets. Unroutable packets keep their slot — they are hashed as the
+// zero packet in pass A (harmless: the indexes are never used) and
+// defensively dropped in pass B — so the chunk index always equals the
+// filter's scratch index.
+//
+//p2p:hotpath
+func (l *Limiter) processChunk(chunk []Packet, dst []Decision) []Decision {
+	for i := range chunk {
+		l.bok[i] = l.toInternal(chunk[i], &l.bpkts[i])
+		if !l.bok[i] {
+			l.bpkts[i] = packet.Packet{}
+		}
+	}
+	l.filter.HashBatch(l.bpkts[:len(chunk)])
+	for i := range chunk {
+		if !l.bok[i] {
+			l.unroutable.Add(1)
+			dst = append(dst, Drop) //p2p:bounded cap(dst) is caller-owned; ProcessBatch appends exactly len(pkts)
+			continue
+		}
+		pkt := &l.bpkts[i]
+		l.clampTS(pkt)
+		l.filter.Advance(pkt.TS)
+		pd := l.pd(pkt.TS)
+		dst = append(dst, l.decide(&chunk[i], pkt, pd, l.filter.ProcessHashed(i, pkt, pd))) //p2p:bounded cap(dst) is caller-owned; ProcessBatch appends exactly len(pkts)
+	}
+	l.filter.FlushStats()
 	return dst
 }
 
@@ -525,8 +629,9 @@ func (l *Limiter) AdoptState(r io.Reader) error {
 
 // geometryMismatch compares the geometry-bearing fields of two filter
 // configurations, ignoring operational knobs (seed, reorder tolerance).
-// The zero HashKind means the default construction, so it is normalized
-// before comparing — snapshots always store the resolved kind.
+// Zero HashKind, HashScheme, and Layout mean the default construction,
+// so they are normalized before comparing — snapshots always store the
+// resolved values.
 func geometryMismatch(want, got core.Config) error {
 	if want.HashKind == 0 {
 		want.HashKind = hashes.FNVDouble
@@ -534,6 +639,8 @@ func geometryMismatch(want, got core.Config) error {
 	if got.HashKind == 0 {
 		got.HashKind = hashes.FNVDouble
 	}
+	want.HashScheme, want.Layout, _ = hashes.ResolveSchemeLayout(want.HashScheme, want.Layout)
+	got.HashScheme, got.Layout, _ = hashes.ResolveSchemeLayout(got.HashScheme, got.Layout)
 	switch {
 	case want.K != got.K:
 		return fmt.Errorf("snapshot geometry mismatch: k=%d, configured k=%d", got.K, want.K)
@@ -545,6 +652,10 @@ func geometryMismatch(want, got core.Config) error {
 		return fmt.Errorf("snapshot geometry mismatch: Δt=%v, configured Δt=%v", got.DeltaT, want.DeltaT)
 	case want.HashKind != got.HashKind:
 		return fmt.Errorf("snapshot geometry mismatch: hash kind %d, configured %d", got.HashKind, want.HashKind)
+	case want.HashScheme != got.HashScheme:
+		return fmt.Errorf("snapshot geometry mismatch: hash scheme %v, configured %v", got.HashScheme, want.HashScheme)
+	case want.Layout != got.Layout:
+		return fmt.Errorf("snapshot geometry mismatch: layout %v, configured %v", got.Layout, want.Layout)
 	case want.HolePunch != got.HolePunch:
 		return fmt.Errorf("snapshot geometry mismatch: holepunch=%v, configured holepunch=%v", got.HolePunch, want.HolePunch)
 	}

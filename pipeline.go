@@ -336,9 +336,12 @@ func (p *Pipeline) MemoryBytes() int { return p.sharded.MemoryBytes() }
 func (p *Pipeline) ExpiryHorizon() time.Duration { return p.sharded.ExpiryHorizon() }
 
 // worker owns shard sh: it drains the shard ring in batches, decides
-// them on the shard Limiter, and publishes verdict counts. The `done`
-// cursor advances only after the batch is decided, which is what Drain
-// synchronizes on.
+// them on the shard Limiter, and publishes verdict counts. Batches flow
+// through Limiter.ProcessBatch, so each core.BatchChunk-sized chunk gets
+// the two-pass hash/probe treatment (pass A overlaps the DRAM fetches
+// for the whole chunk, pass B decides against warm cache lines — see
+// DESIGN.md §12). The `done` cursor advances only after the batch is
+// decided, which is what Drain synchronizes on.
 func (p *Pipeline) worker(sh int, batchSize int) {
 	defer p.wg.Done()
 	if p.gate != nil {
@@ -486,9 +489,16 @@ func (r *ring) take(dst []Packet, max int) []Packet {
 	if avail > uint64(max) {
 		avail = uint64(max)
 	}
-	for i := uint64(0); i < avail; i++ {
-		dst = append(dst, r.buf[(h+i)&r.mask])
+	// The span wraps the ring at most once, so two bulk copies replace
+	// the per-packet masked loop — memmove keeps the drain cost per
+	// packet flat as BatchSize grows.
+	lo := h & r.mask
+	n := uint64(len(r.buf)) - lo
+	if n > avail {
+		n = avail
 	}
+	dst = append(dst, r.buf[lo:lo+n]...)
+	dst = append(dst, r.buf[:avail-n]...)
 	r.head.Store(h + avail)
 	return dst
 }

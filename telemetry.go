@@ -124,6 +124,13 @@ func (t *Telemetry) attach(l *Limiter) {
 		func() float64 { return math.Float64frombits(l.pdBits.Load()) }, lbl)
 	t.reg.GaugeFunc("p2pbound_uplink_bps", "Measured uplink throughput feeding the RED ramp, bits/s.",
 		func() float64 { return math.Float64frombits(l.uplinkBits.Load()) }, lbl)
+	// Info-style gauge: the value is always 1, the labels identify the
+	// filter's index-derivation scheme and bit layout so dashboards can
+	// correlate FPR and latency shifts with a layout rollout.
+	t.reg.GaugeFunc("p2pbound_filter_info", "Always 1; labels carry the filter's hash scheme and bit layout.",
+		func() float64 { return 1 },
+		metrics.L("hash_scheme", l.filter.HashScheme().String()),
+		metrics.L("layout", l.filter.Layout().String()), lbl)
 }
 
 // attachPipeline registers one pipeline's verdict and shed counters
