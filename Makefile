@@ -9,6 +9,7 @@ all: build lint test
 
 build:
 	$(GO) build ./...
+	$(GO) build -tags afpacket ./...
 
 test:
 	$(GO) test -race ./...
@@ -29,6 +30,7 @@ vet:
 
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReadPacket -fuzztime 10s ./internal/pcap
+	$(GO) test -run '^$$' -fuzz FuzzMMapWalk -fuzztime 10s ./internal/ingest
 	$(GO) test -run '^$$' -fuzz FuzzReadFilter -fuzztime 10s ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzWritePrometheus -fuzztime 10s ./internal/metrics
 
@@ -43,5 +45,5 @@ bench:
 # benchmarks still run and the JSON pipeline still parses, without
 # pretending a shared runner produces meaningful timings.
 bench-smoke:
-	$(GO) test -run '^$$' -bench BenchmarkFilterProcessBatch -benchmem -benchtime 100x . | $(GO) run ./cmd/benchjson -o BENCH_smoke.json
+	$(GO) test -run '^$$' -bench 'BenchmarkFilterProcessBatch|BenchmarkIngestEndToEnd' -benchmem -benchtime 5x . | $(GO) run ./cmd/benchjson -o BENCH_smoke.json
 	rm -f BENCH_smoke.json

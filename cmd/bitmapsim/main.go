@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"p2pbound/internal/core"
+	"p2pbound/internal/ingest"
 	"p2pbound/internal/metrics"
 	"p2pbound/internal/naive"
 	"p2pbound/internal/netsim"
@@ -143,20 +144,39 @@ func run(args []string) error {
 	}
 
 	// Open the input only after the metrics server is listening: with a
-	// streaming source (a FIFO fed by tcpdump), the load phase is the long
-	// part, and the endpoints should be reachable throughout it.
-	f, err := os.Open(*in)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	packets, err := pcap.ReadAll(bufio.NewReaderSize(f, 1<<20), clientNet, true)
-	if err != nil {
-		return err
+	// streaming source (a FIFO fed by tcpdump), the replay phase is the
+	// long part, and the endpoints should be reachable throughout it.
+	// Regular files replay through the zero-copy mmap walker; pipes and
+	// FIFOs stream through the buffered reader. Either way the trace is
+	// never materialized in memory — only one ingest batch is live.
+	var (
+		src       ingest.Ingest
+		malformed func() int64
+	)
+	if fi, statErr := os.Stat(*in); statErr == nil && fi.Mode().IsRegular() {
+		ms, err := ingest.OpenMMap(*in, clientNet, true)
+		if err != nil {
+			return err
+		}
+		defer ms.Close()
+		src, malformed = ms, ms.Malformed
+	} else {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		reader, err := pcap.NewReader(bufio.NewReaderSize(f, 1<<20), clientNet)
+		if err != nil {
+			return err
+		}
+		reader.VerifyChecksums = true
+		rs := ingest.NewReaderSource(reader)
+		src, malformed = rs, rs.Malformed
 	}
 
 	start := time.Now()
-	res, err := netsim.Replay(packets, filter, cfg)
+	res, err := netsim.ReplayIngest(src, filter, cfg)
 	if err != nil {
 		return err
 	}
@@ -173,6 +193,9 @@ func run(args []string) error {
 	fmt.Printf("  download original %s -> filtered %s\n",
 		stats.Mbps(res.OriginalDown.MeanRate()), stats.Mbps(res.FilteredDown.MeanRate()))
 	fmt.Printf("  filter state at end: %d bytes\n", memory())
+	if n := malformed(); n > 0 {
+		fmt.Printf("  skipped %d malformed or corrupt frames\n", n)
+	}
 	if *series {
 		fmt.Println("  per-second drop rates:")
 		for i, r := range res.DropRateSeries() {

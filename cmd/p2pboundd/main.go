@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"p2pbound"
+	"p2pbound/internal/ingest"
 	"p2pbound/internal/packet"
 	"p2pbound/internal/pcap"
 )
@@ -156,33 +157,57 @@ func runSig(args []string, out io.Writer, sigc <-chan os.Signal) error {
 		}
 	}
 
-	var src io.Reader = os.Stdin
+	// Regular files ingest through the zero-copy mmap walker; stdin and
+	// FIFOs (a live tcpdump pipe) stream through the buffered reader.
+	// Both deliver decoded batches, so the daemon never holds more than
+	// one batch of packets regardless of capture size.
+	var (
+		src       ingest.Ingest
+		clockRegs func() int64
+	)
 	if *in != "-" {
-		f, err := os.Open(*in)
+		if fi, statErr := os.Stat(*in); statErr == nil && fi.Mode().IsRegular() {
+			ms, err := ingest.OpenMMap(*in, clientNet, false)
+			if err != nil {
+				return err
+			}
+			defer ms.Close()
+			src, clockRegs = ms, ms.ClockRegressions
+		} else {
+			f, err := os.Open(*in)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			reader, err := pcap.NewReader(bufio.NewReaderSize(f, 1<<20), clientNet)
+			if err != nil {
+				return err
+			}
+			rs := ingest.NewReaderSource(reader)
+			src, clockRegs = rs, rs.ClockRegressions
+		}
+	} else {
+		reader, err := pcap.NewReader(bufio.NewReaderSize(os.Stdin, 1<<20), clientNet)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		src = f
-	}
-	reader, err := pcap.NewReader(bufio.NewReaderSize(src, 1<<20), clientNet)
-	if err != nil {
-		return err
+		rs := ingest.NewReaderSource(reader)
+		src, clockRegs = rs, rs.ClockRegressions
 	}
 
-	// The read loop accumulates packets and decides them through
-	// Limiter.ProcessBatch — the amortized hot path — reusing the same
-	// three slices for the life of the stream so steady state does not
-	// allocate. Raw packets ride along with the batch for the drop and
-	// stats lines.
+	// Each ingest batch is decided through Limiter.ProcessBatch — the
+	// amortized hot path — reusing the same translation and verdict
+	// slices for the life of the stream so steady state does not
+	// allocate. The ingest batch itself doubles as the raw-packet view
+	// for the drop and stats lines.
 	const batchCap = 512
 	var (
 		total, dropped int64
 		readCount      int64
 		nextReport     = *report
 		nextSnap       = *snapEvery
+		b              = ingest.NewBatch(batchCap)
 		batch          = make([]p2pbound.Packet, 0, batchCap)
-		raw            = make([]packet.Packet, 0, batchCap)
 		verdicts       = make([]p2pbound.Decision, 0, batchCap)
 	)
 	snapshot := func() {
@@ -196,7 +221,18 @@ func runSig(args []string, out io.Writer, sigc <-chan os.Signal) error {
 			fmt.Fprintf(os.Stderr, "p2pboundd: periodic snapshot failed: %v\n", err)
 		}
 	}
-	flush := func() {
+	flush := func(raw []packet.Packet) {
+		batch = batch[:0]
+		for i := range raw {
+			pkt := &raw[i]
+			batch = append(batch, p2pbound.Packet{
+				Timestamp: pkt.TS,
+				Protocol:  p2pbound.Protocol(pkt.Pair.Proto),
+				SrcAddr:   toNetip(pkt.Pair.SrcAddr), SrcPort: pkt.Pair.SrcPort,
+				DstAddr: toNetip(pkt.Pair.DstAddr), DstPort: pkt.Pair.DstPort,
+				Size: pkt.Len,
+			})
+		}
 		verdicts = limiter.ProcessBatch(batch, verdicts[:0])
 		snapDue := false
 		for i, decision := range verdicts {
@@ -224,21 +260,20 @@ func runSig(args []string, out io.Writer, sigc <-chan os.Signal) error {
 				}
 			}
 		}
-		batch, raw = batch[:0], raw[:0]
 		// Snapshot after the batch so the state file reflects every
 		// verdict already reported.
 		if snapDue {
 			snapshot()
 		}
 	}
-	// finish drains pending work and emits the final accounting line; it
-	// is shared by the EOF, signal, and read-error exits so an aborted
-	// run reports exactly like a completed one.
+	// finish emits the final accounting line; it is shared by the EOF,
+	// signal, and read-error exits so an aborted run reports exactly
+	// like a completed one. (Every decoded batch is flushed before the
+	// exits run, so there is no pending work to drain.)
 	finish := func(reason string) {
-		flush()
 		s := limiter.Stats()
 		fmt.Fprintf(out, "%s: %d packets, %d dropped, %d matched, %d anomalies, %d clock regressions\n",
-			reason, total, dropped, s.InboundMatched, s.TimeAnomalies, reader.ClockRegressions())
+			reason, total, dropped, s.InboundMatched, s.TimeAnomalies, clockRegs())
 	}
 	saveFinal := func() error {
 		if *statePath == "" {
@@ -262,40 +297,38 @@ func runSig(args []string, out io.Writer, sigc <-chan os.Signal) error {
 			finish("signal: stopping")
 			return saveFinal()
 		}
-		pkt, err := reader.ReadPacket()
+		n, err := src.ReadBatch(b)
+		pkts := b.Pkts[:n]
+		// -stop-after lands exactly on the Nth packet: the tail of the
+		// batch beyond it is never decided, as if the signal had
+		// arrived on that packet boundary.
+		if *stopAfter > 0 && readCount+int64(n) >= *stopAfter {
+			pkts = pkts[:*stopAfter-readCount]
+			stopping = true
+		}
+		readCount += int64(len(pkts))
+		if len(pkts) > 0 {
+			flush(pkts)
+		}
 		switch {
 		case err == nil:
 		case errors.Is(err, io.EOF):
-			finish("done")
+			if stopping {
+				finish("signal: stopping")
+			} else {
+				finish("done")
+			}
 			return saveFinal()
-		case errors.Is(err, pcap.ErrBadChecksum):
-			continue
 		default:
 			// A mid-stream read error (torn capture file, dying tcpdump
-			// pipe) must not swallow decided-but-unreported packets:
-			// flush, report, snapshot best-effort, then surface the
-			// error.
+			// pipe) must not swallow decided-but-unreported packets: the
+			// batch read so far was flushed above; report, snapshot
+			// best-effort, then surface the error.
 			finish("aborted")
 			if saveErr := saveFinal(); saveErr != nil {
 				fmt.Fprintf(os.Stderr, "p2pboundd: final snapshot failed: %v\n", saveErr)
 			}
 			return fmt.Errorf("read error after %d packets: %w", total, err)
-		}
-
-		raw = append(raw, *pkt)
-		batch = append(batch, p2pbound.Packet{
-			Timestamp: pkt.TS,
-			Protocol:  p2pbound.Protocol(pkt.Pair.Proto),
-			SrcAddr:   toNetip(pkt.Pair.SrcAddr), SrcPort: pkt.Pair.SrcPort,
-			DstAddr: toNetip(pkt.Pair.DstAddr), DstPort: pkt.Pair.DstPort,
-			Size: pkt.Len,
-		})
-		readCount++
-		if *stopAfter > 0 && readCount >= *stopAfter {
-			stopping = true
-		}
-		if len(batch) == batchCap {
-			flush()
 		}
 	}
 }

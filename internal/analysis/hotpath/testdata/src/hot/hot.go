@@ -83,6 +83,70 @@ func callees(v int64) {
 	variadicFast(v, v) // want `materializes an argument slice`
 }
 
+// walker mirrors the ingest mmap decode loop: a hotpath method walking
+// a byte mapping with three-index subslices, conditional byte swaps,
+// an annotated decode callee, and counter fields — all allowed.
+type walker struct {
+	data      []byte
+	off       int
+	swapped   bool
+	malformed int64
+}
+
+//p2p:hotpath
+func (w *walker) u32(off int) uint32 {
+	b := w.data[off : off+4 : off+4]
+	v := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	if w.swapped {
+		v = v<<24 | v>>24 | v<<8&0x00ff0000 | v>>8&0x0000ff00
+	}
+	return v
+}
+
+//p2p:hotpath
+func (w *walker) decode(frame []byte, dst *[8]byte) bool {
+	if len(frame) < len(dst) {
+		return false
+	}
+	copy(dst[:], frame)
+	return true
+}
+
+//p2p:hotpath
+func (w *walker) walk(dst [][8]byte) int {
+	n := 0
+	for n < len(dst) {
+		rem := len(w.data) - w.off
+		if rem < 16 {
+			break
+		}
+		inclLen := int(w.u32(w.off + 8))
+		if inclLen < 0 || rem-16 < inclLen {
+			break
+		}
+		frame := w.data[w.off+16 : w.off+16+inclLen : w.off+16+inclLen]
+		w.off += 16 + inclLen
+		if !w.decode(frame, &dst[n]) {
+			w.malformed++
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// cloningWalk is the violation the walker exists to avoid: copying each
+// frame out of the mapping.
+//
+//p2p:hotpath
+func (w *walker) cloningWalk(frames [][]byte) {
+	for _, f := range frames {
+		cp := make([]byte, len(f)) // want `allocates: make`
+		copy(cp, f)
+		_ = append([]byte(nil), f...) // want `calls append`
+	}
+}
+
 // cold is unannotated: the same constructs draw no diagnostics.
 func cold(str string) {
 	_ = make([]int, 4)

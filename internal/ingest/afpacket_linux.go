@@ -1,0 +1,131 @@
+//go:build linux && afpacket
+
+package ingest
+
+import (
+	"fmt"
+	"net"
+	"syscall"
+	"unsafe"
+
+	"p2pbound/internal/packet"
+)
+
+// Socket-level AF_PACKET ABI not exposed by the syscall package.
+const (
+	packetRxRing  = 5  // PACKET_RX_RING
+	packetVersion = 10 // PACKET_VERSION
+	tpacketV2     = 1  // TPACKET_V2
+)
+
+// tpacketReq mirrors struct tpacket_req (linux/if_packet.h).
+type tpacketReq struct {
+	blockSize uint32
+	blockNr   uint32
+	frameSize uint32
+	frameNr   uint32
+}
+
+// AFPacketSource captures live traffic from a network interface through
+// a TPACKET_V2 RX ring shared with the kernel. Frames are decoded in
+// place from the ring mapping — the same zero-copy contract as
+// MMapSource — and ring slots are returned to the kernel one batch
+// late, so the previous batch stays valid across ReadBatch.
+type AFPacketSource struct {
+	fd   int
+	ring []byte
+	rr   *ringReader
+}
+
+// OpenAFPacket binds a packet socket to iface and maps its RX ring.
+// Requires CAP_NET_RAW. A zero cfg selects DefaultRingConfig.
+func OpenAFPacket(iface string, clientNet packet.Network, cfg RingConfig) (*AFPacketSource, error) {
+	if cfg.FrameSize == 0 {
+		cfg = DefaultRingConfig()
+	}
+	if cfg.FrameSize%16 != 0 || cfg.BlockSize%cfg.FrameSize != 0 {
+		return nil, fmt.Errorf("ingest: invalid ring config %+v", cfg)
+	}
+	ifi, err := net.InterfaceByName(iface)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: %w", err)
+	}
+
+	// ETH_P_ALL in network byte order, as bind and socket want it.
+	proto := uint16(syscall.ETH_P_ALL)<<8 | uint16(syscall.ETH_P_ALL)>>8
+	fd, err := syscall.Socket(syscall.AF_PACKET, syscall.SOCK_RAW, int(proto))
+	if err != nil {
+		return nil, fmt.Errorf("ingest: packet socket: %w", err)
+	}
+	if err := syscall.SetsockoptInt(fd, syscall.SOL_PACKET, packetVersion, tpacketV2); err != nil {
+		syscall.Close(fd)
+		return nil, fmt.Errorf("ingest: PACKET_VERSION: %w", err)
+	}
+	req := tpacketReq{
+		blockSize: uint32(cfg.BlockSize),
+		blockNr:   uint32(cfg.FrameCount * cfg.FrameSize / cfg.BlockSize),
+		frameSize: uint32(cfg.FrameSize),
+		frameNr:   uint32(cfg.FrameCount),
+	}
+	if _, _, errno := syscall.Syscall6(syscall.SYS_SETSOCKOPT,
+		uintptr(fd), uintptr(syscall.SOL_PACKET), uintptr(packetRxRing),
+		uintptr(unsafe.Pointer(&req)), unsafe.Sizeof(req), 0); errno != 0 {
+		syscall.Close(fd)
+		return nil, fmt.Errorf("ingest: PACKET_RX_RING: %w", errno)
+	}
+	ring, err := syscall.Mmap(fd, 0, cfg.FrameCount*cfg.FrameSize,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		syscall.Close(fd)
+		return nil, fmt.Errorf("ingest: map ring: %w", err)
+	}
+	sll := syscall.SockaddrLinklayer{Protocol: proto, Ifindex: ifi.Index}
+	if err := syscall.Bind(fd, &sll); err != nil {
+		syscall.Munmap(ring)
+		syscall.Close(fd)
+		return nil, fmt.Errorf("ingest: bind %s: %w", iface, err)
+	}
+	return &AFPacketSource{
+		fd:   fd,
+		ring: ring,
+		rr:   newRingReader(ring, cfg, clientNet),
+	}, nil
+}
+
+// ReadBatch fills b with the next frames from the ring, blocking until
+// at least one arrives or the socket dies.
+func (s *AFPacketSource) ReadBatch(b *Batch) (int, error) {
+	for {
+		if n := s.rr.readBatch(b.Pkts); n > 0 {
+			return n, nil
+		}
+		var rd syscall.FdSet
+		rd.Bits[s.fd/64] |= 1 << (uint(s.fd) % 64)
+		if _, err := syscall.Select(s.fd+1, &rd, nil, nil, nil); err != nil {
+			if err == syscall.EINTR {
+				continue
+			}
+			return 0, fmt.Errorf("ingest: select: %w", err)
+		}
+	}
+}
+
+// Malformed reports how many ring slots failed to decode.
+func (s *AFPacketSource) Malformed() int64 { return s.rr.malformed }
+
+// ClockRegressions reports clamped backwards timestamps.
+func (s *AFPacketSource) ClockRegressions() int64 { return s.rr.clockRegressions }
+
+// Close unmaps the ring and closes the socket.
+func (s *AFPacketSource) Close() error {
+	if s.fd < 0 {
+		return nil
+	}
+	err := syscall.Munmap(s.ring)
+	if cerr := syscall.Close(s.fd); err == nil {
+		err = cerr
+	}
+	s.fd = -1
+	s.ring = nil
+	return err
+}

@@ -1,0 +1,168 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sync/atomic"
+	"testing"
+	"time"
+	"unsafe"
+
+	"p2pbound/internal/packet"
+	"p2pbound/internal/pcap"
+)
+
+// frameBytes renders one packet as an Ethernet frame by round-tripping
+// it through the pcap writer and stripping the file framing, so the
+// ring test reuses the writer's checksum-correct serialization.
+func frameBytes(t *testing.T, pkt packet.Packet) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := pcap.WriteAll(&buf, []packet.Packet{pkt}, 0, time.Unix(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	inclLen := binary.LittleEndian.Uint32(data[24+8:])
+	return data[24+16 : 24+16+int(inclLen)]
+}
+
+// postFrame writes a TPACKET_V2 slot: header, frame at mac offset,
+// and finally the USER status bit, as the kernel does.
+func postFrame(ring []byte, cfg RingConfig, slot int, frame []byte, wireLen int, sec, nsec uint32) {
+	s := ring[slot*cfg.FrameSize : (slot+1)*cfg.FrameSize]
+	const mac = 32 // anywhere past the header, TPACKET_ALIGNed
+	binary.NativeEndian.PutUint32(s[tpOffLen:], uint32(wireLen))
+	binary.NativeEndian.PutUint32(s[tpOffSnaplen:], uint32(len(frame)))
+	binary.NativeEndian.PutUint16(s[tpOffMac:], mac)
+	binary.NativeEndian.PutUint16(s[tpOffNet:], mac+14)
+	binary.NativeEndian.PutUint32(s[tpOffSec:], sec)
+	binary.NativeEndian.PutUint32(s[tpOffNsec:], nsec)
+	copy(s[mac:], frame)
+	atomic.StoreUint32((*uint32)(unsafe.Pointer(&s[tpOffStatus])), tpStatusUser)
+}
+
+func testPkt(i int, payload []byte) packet.Packet {
+	return packet.Packet{
+		Pair: packet.SocketPair{
+			Proto:   packet.TCP,
+			SrcAddr: packet.AddrFrom4(140, 112, 0, byte(i)), SrcPort: 40000 + uint16(i),
+			DstAddr: packet.AddrFrom4(9, 9, 9, byte(i)), DstPort: 6881,
+		},
+		Dir: packet.Outbound, Len: 40 + len(payload), Flags: packet.ACK, Payload: payload,
+	}
+}
+
+func TestRingReaderSynthesizedRing(t *testing.T) {
+	cfg := RingConfig{FrameSize: 512, FrameCount: 8, BlockSize: 4096}
+	ring := make([]byte, cfg.FrameSize*cfg.FrameCount)
+	clientNet := packet.CIDR(packet.AddrFrom4(140, 112, 0, 0), 16)
+	rr := newRingReader(ring, cfg, clientNet)
+
+	// Kernel posts five frames with advancing timestamps.
+	for i := 0; i < 5; i++ {
+		pkt := testPkt(i, []byte{byte(i), 2, 3, 4})
+		postFrame(ring, cfg, i, frameBytes(t, pkt), pkt.Len+14, 100, uint32(i)*1000)
+	}
+
+	dst := make([]packet.Packet, 16)
+	n := rr.readBatch(dst)
+	if n != 5 {
+		t.Fatalf("decoded %d frames, want 5", n)
+	}
+	for i := 0; i < 5; i++ {
+		if dst[i].Pair.SrcPort != 40000+uint16(i) {
+			t.Fatalf("frame %d: wrong packet %+v", i, dst[i].Pair)
+		}
+		if want := time.Duration(i) * 1000; dst[i].TS != want {
+			t.Fatalf("frame %d: TS %v, want %v", i, dst[i].TS, want)
+		}
+		if dst[i].Dir != packet.Outbound {
+			t.Fatalf("frame %d: direction %v", i, dst[i].Dir)
+		}
+		if want := []byte{byte(i), 2, 3, 4}; !bytes.Equal(dst[i].Payload, want) {
+			t.Fatalf("frame %d: payload %x, want %x", i, dst[i].Payload, want)
+		}
+	}
+
+	// Zero-copy hold: the five consumed slots are still USER-owned (the
+	// batch aliases them) until the next readBatch releases them.
+	for i := 0; i < 5; i++ {
+		if atomic.LoadUint32(rr.statusPtr(i)) != tpStatusUser {
+			t.Fatalf("slot %d released while its batch is still live", i)
+		}
+	}
+	if n := rr.readBatch(dst); n != 0 {
+		t.Fatalf("empty ring produced %d frames", n)
+	}
+	for i := 0; i < 5; i++ {
+		if atomic.LoadUint32(rr.statusPtr(i)) != tpStatusKernel {
+			t.Fatalf("slot %d not returned to the kernel", i)
+		}
+	}
+
+	// Wrap-around: post six more frames across the ring boundary, one of
+	// them garbage (mac offset past the slot) — counted, not decoded,
+	// and its slot still cycles back to the kernel.
+	for i := 0; i < 6; i++ {
+		slot := (5 + i) % cfg.FrameCount
+		pkt := testPkt(10+i, []byte{9, 9})
+		postFrame(ring, cfg, slot, frameBytes(t, pkt), pkt.Len+14, 101, uint32(i)*500)
+	}
+	badSlot := 6
+	binary.NativeEndian.PutUint16(ring[badSlot*cfg.FrameSize+tpOffMac:], uint16(cfg.FrameSize))
+	n = rr.readBatch(dst)
+	if n != 5 {
+		t.Fatalf("wrap-around decoded %d frames, want 5", n)
+	}
+	if rr.malformed != 1 {
+		t.Fatalf("malformed = %d, want 1", rr.malformed)
+	}
+	// Timestamps regressed against the first batch (sec 101 < base of
+	// sec 100? no — sec advanced; nsec restarted). The clamp keeps TS
+	// monotonic regardless.
+	for i := 1; i < n; i++ {
+		if dst[i].TS < dst[i-1].TS {
+			t.Fatalf("TS ran backwards: %v after %v", dst[i].TS, dst[i-1].TS)
+		}
+	}
+	if n := rr.readBatch(dst); n != 0 {
+		t.Fatalf("drained ring produced %d frames", n)
+	}
+	for i := 0; i < cfg.FrameCount; i++ {
+		if atomic.LoadUint32(rr.statusPtr(i)) != tpStatusKernel {
+			t.Fatalf("slot %d not returned to the kernel after wrap", i)
+		}
+	}
+}
+
+// TestRingReaderBatchSmallerThanReady: a batch smaller than the ready
+// frames drains incrementally without losing or reordering anything.
+func TestRingReaderBatchSmallerThanReady(t *testing.T) {
+	cfg := RingConfig{FrameSize: 512, FrameCount: 8, BlockSize: 4096}
+	ring := make([]byte, cfg.FrameSize*cfg.FrameCount)
+	clientNet := packet.CIDR(packet.AddrFrom4(140, 112, 0, 0), 16)
+	rr := newRingReader(ring, cfg, clientNet)
+	for i := 0; i < 8; i++ {
+		pkt := testPkt(i, nil)
+		postFrame(ring, cfg, i, frameBytes(t, pkt), pkt.Len+14, 7, uint32(i))
+	}
+	dst := make([]packet.Packet, 3)
+	var ports []uint16
+	for {
+		n := rr.readBatch(dst)
+		if n == 0 {
+			break
+		}
+		for i := 0; i < n; i++ {
+			ports = append(ports, dst[i].Pair.SrcPort)
+		}
+	}
+	if len(ports) != 8 {
+		t.Fatalf("drained %d frames, want 8", len(ports))
+	}
+	for i, p := range ports {
+		if p != 40000+uint16(i) {
+			t.Fatalf("frame %d out of order: port %d", i, p)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+//go:build !linux || !afpacket
+
+package ingest
+
+import (
+	"errors"
+
+	"p2pbound/internal/packet"
+)
+
+// ErrAFPacketUnavailable reports a build without live-capture support;
+// rebuild with -tags afpacket on linux to enable it.
+var ErrAFPacketUnavailable = errors.New("ingest: built without afpacket support")
+
+// AFPacketSource is unavailable in this build. The ring walker itself
+// (afpacket_ring.go) still compiles and is unit-tested everywhere; only
+// the kernel socket plumbing is linux+afpacket.
+type AFPacketSource struct{}
+
+// OpenAFPacket always fails in this build.
+func OpenAFPacket(iface string, clientNet packet.Network, cfg RingConfig) (*AFPacketSource, error) {
+	return nil, ErrAFPacketUnavailable
+}
+
+// ReadBatch always fails in this build.
+func (s *AFPacketSource) ReadBatch(b *Batch) (int, error) { return 0, ErrAFPacketUnavailable }
+
+// Malformed reports zero in this build.
+func (s *AFPacketSource) Malformed() int64 { return 0 }
+
+// ClockRegressions reports zero in this build.
+func (s *AFPacketSource) ClockRegressions() int64 { return 0 }
+
+// Close is a no-op in this build.
+func (s *AFPacketSource) Close() error { return nil }

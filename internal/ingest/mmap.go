@@ -1,0 +1,259 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"p2pbound/internal/packet"
+	"p2pbound/internal/pcap"
+)
+
+// Framing errors: once record framing is broken, no later byte of the
+// file can be trusted, so these are terminal — surfaced from ReadBatch
+// after the packets decoded so far, exactly like pcap.Reader's hard
+// read errors (a torn capture must look aborted, not complete).
+var (
+	// ErrTruncatedFile reports a record header or frame extending past
+	// the end of the mapping — the file a SIGKILLed tcpdump leaves.
+	ErrTruncatedFile = errors.New("ingest: truncated record")
+	// ErrBadRecordLength reports a record length outside the plausible
+	// range (negative, over the snap length, or over 1 MiB).
+	ErrBadRecordLength = errors.New("ingest: implausible record length")
+)
+
+// MMapSource walks a whole pcap file held in memory — a real mmap(2)
+// mapping on linux, a one-shot read elsewhere — decoding frames in
+// place. No frame bytes are copied and no packets are allocated:
+// payloads alias the mapping, so a batch's packets are valid until the
+// next ReadBatch and payloads until Close.
+//
+// The walker mirrors pcap.Reader record for record (same byte-order
+// handling, plausibility limits, timestamp base and clock-regression
+// clamp), so replaying a file through either path yields identical
+// packets; TestMMapMatchesReader pins this. The one divergence is
+// error handling: where the streaming reader surfaces each bad frame
+// to its caller, the walker counts it in Malformed and keeps going —
+// unless the record framing itself is broken (header past the end of
+// the mapping, implausible length), after which no later offset can be
+// trusted and the walk ends.
+type MMapSource struct {
+	data    []byte
+	off     int
+	swapped bool // file byte order is opposite the LE record layout we load
+	snaplen int
+	verify  bool
+
+	clientNet packet.Network
+
+	baseSec  int64
+	baseUsec int64
+	baseSet  bool
+	lastTS   time.Duration
+
+	malformed        int64
+	clockRegressions int64
+	done             bool
+	err              error // terminal framing error, nil on a clean end
+
+	close func() error
+}
+
+// NewMemSource wraps an in-memory pcap file (global header included).
+// data is aliased, never copied; it must stay valid and unmodified
+// until the source is abandoned. verify enables IP/transport checksum
+// verification, with failing frames counted in Malformed and skipped.
+func NewMemSource(data []byte, clientNet packet.Network, verify bool) (*MMapSource, error) {
+	if len(data) < 24 {
+		return nil, fmt.Errorf("ingest: pcap global header truncated: %d bytes", len(data))
+	}
+	magic := uint32(data[0]) | uint32(data[1])<<8 | uint32(data[2])<<16 | uint32(data[3])<<24
+	var swapped bool
+	switch magic {
+	case pcap.MagicLE:
+		swapped = false
+	case pcap.MagicBE:
+		swapped = true
+	default:
+		return nil, fmt.Errorf("ingest: bad pcap magic %#x", magic)
+	}
+	s := &MMapSource{
+		data:      data,
+		off:       24,
+		swapped:   swapped,
+		verify:    verify,
+		clientNet: clientNet,
+	}
+	s.snaplen = int(s.u32(16))
+	if lt := s.u32(20); lt != pcap.LinkEthernet {
+		return nil, fmt.Errorf("ingest: unsupported link type %d", lt)
+	}
+	s.off = 24
+	return s, nil
+}
+
+// OpenMMap maps the pcap file at path and returns a source over it.
+// Close releases the mapping; every batch read from the source dies
+// with it.
+func OpenMMap(path string, clientNet packet.Network, verify bool) (*MMapSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ingest: %w", err)
+	}
+	data, closeMap, err := mapFile(f, st.Size())
+	f.Close() // the mapping (or copied buffer) outlives the descriptor
+	if err != nil {
+		return nil, fmt.Errorf("ingest: map %s: %w", path, err)
+	}
+	s, err := NewMemSource(data, clientNet, verify)
+	if err != nil {
+		closeMap()
+		return nil, err
+	}
+	s.close = closeMap
+	return s, nil
+}
+
+// Close releases the file mapping. The source and every packet it
+// produced become invalid.
+func (s *MMapSource) Close() error {
+	s.done = true
+	s.data = nil
+	if s.close == nil {
+		return nil
+	}
+	c := s.close
+	s.close = nil
+	return c()
+}
+
+// Malformed reports how many well-framed records were skipped:
+// undecodable frames and checksum failures under verification.
+func (s *MMapSource) Malformed() int64 { return s.malformed }
+
+// ClockRegressions reports how many records carried a capture timestamp
+// behind an earlier record's; their TS values were clamped.
+func (s *MMapSource) ClockRegressions() int64 { return s.clockRegressions }
+
+// ReadBatch decodes the next run of frames into b.Pkts in place and
+// returns how many it produced, with io.EOF (possibly alongside a final
+// n > 0) once the mapping is cleanly exhausted or a framing error
+// (ErrTruncatedFile, ErrBadRecordLength) if the record stream breaks
+// mid-file.
+func (s *MMapSource) ReadBatch(b *Batch) (int, error) {
+	if s.done {
+		if s.err != nil {
+			return 0, s.err
+		}
+		return 0, io.EOF
+	}
+	n := s.walk(b.Pkts)
+	if !s.done {
+		return n, nil
+	}
+	if s.err != nil {
+		return n, s.err
+	}
+	return n, io.EOF
+}
+
+// u32 loads a little-endian uint32 at off, byte-swapped for big-endian
+// files.
+//
+//p2p:hotpath
+func (s *MMapSource) u32(off int) uint32 {
+	b := s.data[off : off+4 : off+4]
+	v := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	if s.swapped {
+		v = v<<24 | v>>24 | v<<8&0x00ff0000 | v>>8&0x0000ff00
+	}
+	return v
+}
+
+// walk is the hot decode loop: it advances through records until dst is
+// full or the mapping ends, decoding accepted frames into dst in place.
+// It never reads past len(s.data) — every record header and frame is
+// bounds-checked against the mapping before it is touched.
+//
+//p2p:hotpath
+func (s *MMapSource) walk(dst []packet.Packet) int {
+	n := 0
+	for n < len(dst) {
+		rem := len(s.data) - s.off
+		if rem == 0 {
+			s.done = true
+			break
+		}
+		if rem < 16 {
+			// Trailing bytes too short for a record header: the file
+			// was truncated mid-record.
+			s.err = ErrTruncatedFile
+			s.done = true
+			break
+		}
+		sec := s.u32(s.off)
+		usec := s.u32(s.off + 4)
+		// Widen unsigned, as pcap.Reader does: a length with the high bit
+		// set must fail the same plausibility gate, not flip negative.
+		inclLen := int(s.u32(s.off + 8))
+		origLen := int(s.u32(s.off + 12))
+		if inclLen < 0 || inclLen > s.snaplen+pcap.EthHeaderLen || inclLen > 1<<20 {
+			// Same plausibility gate as pcap.Reader. A record length
+			// this wrong means the framing is lost; no later offset can
+			// be trusted.
+			s.err = ErrBadRecordLength
+			s.done = true
+			break
+		}
+		if rem == 16 && inclLen > 0 {
+			// A record header with its frame bytes entirely absent: the
+			// streaming reader's frame io.ReadFull reads zero bytes and
+			// reports a bare io.EOF — a clean end of stream. Mirror it,
+			// keeping the two paths' terminal conditions identical.
+			s.done = true
+			break
+		}
+		if rem-16 < inclLen {
+			s.err = ErrTruncatedFile
+			s.done = true
+			break
+		}
+		frame := s.data[s.off+16 : s.off+16+inclLen : s.off+16+inclLen]
+		s.off += 16 + inclLen
+
+		// The timestamp base is the first record's capture time, set
+		// once the record is well-framed — even if its frame fails to
+		// decode — matching pcap.Reader.
+		if !s.baseSet {
+			s.baseSec = int64(sec)
+			s.baseUsec = int64(usec)
+			s.baseSet = true
+		}
+
+		pkt := &dst[n]
+		if pcap.DecodeFrame(frame, origLen, s.verify, pkt) != nil {
+			s.malformed++
+			continue
+		}
+
+		rel := time.Duration(int64(sec)-s.baseSec)*time.Second +
+			time.Duration(int64(usec)-s.baseUsec)*time.Microsecond
+		if rel < s.lastTS {
+			s.clockRegressions++
+			rel = s.lastTS
+		} else {
+			s.lastTS = rel
+		}
+		pkt.TS = rel
+		pkt.Dir = packet.Classify(pkt.Pair, s.clientNet)
+		n++
+	}
+	return n
+}

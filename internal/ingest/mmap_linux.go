@@ -1,0 +1,26 @@
+//go:build linux
+
+package ingest
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps the whole file read-only. The returned closer
+// unmaps it; after that every slice aliasing the mapping is invalid.
+// Zero-length files map to an empty slice with a no-op closer (mmap
+// rejects length 0).
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	if size < 0 || size != int64(int(size)) {
+		return nil, nil, syscall.EFBIG
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -9,10 +9,13 @@
 package netsim
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"time"
 
 	"p2pbound/internal/core"
+	"p2pbound/internal/ingest"
 	"p2pbound/internal/packet"
 	"p2pbound/internal/red"
 	"p2pbound/internal/stats"
@@ -86,9 +89,17 @@ func (r *Result) DropRateSeries() []float64 {
 	return out
 }
 
-// Replay feeds every packet through the filter and collects the result.
-// Packets must be sorted by timestamp.
-func Replay(packets []packet.Packet, f Filter, cfg Config) (*Result, error) {
+// run is the per-packet replay state machine shared by the slice and
+// batch entry points.
+type run struct {
+	f       Filter
+	prober  red.Prober
+	upMeter *throughput.Meter
+	blocked map[[packet.KeySize]byte]struct{}
+	r       *Result
+}
+
+func newRun(f Filter, cfg Config) (*run, error) {
 	prober := cfg.Prober
 	if prober == nil {
 		prober = red.Always(1)
@@ -123,58 +134,97 @@ func Replay(packets []packet.Packet, f Filter, cfg Config) (*Result, error) {
 	if cfg.BlockConnections {
 		blocked = make(map[[packet.KeySize]byte]struct{})
 	}
+	return &run{f: f, prober: prober, upMeter: upMeter, blocked: blocked, r: r}, nil
+}
 
-	for i := range packets {
-		pkt := &packets[i]
-		f.Advance(pkt.TS)
-		r.TotalPackets++
-		bi := int(pkt.TS / bucket)
-		for len(r.bucketTotal) <= bi {
-			r.bucketTotal = append(r.bucketTotal, 0)
-			r.bucketDrop = append(r.bucketDrop, 0)
+// step replays one packet.
+func (s *run) step(pkt *packet.Packet) {
+	r := s.r
+	s.f.Advance(pkt.TS)
+	r.TotalPackets++
+	bi := int(pkt.TS / r.bucket)
+	for len(r.bucketTotal) <= bi {
+		r.bucketTotal = append(r.bucketTotal, 0)
+		r.bucketDrop = append(r.bucketDrop, 0)
+	}
+	r.bucketTotal[bi]++
+
+	if pkt.Dir == packet.Outbound {
+		r.OutboundPackets++
+		r.OriginalUp.Add(pkt.TS, pkt.Len)
+	} else {
+		r.InboundPackets++
+		r.OriginalDown.Add(pkt.TS, pkt.Len)
+	}
+
+	// Blocked-connection memory: both orientations of a blocked
+	// socket pair are dropped without consulting the filter.
+	if s.blocked != nil {
+		_, hit := s.blocked[pkt.Pair.Key()]
+		if !hit {
+			_, hit = s.blocked[pkt.Pair.Inverse().Key()]
 		}
-		r.bucketTotal[bi]++
-
-		if pkt.Dir == packet.Outbound {
-			r.OutboundPackets++
-			r.OriginalUp.Add(pkt.TS, pkt.Len)
-		} else {
-			r.InboundPackets++
-			r.OriginalDown.Add(pkt.TS, pkt.Len)
-		}
-
-		// Blocked-connection memory: both orientations of a blocked
-		// socket pair are dropped without consulting the filter.
-		if blocked != nil {
-			_, hit := blocked[pkt.Pair.Key()]
-			if !hit {
-				_, hit = blocked[pkt.Pair.Inverse().Key()]
-			}
-			if hit {
-				r.Blocked++
-				r.bucketDrop[bi]++
-				continue
-			}
-		}
-
-		pd := prober.Pd(upMeter.Rate(pkt.TS))
-		if f.Process(pkt, pd) == core.Drop {
-			r.FilterDropped++
+		if hit {
+			r.Blocked++
 			r.bucketDrop[bi]++
-			if blocked != nil {
-				blocked[pkt.Pair.Key()] = struct{}{}
-			}
-			continue
-		}
-
-		// The packet passed: it contributes to the post-filter series
-		// and, if outbound, to the uplink throughput that drives P_d.
-		if pkt.Dir == packet.Outbound {
-			r.FilteredUp.Add(pkt.TS, pkt.Len)
-			upMeter.Add(pkt.TS, pkt.Len)
-		} else {
-			r.FilteredDown.Add(pkt.TS, pkt.Len)
+			return
 		}
 	}
-	return r, nil
+
+	pd := s.prober.Pd(s.upMeter.Rate(pkt.TS))
+	if s.f.Process(pkt, pd) == core.Drop {
+		r.FilterDropped++
+		r.bucketDrop[bi]++
+		if s.blocked != nil {
+			s.blocked[pkt.Pair.Key()] = struct{}{}
+		}
+		return
+	}
+
+	// The packet passed: it contributes to the post-filter series
+	// and, if outbound, to the uplink throughput that drives P_d.
+	if pkt.Dir == packet.Outbound {
+		r.FilteredUp.Add(pkt.TS, pkt.Len)
+		s.upMeter.Add(pkt.TS, pkt.Len)
+	} else {
+		r.FilteredDown.Add(pkt.TS, pkt.Len)
+	}
+}
+
+// Replay feeds every packet through the filter and collects the result.
+// Packets must be sorted by timestamp.
+func Replay(packets []packet.Packet, f Filter, cfg Config) (*Result, error) {
+	s, err := newRun(f, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i := range packets {
+		s.step(&packets[i])
+	}
+	return s.r, nil
+}
+
+// ReplayIngest streams batches out of src through the filter — the
+// constant-memory path: only one batch of packets is live at a time, so
+// replaying a multi-gigabyte trace costs a batch plus the source's own
+// buffers. Packets must arrive in timestamp order, as every Ingest
+// source over a capture file guarantees.
+func ReplayIngest(src ingest.Ingest, f Filter, cfg Config) (*Result, error) {
+	s, err := newRun(f, cfg)
+	if err != nil {
+		return nil, err
+	}
+	b := ingest.NewBatch(0)
+	for {
+		n, err := src.ReadBatch(b)
+		for i := 0; i < n; i++ {
+			s.step(&b.Pkts[i])
+		}
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return s.r, nil
+			}
+			return s.r, fmt.Errorf("netsim: %w", err)
+		}
+	}
 }

@@ -19,14 +19,26 @@ import (
 	"p2pbound/internal/packet"
 )
 
-// File-format constants.
+// File-format constants. The exported subset is what the zero-copy
+// walker in internal/ingest needs to parse the same format.
 const (
-	magicLE      = 0xa1b2c3d4
+	// MagicLE is the pcap magic number as read by a little-endian load;
+	// MagicBE is the same bytes read from a big-endian file.
+	MagicLE = 0xa1b2c3d4
+	MagicBE = 0xd4c3b2a1
+	// LinkEthernet is the only link type this package produces or
+	// accepts.
+	LinkEthernet = 1
+	// EthHeaderLen is the Ethernet II header length, the fixed offset
+	// between a record's captured length and its IP-layer bytes.
+	EthHeaderLen = 14
+
+	magicLE      = MagicLE
 	versionMajor = 2
 	versionMinor = 4
-	linkEthernet = 1
+	linkEthernet = LinkEthernet
 
-	ethHeaderLen  = 14
+	ethHeaderLen  = EthHeaderLen
 	ipv4HeaderLen = 20
 	tcpHeaderLen  = 20
 	udpHeaderLen  = 8
@@ -181,6 +193,8 @@ func l4HeaderLen(proto packet.Proto) int {
 }
 
 // pseudoSum folds the IPv4 pseudo header into an initial checksum value.
+//
+//p2p:hotpath
 func pseudoSum(p packet.SocketPair, segLen int) uint32 {
 	var sum uint32
 	sum += uint32(p.SrcAddr>>16) + uint32(p.SrcAddr&0xffff)
@@ -192,6 +206,8 @@ func pseudoSum(p packet.SocketPair, segLen int) uint32 {
 
 // checksum computes the ones-complement Internet checksum of b seeded
 // with init.
+//
+//p2p:hotpath
 func checksum(b []byte, init uint32) uint16 {
 	sum := init
 	for len(b) >= 2 {

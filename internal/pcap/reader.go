@@ -24,6 +24,10 @@ type Reader struct {
 	// truncated by the snap length cannot be verified and are accepted.
 	VerifyChecksums bool
 	buf             []byte
+	// rec is the record-header scratch buffer. A struct field rather
+	// than a local so passing it to io.ReadFull (an interface call) does
+	// not force a heap allocation per packet.
+	rec [16]byte
 
 	// lastTS is the monotonic high-water mark of emitted timestamps;
 	// clockRegressions counts records whose capture time ran backwards.
@@ -62,28 +66,49 @@ func NewReader(r io.Reader, clientNet packet.Network) (*Reader, error) {
 
 // ReadPacket returns the next packet, io.EOF at the end of the file, or
 // ErrBadChecksum (wrapped) for corrupt packets when verification is on;
-// callers may skip those and continue reading.
+// callers may skip those and continue reading. Each call allocates the
+// returned packet (and its payload); batch consumers should prefer
+// ReadPacketInto, which reuses caller storage.
 func (r *Reader) ReadPacket() (*packet.Packet, error) {
-	var rec [16]byte
-	if _, err := io.ReadFull(r.r, rec[:]); err != nil {
-		if errors.Is(err, io.EOF) {
-			return nil, io.EOF
-		}
-		return nil, fmt.Errorf("pcap: read record header: %w", err)
+	pkt := new(packet.Packet)
+	if err := r.ReadPacketInto(pkt); err != nil {
+		return nil, err
 	}
-	sec := r.order.Uint32(rec[0:])
-	usec := r.order.Uint32(rec[4:])
-	inclLen := int(r.order.Uint32(rec[8:]))
-	origLen := int(r.order.Uint32(rec[12:]))
+	return pkt, nil
+}
+
+// ReadPacketInto decodes the next packet into pkt, reusing pkt's
+// payload backing array so a caller cycling one packet (or a fixed
+// batch of them) reads the whole stream without per-packet allocations.
+// The payload bytes are copied out of the reader's frame buffer, so
+// they stay valid until the same packet value is read into again. An
+// empty payload keeps a zero-length (possibly non-nil) slice.
+//
+// Errors are those of ReadPacket: io.EOF at end of stream, a wrapped
+// ErrBadChecksum for corrupt packets under verification (callers may
+// skip and continue), and decode sentinels (ErrFrameTooShort,
+// ErrNotIPv4, ...) for malformed frames. On error pkt's fields are
+// unspecified but its payload capacity is retained.
+func (r *Reader) ReadPacketInto(pkt *packet.Packet) error {
+	if _, err := io.ReadFull(r.r, r.rec[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return io.EOF
+		}
+		return fmt.Errorf("pcap: read record header: %w", err)
+	}
+	sec := r.order.Uint32(r.rec[0:])
+	usec := r.order.Uint32(r.rec[4:])
+	inclLen := int(r.order.Uint32(r.rec[8:]))
+	origLen := int(r.order.Uint32(r.rec[12:]))
 	if inclLen < 0 || inclLen > r.snaplen+ethHeaderLen || inclLen > 1<<20 {
-		return nil, fmt.Errorf("pcap: implausible record length %d", inclLen)
+		return fmt.Errorf("pcap: implausible record length %d", inclLen)
 	}
 	if len(r.buf) < inclLen {
 		r.buf = make([]byte, inclLen)
 	}
 	frame := r.buf[:inclLen]
 	if _, err := io.ReadFull(r.r, frame); err != nil {
-		return nil, fmt.Errorf("pcap: read frame: %w", err)
+		return fmt.Errorf("pcap: read frame: %w", err)
 	}
 
 	ts := time.Unix(int64(sec), int64(usec)*1000)
@@ -92,10 +117,15 @@ func (r *Reader) ReadPacket() (*packet.Packet, error) {
 		r.baseSet = true
 	}
 
-	pkt, err := r.decodeFrame(frame, origLen)
-	if err != nil {
-		return nil, err
+	// DecodeFrame aliases the payload into r.buf; copy it into pkt's own
+	// backing before the next read overwrites the frame buffer.
+	keep := pkt.Payload[:0]
+	if err := DecodeFrame(frame, origLen, r.VerifyChecksums, pkt); err != nil {
+		pkt.Payload = keep
+		return err
 	}
+	pkt.Payload = append(keep, pkt.Payload...)
+
 	// Capture clocks regress in the wild (NTP steps, per-queue NIC
 	// stamping). Surface the anomaly through ClockRegressions but emit a
 	// clamped, non-decreasing timestamp so downstream state machines
@@ -109,7 +139,7 @@ func (r *Reader) ReadPacket() (*packet.Packet, error) {
 	}
 	pkt.TS = rel
 	pkt.Dir = packet.Classify(pkt.Pair, r.clientNet)
-	return pkt, nil
+	return nil
 }
 
 // ClockRegressions reports how many records so far carried a capture
@@ -117,74 +147,16 @@ func (r *Reader) ReadPacket() (*packet.Packet, error) {
 // clamped to the preceding high-water mark.
 func (r *Reader) ClockRegressions() int64 { return r.clockRegressions }
 
-// decodeFrame parses Ethernet+IPv4+L4 headers into a Packet.
-func (r *Reader) decodeFrame(frame []byte, origLen int) (*packet.Packet, error) {
-	if len(frame) < ethHeaderLen+ipv4HeaderLen {
-		return nil, fmt.Errorf("pcap: frame too short: %d bytes", len(frame))
+// Buffered reports how many bytes are immediately readable without
+// blocking, when the underlying reader can tell (bufio.Reader and
+// friends); -1 when it cannot. Batch consumers over live streams use
+// this to hand back a partial batch instead of blocking on a half-full
+// one while decoded packets sit undelivered.
+func (r *Reader) Buffered() int {
+	if br, ok := r.r.(interface{ Buffered() int }); ok {
+		return br.Buffered()
 	}
-	if frame[12] != 0x08 || frame[13] != 0x00 {
-		return nil, fmt.Errorf("pcap: not IPv4 (ethertype %#x)", uint16(frame[12])<<8|uint16(frame[13]))
-	}
-	ip := frame[ethHeaderLen:]
-	ihl := int(ip[0]&0x0f) * 4
-	if ip[0]>>4 != 4 || ihl < ipv4HeaderLen || len(ip) < ihl {
-		return nil, fmt.Errorf("pcap: bad IPv4 header")
-	}
-	if r.VerifyChecksums && checksum(ip[:ihl], 0) != 0 {
-		return nil, fmt.Errorf("%w: IPv4 header", ErrBadChecksum)
-	}
-
-	pair := packet.SocketPair{
-		Proto:   packet.Proto(ip[9]),
-		SrcAddr: packet.AddrFrom4(ip[12], ip[13], ip[14], ip[15]),
-		DstAddr: packet.AddrFrom4(ip[16], ip[17], ip[18], ip[19]),
-	}
-	l4 := ip[ihl:]
-	pkt := &packet.Packet{Len: origLen - ethHeaderLen}
-
-	switch pair.Proto {
-	case packet.TCP:
-		if len(l4) < tcpHeaderLen {
-			return nil, fmt.Errorf("pcap: truncated TCP header")
-		}
-		pair.SrcPort = binary.BigEndian.Uint16(l4[0:])
-		pair.DstPort = binary.BigEndian.Uint16(l4[2:])
-		pkt.Flags = packet.TCPFlags(l4[13])
-		dataOff := int(l4[12]>>4) * 4
-		if dataOff < tcpHeaderLen || dataOff > len(l4) {
-			return nil, fmt.Errorf("pcap: bad TCP data offset")
-		}
-		pkt.Payload = clonePayload(l4[dataOff:])
-		if r.VerifyChecksums && !r.truncated(ip, ihl, len(l4)) {
-			if checksum(l4, pseudoSum(pair, len(l4))) != 0 {
-				return nil, fmt.Errorf("%w: TCP segment", ErrBadChecksum)
-			}
-		}
-	case packet.UDP:
-		if len(l4) < udpHeaderLen {
-			return nil, fmt.Errorf("pcap: truncated UDP header")
-		}
-		pair.SrcPort = binary.BigEndian.Uint16(l4[0:])
-		pair.DstPort = binary.BigEndian.Uint16(l4[2:])
-		pkt.Payload = clonePayload(l4[udpHeaderLen:])
-		if r.VerifyChecksums && !r.truncated(ip, ihl, len(l4)) {
-			if checksum(l4, pseudoSum(pair, len(l4))) != 0 {
-				return nil, fmt.Errorf("%w: UDP datagram", ErrBadChecksum)
-			}
-		}
-	default:
-		return nil, fmt.Errorf("pcap: unsupported protocol %d", pair.Proto)
-	}
-	pkt.Pair = pair
-	return pkt, nil
-}
-
-// truncated reports whether the captured bytes cover less than the IP
-// total length (snap-length truncation), in which case checksums cannot
-// be verified.
-func (r *Reader) truncated(ip []byte, ihl, l4Len int) bool {
-	total := int(binary.BigEndian.Uint16(ip[2:]))
-	return ihl+l4Len < total
+	return -1
 }
 
 func clonePayload(b []byte) []byte {
@@ -219,11 +191,14 @@ func ReadAll(rd io.Reader, clientNet packet.Network, verify bool) ([]packet.Pack
 	}
 	r.VerifyChecksums = verify
 	var out []packet.Packet
+	var pkt packet.Packet
 	for {
-		pkt, err := r.ReadPacket()
+		err := r.ReadPacketInto(&pkt)
 		switch {
 		case err == nil:
-			out = append(out, *pkt)
+			cp := pkt
+			cp.Payload = clonePayload(pkt.Payload)
+			out = append(out, cp)
 		case errors.Is(err, io.EOF):
 			return out, nil
 		case errors.Is(err, ErrBadChecksum):

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"p2pbound/internal/metrics"
+	"p2pbound/internal/packet"
 )
 
 // ShedPolicy selects what a saturated Pipeline does with a packet whose
@@ -90,7 +91,10 @@ type PipelineConfig struct {
 // shard worker itself (e.g. one NIC queue per shard).
 type Pipeline struct {
 	sharded *ShardedLimiter
-	rings   []*ring
+	// clientNet is the parsed ClientNetwork, kept so the pcap ingestion
+	// entry points can classify packet direction at decode time.
+	clientNet packet.Network
+	rings     []*ring
 	scratch sync.Pool // *routeScratch
 	wg      sync.WaitGroup
 	closed  atomic.Bool //p2p:atomic
@@ -134,8 +138,13 @@ func NewPipeline(cfg Config, pcfg PipelineConfig) (*Pipeline, error) {
 	if batch <= 0 {
 		batch = 256
 	}
+	clientNet, err := packet.ParseNetwork(cfg.ClientNetwork)
+	if err != nil {
+		return nil, fmt.Errorf("p2pbound: %w", err)
+	}
 	p := &Pipeline{
 		sharded:     sharded,
+		clientNet:   clientNet,
 		rings:       make([]*ring, shards),
 		policy:      pcfg.OnOverload,
 		gate:        pcfg.testGate,

@@ -35,10 +35,6 @@ func toPublic(pkts []packet.Packet) []Packet {
 	return out
 }
 
-func addrToNetip(a packet.Addr) netip.Addr {
-	return netip.AddrFrom4([4]byte{byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)})
-}
-
 const testNet = "140.112.0.0/16"
 
 // TestBatchMatchesSequential pins Limiter.ProcessBatch to Process: same
