@@ -33,6 +33,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzMMapWalk -fuzztime 10s ./internal/ingest
 	$(GO) test -run '^$$' -fuzz FuzzReadFilter -fuzztime 10s ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzWritePrometheus -fuzztime 10s ./internal/metrics
+	$(GO) test -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 10s ./internal/replica
 
 # bench runs the root-package benchmarks at a stable benchtime and
 # records them as BENCH_p2pbound.json via cmd/benchjson. The committed

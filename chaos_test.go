@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"p2pbound/internal/faultinject"
+	"p2pbound/internal/netsim"
 )
 
 // chaosTrace builds a deterministic bidirectional trace: client hosts
@@ -402,5 +403,71 @@ func TestRestoreStateRejectsSchemeLayoutMismatch(t *testing.T) {
 	}
 	if err := twin.RestoreState(bytes.NewReader(snap.Bytes())); err != nil {
 		t.Fatalf("matching blocked restore rejected: %v", err)
+	}
+}
+
+// TestChaosFleetPartitionHeal drives a fleet over a netsim mesh under
+// the same seeded partition/heal schedule the replica suite uses
+// (faultinject.PartitionSchedule): flows marked on members isolated by
+// the cut must still be admitted fleet-wide once the schedule heals,
+// and members must never fail open while partitioned away from the
+// fleet's state.
+func TestChaosFleetPartitionHeal(t *testing.T) {
+	for _, seed := range []uint64{3, 11} {
+		const members, rounds = 3, 24
+		part := faultinject.NewPartitionSchedule(faultinject.PartitionConfig{
+			Nodes: members, Rounds: rounds / 2, Episodes: 2, AsymmetricProb: 0.5,
+		}, seed)
+		mesh := netsim.NewMesh(members, netsim.LinkConfig{Partitions: part, Seed: seed})
+		fl, err := NewFleet(Config{
+			ClientNetwork: "140.112.0.0/16",
+			LowMbps:       1e-9, HighMbps: 2e-9, // saturated: only marks admit
+			VectorBits: 12,
+		}, FleetConfig{Replicas: members, DigestEvery: 1, Transport: mesh})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Saturate every member's meter, then mark flows spread across
+		// members and rounds so deltas interleave with the partitions.
+		for i := 0; i < members; i++ {
+			fl.ProcessOnReplica(i, outPkt(0, 50000, 80, 1500))
+		}
+		flow := 0
+		for r := 0; r < rounds; r++ {
+			if r < rounds/2 {
+				for i := 0; i < members; i++ {
+					p := outPkt(time.Duration(r)*time.Millisecond, uint16(42000+flow), 6881, 1500)
+					if d := fl.ProcessOnReplica(i, p); d != Pass {
+						t.Fatalf("seed %d: outbound flow %d dropped", seed, flow)
+					}
+					flow++
+				}
+			}
+			fl.Sync()
+			mesh.NextRound()
+		}
+		if part.HealedAfter() > rounds/2 {
+			t.Fatalf("seed %d: schedule not healed within its own horizon", seed)
+		}
+		for i := 0; i < members; i++ {
+			if !fl.Ready(i) {
+				t.Fatalf("seed %d: member %d not ready after heal", seed, i)
+			}
+		}
+		// Every flow admitted on every member — including flows marked
+		// while the marker was cut off from that member.
+		ts := time.Duration(rounds) * time.Millisecond
+		for f := 0; f < flow; f++ {
+			for i := 0; i < members; i++ {
+				if d := fl.ProcessOnReplica(i, inPkt(ts, 6881, uint16(42000+f), 1500)); d != Pass {
+					t.Fatalf("seed %d: flow %d dropped on member %d after heal", seed, f, i)
+				}
+			}
+		}
+		for i := 0; i < members; i++ {
+			if d := fl.ProcessOnReplica(i, inPkt(ts, 1234, 9, 1500)); d != Drop {
+				t.Fatalf("seed %d: unmarked inbound passed on member %d", seed, i)
+			}
+		}
 	}
 }

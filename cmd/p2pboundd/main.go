@@ -80,6 +80,7 @@ func runSig(args []string, out io.Writer, sigc <-chan os.Signal) error {
 		tolerance  = fs.Duration("reorder-tolerance", 10*time.Millisecond, "capture reorder window before a backward timestamp counts as an anomaly")
 		stopAfter  = fs.Int64("stop-after", 0, "gracefully stop after N packets, as if signalled (0 = run to EOF)")
 		listen     = fs.String("listen", "", "serve /metrics, /metrics.json, and /debug/pprof/ on this address (empty = disabled)")
+		peers      = fs.Int("peers", 1, "in-process replicated fleet size: shard the stream across N limiters synced after every batch (1 = single limiter)")
 		traceEvery = fs.Int("trace-every", 0, "print a TRACE line for every Nth dropped packet (0 = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -116,9 +117,50 @@ func runSig(args []string, out io.Writer, sigc <-chan os.Signal) error {
 				tr.Pd, tr.UplinkMbps, tr.Epoch)
 		}
 	}
-	limiter, err := p2pbound.New(cfg)
-	if err != nil {
-		return err
+	var (
+		limiter *p2pbound.Limiter
+		fleet   *p2pbound.Fleet
+		stats   func() p2pbound.Stats
+		uplink  func() float64
+		dropPd  func() float64
+	)
+	switch {
+	case *peers < 1:
+		return fmt.Errorf("-peers must be positive, got %d", *peers)
+	case *peers > 1:
+		// Fleet mode: the stream is sharded across replicated members
+		// over an in-process loopback transport, synced after every
+		// batch. Snapshot restore is a single-box workflow — a fleet
+		// member rejoins empty and heals via anti-entropy repair — so
+		// -state is rejected rather than silently ignored.
+		if *statePath != "" {
+			return errors.New("-state is not supported with -peers: a fleet member rejoins empty and heals via repair")
+		}
+		fl, err := p2pbound.NewFleet(cfg, p2pbound.FleetConfig{Replicas: *peers, DigestEvery: 1})
+		if err != nil {
+			return err
+		}
+		fleet = fl
+		stats = fl.Stats
+		uplink = func() float64 {
+			total := 0.0
+			for i := 0; i < fl.Replicas(); i++ {
+				total += fl.Limiter(i).UplinkMbps()
+			}
+			return total
+		}
+		dropPd = func() float64 { return fl.Limiter(0).DropProbability() }
+		// Two lossless loopback rounds exchange the empty-state digests
+		// so every member is Ready before the first packet.
+		fl.Sync()
+		fl.Sync()
+	default:
+		l, err := p2pbound.New(cfg)
+		if err != nil {
+			return err
+		}
+		limiter = l
+		stats, uplink, dropPd = l.Stats, l.UplinkMbps, l.DropProbability
 	}
 	if *listen != "" {
 		ln, err := net.Listen("tcp", *listen)
@@ -233,7 +275,18 @@ func runSig(args []string, out io.Writer, sigc <-chan os.Signal) error {
 				Size: pkt.Len,
 			})
 		}
-		verdicts = limiter.ProcessBatch(batch, verdicts[:0])
+		if fleet != nil {
+			// Verdicts stay in arrival order: each packet is decided on
+			// the member its connection hashes to, then one sync round
+			// replicates the batch's marks fleet-wide.
+			verdicts = verdicts[:0]
+			for i := range batch {
+				verdicts = append(verdicts, fleet.Process(batch[i]))
+			}
+			fleet.Sync()
+		} else {
+			verdicts = limiter.ProcessBatch(batch, verdicts[:0])
+		}
 		snapDue := false
 		for i, decision := range verdicts {
 			pkt := &raw[i]
@@ -245,10 +298,10 @@ func runSig(args []string, out io.Writer, sigc <-chan os.Signal) error {
 				}
 			}
 			if *report > 0 && pkt.TS >= nextReport {
-				s := limiter.Stats()
+				s := stats()
 				fmt.Fprintf(out, "stats t=%v packets=%d dropped=%d uplink=%.2fMbps pd=%.2f matched=%d unroutable=%d anomalies=%d\n",
 					pkt.TS.Truncate(time.Second), total, dropped,
-					limiter.UplinkMbps(), limiter.DropProbability(), s.InboundMatched, s.Unroutable, s.TimeAnomalies)
+					uplink(), dropPd(), s.InboundMatched, s.Unroutable, s.TimeAnomalies)
 				for pkt.TS >= nextReport {
 					nextReport += *report
 				}
@@ -271,7 +324,7 @@ func runSig(args []string, out io.Writer, sigc <-chan os.Signal) error {
 	// like a completed one. (Every decoded batch is flushed before the
 	// exits run, so there is no pending work to drain.)
 	finish := func(reason string) {
-		s := limiter.Stats()
+		s := stats()
 		fmt.Fprintf(out, "%s: %d packets, %d dropped, %d matched, %d anomalies, %d clock regressions\n",
 			reason, total, dropped, s.InboundMatched, s.TimeAnomalies, clockRegs())
 	}

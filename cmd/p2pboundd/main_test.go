@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 	"time"
@@ -320,5 +321,56 @@ func TestRunErrors(t *testing.T) {
 	path := writeTestPcap(t, 34)
 	if err := run([]string{"-net", "10.0.0.0/8", "-i", path, "-low", "5", "-high", "2"}, &bytes.Buffer{}); err == nil {
 		t.Fatal("inverted thresholds accepted")
+	}
+}
+
+// TestRunPeersFleet runs the same trace through a single limiter and a
+// -peers 3 fleet: the fleet completes, reports the same total packet
+// count, and — because every batch's marks replicate before the next —
+// drops no flow a single box would have admitted by match.
+func TestRunPeersFleet(t *testing.T) {
+	path := writeTestPcap(t, 35)
+	var single, fleet bytes.Buffer
+	args := func(extra ...string) []string {
+		return append([]string{
+			"-i", path, "-net", "140.112.0.0/16",
+			"-low", "0.5", "-high", "1",
+			"-quiet", "-report", "0s",
+		}, extra...)
+	}
+	if err := run(args(), &single); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args("-peers", "3"), &fleet); err != nil {
+		t.Fatal(err)
+	}
+	want := regexp.MustCompile(`done: (\d+) packets`)
+	ms, mf := want.FindStringSubmatch(single.String()), want.FindStringSubmatch(fleet.String())
+	if ms == nil || mf == nil {
+		t.Fatalf("missing done lines:\n%s\n%s", single.String(), fleet.String())
+	}
+	if ms[1] != mf[1] {
+		t.Fatalf("fleet decided %s packets, single box %s", mf[1], ms[1])
+	}
+	matched := regexp.MustCompile(`(\d+) matched`)
+	gm := matched.FindStringSubmatch(fleet.String())
+	if gm == nil || gm[1] == "0" {
+		t.Fatalf("fleet matched no inbound traffic:\n%s", fleet.String())
+	}
+}
+
+// TestRunPeersRejectsState: -state with -peers is unsupported, not
+// silently ignored.
+func TestRunPeersRejectsState(t *testing.T) {
+	path := writeTestPcap(t, 36)
+	err := run([]string{
+		"-i", path, "-net", "140.112.0.0/16",
+		"-peers", "2", "-state", filepath.Join(t.TempDir(), "s.state"),
+	}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "-state is not supported with -peers") {
+		t.Fatalf("want -state/-peers rejection, got %v", err)
+	}
+	if err := run([]string{"-i", path, "-net", "140.112.0.0/16", "-peers", "0"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-peers 0 accepted")
 	}
 }

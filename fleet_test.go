@@ -1,0 +1,188 @@
+package p2pbound
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"p2pbound/internal/netsim"
+)
+
+func fleetCfg() Config {
+	return Config{
+		ClientNetwork: "140.112.0.0/16",
+		// Saturate the uplink immediately so unmatched inbound traffic
+		// is always dropped: the tests below then read admissions as
+		// proof of replicated marks, not of an idle RED ramp.
+		LowMbps: 1e-9, HighMbps: 2e-9,
+		VectorBits: 12,
+	}
+}
+
+func newFleet(t *testing.T, fc FleetConfig) *Fleet {
+	t.Helper()
+	fl, err := NewFleet(fleetCfg(), fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fl
+}
+
+// TestFleetMarksReplicate: an outbound flow marked on one member is
+// admitted by every member after a sync round — the fleet acts as one
+// logical filter.
+func TestFleetMarksReplicate(t *testing.T) {
+	fl := newFleet(t, FleetConfig{Replicas: 3, DigestEvery: 1})
+	// Two rounds: digests cross in round one, readiness promotes on
+	// the exchange, and an empty fleet agrees trivially.
+	fl.Sync()
+	fl.Sync()
+	for i := 0; i < fl.Replicas(); i++ {
+		if !fl.Ready(i) {
+			t.Fatalf("member %d not ready after empty-state digest rounds", i)
+		}
+	}
+	// Saturate every member's meter so P_d = 1 and any admission below
+	// is the filter's doing.
+	for i := 0; i < fl.Replicas(); i++ {
+		fl.ProcessOnReplica(i, outPkt(0, 50000, 80, 1500))
+	}
+	// Mark 40 flows, each on the member its connection hashes to.
+	ts := 10 * time.Millisecond
+	for f := 0; f < 40; f++ {
+		p := outPkt(ts, uint16(40000+f), 6881, 1500)
+		if d := fl.Process(p); d != Pass {
+			t.Fatalf("outbound flow %d dropped: %v", f, d)
+		}
+	}
+	fl.Sync()
+	// Every member must now admit the responses — including members
+	// that never saw the outbound packet.
+	ts = 20 * time.Millisecond
+	for f := 0; f < 40; f++ {
+		for i := 0; i < fl.Replicas(); i++ {
+			p := inPkt(ts, 6881, uint16(40000+f), 1500)
+			if d := fl.ProcessOnReplica(i, p); d != Pass {
+				t.Fatalf("response for flow %d dropped on member %d", f, i)
+			}
+		}
+	}
+	// An unmarked flow is still dropped everywhere (the fleet did not
+	// fail open).
+	for i := 0; i < fl.Replicas(); i++ {
+		if d := fl.ProcessOnReplica(i, inPkt(ts, 9999, 1, 1500)); d != Drop {
+			t.Fatalf("unmarked inbound passed on member %d", i)
+		}
+	}
+	m := fl.ReplicaMetrics(0)
+	if m.DeltaBytesSent == 0 || m.DigestFramesSent == 0 {
+		t.Fatalf("replication telemetry silent: %+v", m)
+	}
+}
+
+// TestFleetFailClosedUntilReady: a multi-member fleet that has never
+// completed a digest round drops every unmatched inbound packet even
+// with an idle uplink — the joining member cannot fail open.
+func TestFleetFailClosedUntilReady(t *testing.T) {
+	cfg := fleetCfg()
+	cfg.LowMbps, cfg.HighMbps = 50, 100 // idle uplink: RED ramp alone would pass everything
+	fl, err := NewFleet(cfg, FleetConfig{Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl.Ready(0) || fl.Ready(1) {
+		t.Fatal("fresh multi-member fleet claims readiness")
+	}
+	if d := fl.ProcessOnReplica(0, inPkt(0, 6881, 40000, 1500)); d != Drop {
+		t.Fatalf("not-ready member admitted unmatched inbound: %v", d)
+	}
+	fl.Sync()
+	fl.Sync()
+	if !fl.Ready(0) || !fl.Ready(1) {
+		t.Fatal("fleet not ready after loopback digest rounds")
+	}
+	// Ready and idle: the RED ramp takes over and unmatched inbound
+	// passes again (P_d = 0 below LowMbps).
+	if d := fl.ProcessOnReplica(0, inPkt(time.Second, 6881, 40000, 1500)); d != Pass {
+		t.Fatalf("ready idle member dropped inbound: %v", d)
+	}
+}
+
+// TestFleetSingleMemberReadyImmediately: a fleet of one has no peers
+// to agree with and serves from the start.
+func TestFleetSingleMemberReadyImmediately(t *testing.T) {
+	fl := newFleet(t, FleetConfig{Replicas: 1})
+	if !fl.Ready(0) {
+		t.Fatal("single-member fleet not ready")
+	}
+}
+
+// TestFleetOverNetsimMesh proves netsim.Mesh satisfies FleetTransport
+// structurally and the fleet converges across a lossy fabric.
+func TestFleetOverNetsimMesh(t *testing.T) {
+	mesh := netsim.NewMesh(3, netsim.LinkConfig{LossProb: 0.3, Seed: 7})
+	fl, err := NewFleet(fleetCfg(), FleetConfig{Replicas: 3, DigestEvery: 1, Transport: mesh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl.ProcessOnReplica(0, outPkt(0, 50000, 80, 1500)) // saturate member 0's meter
+	for f := 0; f < 20; f++ {
+		fl.ProcessOnReplica(0, outPkt(10*time.Millisecond, uint16(41000+f), 6881, 1500))
+	}
+	for r := 0; r < 30; r++ {
+		fl.Sync()
+		mesh.NextRound()
+	}
+	for i := 0; i < fl.Replicas(); i++ {
+		if !fl.Ready(i) {
+			t.Fatalf("member %d not ready across lossy mesh", i)
+		}
+	}
+	// Member 2 saw none of the outbound traffic; saturate its meter and
+	// check it admits the replicated flows.
+	fl.ProcessOnReplica(2, outPkt(20*time.Millisecond, 50001, 80, 1500))
+	for f := 0; f < 20; f++ {
+		if d := fl.ProcessOnReplica(2, inPkt(30*time.Millisecond, 6881, uint16(41000+f), 1500)); d != Pass {
+			t.Fatalf("replicated flow %d dropped on member 2", f)
+		}
+	}
+}
+
+// TestFleetTelemetry: the replica series appear in a Prometheus scrape
+// with per-member labels.
+func TestFleetTelemetry(t *testing.T) {
+	tel := NewTelemetry()
+	cfg := fleetCfg()
+	cfg.Telemetry = tel
+	fl, err := NewFleet(cfg, FleetConfig{Replicas: 2, DigestEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl.ProcessOnReplica(0, outPkt(0, 40000, 6881, 1500))
+	fl.Sync()
+	var sb strings.Builder
+	if err := tel.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, series := range []string{
+		"p2pbound_replica_delta_bytes_total",
+		"p2pbound_replica_digest_frames_total",
+		"p2pbound_replica_ready",
+		`replica="1"`,
+	} {
+		if !strings.Contains(out, series) {
+			t.Fatalf("scrape missing %q", series)
+		}
+	}
+}
+
+// TestFleetValidation covers constructor rejections.
+func TestFleetValidation(t *testing.T) {
+	if _, err := NewFleet(fleetCfg(), FleetConfig{Replicas: 0}); err == nil {
+		t.Fatal("zero-size fleet accepted")
+	}
+	if _, err := NewFleet(Config{}, FleetConfig{Replicas: 2}); err == nil {
+		t.Fatal("invalid limiter config accepted")
+	}
+}

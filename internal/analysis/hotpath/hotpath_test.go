@@ -11,3 +11,11 @@ import (
 func TestHotpath(t *testing.T) {
 	analysistest.Run(t, "testdata", []*analysis.Analyzer{hotpath.Analyzer}, "hot")
 }
+
+// TestHotpathReplicationBoundary proves the fleet-sync discipline the
+// replica package relies on: unannotated sync-pump code (goroutines,
+// locks, frame allocation) is legal, and the //p2p:hotpath packet path
+// cannot call into it.
+func TestHotpathReplicationBoundary(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{hotpath.Analyzer}, "replsync")
+}

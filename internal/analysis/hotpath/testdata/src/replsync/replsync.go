@@ -1,0 +1,59 @@
+// Package replsync fixes the fleet-replication boundary: sync-pump
+// code (tick loops, delta broadcast, digest repair) is ordinary Go —
+// goroutines, locks, and allocations are all legal off the hot path —
+// while the //p2p:hotpath packet path may not call into replication at
+// all. The golden test asserts the only diagnostics are the two
+// packet-path violations at the bottom.
+package replsync
+
+import "sync"
+
+type node struct {
+	mu      sync.Mutex
+	pending [][]byte
+	shadow  []uint64
+}
+
+// syncLoop is the replication pump: unannotated, so its goroutine,
+// lock, closure, and appends draw no diagnostics.
+func syncLoop(n *node, out func([]byte)) {
+	go func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		broadcastDelta(n, out)
+	}()
+}
+
+// broadcastDelta allocates frame buffers freely — it runs on the sync
+// goroutine, not under a packet.
+func broadcastDelta(n *node, out func([]byte)) {
+	frame := make([]byte, 0, 64)
+	for _, w := range n.shadow {
+		frame = append(frame, byte(w))
+	}
+	n.pending = append(n.pending, frame)
+	out(frame)
+}
+
+// digestRepair is likewise free to build repair frames.
+func digestRepair(n *node) [][]byte {
+	var repairs [][]byte
+	for range n.shadow {
+		repairs = append(repairs, []byte{0})
+	}
+	return repairs
+}
+
+//p2p:hotpath
+func markBit(shadow []uint64, i uint) { shadow[i/64] |= 1 << (i % 64) }
+
+// processPacket is the packet path: replication calls are banned from
+// it — a delta broadcast under a packet would put frame encoding and
+// transport work on the per-packet budget.
+//
+//p2p:hotpath
+func processPacket(n *node, out func([]byte), bit uint) {
+	markBit(n.shadow, bit)
+	broadcastDelta(n, out) // want `calls broadcastDelta, which is not annotated`
+	syncLoop(n, out)       // want `calls syncLoop, which is not annotated`
+}

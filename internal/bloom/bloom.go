@@ -146,3 +146,33 @@ func CapacityBound(p float64, nbits uint) int {
 	}
 	return int(-float64(int(1)<<nbits) / (math.E * math.Log(p)))
 }
+
+// UnionFrom ORs another filter's bits into this one, the single-filter
+// analogue of the fleet's delta merge: Test(key) is true afterwards for
+// every key either filter held, and no key is lost — union can add
+// false positives, never false negatives. Both filters must share
+// geometry (bit count, hash count, scheme, layout), since the same bit
+// must mean the same key material on both sides. It walks the source in
+// the 512-bit delta blocks of internal/bitvec and merges only nonzero
+// ones, so a sparse source costs its dirty blocks, not its size. After
+// a union, Adds is the sum of both sides — an upper bound, since shared
+// keys are counted twice; the analytical helpers treat c as a worst
+// case anyway.
+func (f *Filter) UnionFrom(src *Filter) error {
+	if f.Bits() != src.Bits() || f.M() != src.M() ||
+		f.scheme != src.scheme || f.layout != src.layout {
+		return fmt.Errorf("bloom: union geometry mismatch: %d/%d bits, m %d/%d, scheme %v/%v, layout %v/%v",
+			f.Bits(), src.Bits(), f.M(), src.M(), f.scheme, src.scheme, f.layout, src.layout)
+	}
+	err := src.vec.DiffBlocks(nil, func(blk uint32, xor *[bitvec.DeltaBlockWords]uint64) {
+		if _, mergeErr := f.vec.MergeBlock(blk, xor); mergeErr != nil {
+			// Unreachable: blk came from an equal-geometry walk.
+			panic(mergeErr)
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("bloom: union: %w", err)
+	}
+	f.adds += src.adds
+	return nil
+}

@@ -177,3 +177,54 @@ func TestCapacityBoundEdges(t *testing.T) {
 		t.Fatal("degenerate p must yield zero capacity")
 	}
 }
+
+func TestUnionFrom(t *testing.T) {
+	newF := func() *Filter {
+		f, err := New(hashes.FNVDouble, 3, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	a, b := newF(), newF()
+	for i := 0; i < 100; i++ {
+		a.Add([]byte{byte(i), 'a'})
+		b.Add([]byte{byte(i), 'b'})
+	}
+	if err := a.UnionFrom(b); err != nil {
+		t.Fatal(err)
+	}
+	// No false negatives: every key of either side tests true.
+	for i := 0; i < 100; i++ {
+		if !a.Test([]byte{byte(i), 'a'}) || !a.Test([]byte{byte(i), 'b'}) {
+			t.Fatalf("union lost key %d", i)
+		}
+	}
+	if a.Adds() != 200 {
+		t.Fatalf("union adds = %d, want 200", a.Adds())
+	}
+	// Union equals adding both key sets directly.
+	direct := newF()
+	for i := 0; i < 100; i++ {
+		direct.Add([]byte{byte(i), 'a'})
+		direct.Add([]byte{byte(i), 'b'})
+	}
+	if direct.Utilization() != a.Utilization() {
+		t.Fatalf("union utilization %v != direct %v", a.Utilization(), direct.Utilization())
+	}
+	// Geometry mismatches are rejected.
+	small, err := New(hashes.FNVDouble, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.UnionFrom(small); err == nil {
+		t.Fatal("bit-count mismatch accepted")
+	}
+	m2, err := New(hashes.FNVDouble, 2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.UnionFrom(m2); err == nil {
+		t.Fatal("hash-count mismatch accepted")
+	}
+}

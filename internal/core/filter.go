@@ -296,6 +296,76 @@ func (f *Filter) Utilization() float64 {
 	return f.vectors[f.idx].Utilization()
 }
 
+// VectorCount returns k, the number of bit vectors.
+func (f *Filter) VectorCount() int { return f.cfg.K }
+
+// Vector returns the i-th bit vector. This is the replication layer's
+// cold-path window into the bitmap: delta export, OR-merge, and digest
+// computation (internal/replica) operate on the vectors directly.
+// Callers must honour the filter's single-writer discipline — sync
+// work runs on the owning goroutine, between packet batches — and must
+// only ever add bits (union merge), so replicated state stays a
+// superset and false negatives remain structurally impossible.
+func (f *Filter) Vector(i int) *bitvec.Vector { return f.vectors[i] }
+
+// Index returns the index of the current (lookup) bit vector.
+func (f *Filter) Index() int { return f.idx }
+
+// AlignRotations fast-forwards the filter to a peer's rotation count
+// (the fleet epoch), performing the rotations the local clock has not
+// yet driven. The fleet convention derives each vector's generation
+// from the count alone, so replicas that processed different local
+// timelines still agree on which vector holds which age of marks. A
+// jump of k or more takes the same clear-everything path as an idle
+// gap — a fail-closed wipe the anti-entropy exchange then repairs from
+// peers. A target at or behind the current count is a no-op: epochs,
+// like timestamps, only move forward.
+func (f *Filter) AlignRotations(target int64) {
+	cur := f.stats.rotations.Load()
+	if target <= cur {
+		return
+	}
+	due := target - cur
+	if due >= int64(f.cfg.K) {
+		for _, v := range f.vectors {
+			v.Clear()
+		}
+		f.idx = int((int64(f.idx) + due) % int64(f.cfg.K))
+		f.sweepVec = f.idx
+		f.stats.rotations.Add(due)
+		if f.started {
+			f.next += time.Duration(due) * f.cfg.DeltaT
+		}
+		return
+	}
+	for ; due > 0; due-- {
+		f.Rotate()
+		if f.started {
+			f.next += f.cfg.DeltaT
+		}
+	}
+}
+
+// AlignIndex re-anchors the current-vector index to the fleet
+// convention idx ≡ rotations (mod K). A fresh filter satisfies it by
+// construction and Rotate preserves it, but a snapshot restore resets
+// the rotation count to zero while keeping the stored index, and no
+// amount of forward rotation can repair the skew (rotating advances
+// both sides together). Re-anchoring relabels which vector is
+// "current" without clearing anything: vector ages are scrambled for
+// at most K rotations, which can only add false positives — marks are
+// never invented — and a replica attaching afterwards stays
+// fail-closed until anti-entropy digests match anyway.
+func (f *Filter) AlignIndex() {
+	want := int(f.stats.rotations.Load() % int64(f.cfg.K))
+	if f.idx == want {
+		return
+	}
+	// The deferred clear (sweepVec) keeps materializing whichever
+	// vector it was already on; relabeling does not change contents.
+	f.idx = want
+}
+
 // Advance performs every rotation due at simulated time ts; the replay
 // engine calls it once per packet. Timestamps need not be monotonic: a
 // backward timestamp is clamped to the high-water mark of all previous

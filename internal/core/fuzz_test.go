@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"time"
 )
@@ -43,6 +44,17 @@ func FuzzReadFilter(f *testing.F) {
 		if err != nil {
 			if filter != nil {
 				t.Fatal("ReadFilter returned both a filter and an error")
+			}
+			// Typed-rejection contract: the sentinels are mutually
+			// exclusive — an error never claims two causes.
+			matched := 0
+			for _, s := range []error{ErrSnapshotMagic, ErrSnapshotVersion, ErrSnapshotGeometry, ErrSnapshotCorrupt, ErrSnapshotChecksum} {
+				if errors.Is(err, s) {
+					matched++
+				}
+			}
+			if matched > 1 {
+				t.Fatalf("rejection %v matches %d sentinels", err, matched)
 			}
 			return
 		}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"encoding/binary"
-	"errors"
 	"hash/crc32"
 	"io"
 	"strconv"
@@ -156,11 +155,11 @@ func ReadFilter(r io.Reader) (*Filter, error) {
 		return nil, errfmt.Wrap("core: read snapshot header", err)
 	}
 	if got := binary.LittleEndian.Uint32(hdr[0:]); got != snapshotMagic {
-		return nil, errors.New("core: bad snapshot magic " + hex(uint64(got)))
+		return nil, errfmt.Detail("core: bad snapshot magic "+hex(uint64(got)), ErrSnapshotMagic)
 	}
 	version := binary.LittleEndian.Uint32(hdr[4:])
 	if version != snapshotV1 && version != snapshotV2 {
-		return nil, errors.New("core: unsupported snapshot version " + strconv.FormatUint(uint64(version), 10))
+		return nil, errfmt.Detail("core: unsupported snapshot version "+strconv.FormatUint(uint64(version), 10), ErrSnapshotVersion)
 	}
 	cfg := Config{
 		K:          int(binary.LittleEndian.Uint32(hdr[8:])),
@@ -174,27 +173,27 @@ func ReadFilter(r io.Reader) (*Filter, error) {
 		Seed:       binary.LittleEndian.Uint64(hdr[48:]),
 	}
 	if cfg.K > maxSnapshotK {
-		return nil, errors.New("core: implausible snapshot geometry: k=" + strconv.Itoa(cfg.K) + " exceeds " + strconv.Itoa(maxSnapshotK))
+		return nil, errfmt.Detail("core: implausible snapshot geometry: k="+strconv.Itoa(cfg.K)+" exceeds "+strconv.Itoa(maxSnapshotK), ErrSnapshotGeometry)
 	}
 	// M is capped before New runs because the filter pre-sizes its batch
 	// hash scratch proportionally to M — an unchecked corrupt header
 	// could demand an absurd allocation before the checksum is verified.
 	if cfg.M > maxSnapshotM {
-		return nil, errors.New("core: implausible snapshot geometry: m=" + strconv.Itoa(cfg.M) + " exceeds " + strconv.Itoa(maxSnapshotM))
+		return nil, errfmt.Detail("core: implausible snapshot geometry: m="+strconv.Itoa(cfg.M)+" exceeds "+strconv.Itoa(maxSnapshotM), ErrSnapshotGeometry)
 	}
 	if cfg.K > 0 && cfg.NBits > 0 && cfg.NBits <= 32 {
 		if bytes := (int64(cfg.K) << cfg.NBits) / 8; bytes > maxSnapshotBytes {
-			return nil, errors.New("core: implausible snapshot geometry: " + strconv.FormatInt(bytes, 10) + " vector bytes exceed " + strconv.Itoa(maxSnapshotBytes))
+			return nil, errfmt.Detail("core: implausible snapshot geometry: "+strconv.FormatInt(bytes, 10)+" vector bytes exceed "+strconv.Itoa(maxSnapshotBytes), ErrSnapshotGeometry)
 		}
 	}
 	f, err := New(cfg)
 	if err != nil {
-		return nil, errfmt.Wrap("core: snapshot config", err)
+		return nil, errfmt.Detail("core: snapshot config: "+err.Error(), ErrSnapshotCorrupt)
 	}
 	f.started = hdr[33] == 1
 	f.idx = int(binary.LittleEndian.Uint32(hdr[36:]))
 	if f.idx < 0 || f.idx >= cfg.K {
-		return nil, errors.New("core: snapshot index " + strconv.Itoa(f.idx) + " out of range")
+		return nil, errfmt.Detail("core: snapshot index "+strconv.Itoa(f.idx)+" out of range", ErrSnapshotCorrupt)
 	}
 	f.next = time.Duration(binary.LittleEndian.Uint64(hdr[40:]))
 
@@ -215,7 +214,7 @@ func ReadFilter(r io.Reader) (*Filter, error) {
 			return nil, errfmt.Wrap("core: read snapshot trailer", err)
 		}
 		if got := binary.LittleEndian.Uint32(trailer[:]); got != want {
-			return nil, errors.New("core: snapshot checksum mismatch: stored " + hex(uint64(got)) + ", computed " + hex(uint64(want)))
+			return nil, errfmt.Detail("core: snapshot checksum mismatch: stored "+hex(uint64(got))+", computed "+hex(uint64(want)), ErrSnapshotChecksum)
 		}
 	}
 	return f, nil

@@ -20,3 +20,20 @@ func (e *wrapped) Unwrap() error { return e.err }
 // Wrap returns an error whose message is prefix+": "+err.Error() and
 // which unwraps to err, so errors.Is/As see through it.
 func Wrap(prefix string, err error) error { return &wrapped{prefix: prefix, err: err} }
+
+// detailed is an error whose message is entirely the caller's but which
+// unwraps to a typed sentinel — the inverse of wrapped, for rejection
+// sites whose diagnostics (offsets, hex dumps) should not be prefixed
+// by the sentinel text.
+type detailed struct {
+	msg string
+	err error
+}
+
+func (e *detailed) Error() string { return e.msg }
+func (e *detailed) Unwrap() error { return e.err }
+
+// Detail returns an error whose message is msg and which unwraps to
+// cause, so callers can match the typed cause with errors.Is while the
+// message carries full diagnostics.
+func Detail(msg string, cause error) error { return &detailed{msg: msg, err: cause} }

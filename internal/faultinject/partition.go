@@ -1,0 +1,120 @@
+package faultinject
+
+import "math/rand/v2"
+
+// PartitionConfig parameterizes a seeded partition/heal schedule for a
+// fleet of nodes exchanging frames in discrete rounds.
+type PartitionConfig struct {
+	// Nodes is the fleet size. Required.
+	Nodes int
+	// Rounds is the length of the schedule; rounds at or beyond it are
+	// fully healed. Required.
+	Rounds int
+	// Episodes is the number of partition episodes scattered over the
+	// schedule (default 2). Each episode picks a random bipartition of
+	// the fleet and blocks traffic across the cut for a random span.
+	Episodes int
+	// MaxSpan is the maximum length of one episode in rounds (default
+	// Rounds/4, minimum 1).
+	MaxSpan int
+	// AsymmetricProb is the probability that an episode blocks only
+	// one direction across the cut — the half-open failure a broken
+	// ARP entry or a one-way firewall rule produces. 0 makes every
+	// episode symmetric; 1 every one asymmetric.
+	AsymmetricProb float64
+}
+
+// PartitionSchedule is a deterministic partition/heal schedule: for
+// every (round, from, to) triple it answers whether a frame is cut.
+// The same seed always yields the same schedule, so a chaos test that
+// fails once fails every time. Reusable by any round-driven exchange —
+// the replica sync suite and chaos_test.go both drive it.
+type PartitionSchedule struct {
+	nodes  int
+	rounds int
+	// blocked[r][from*nodes+to] marks a cut link in round r.
+	blocked [][]bool
+	healed  int
+}
+
+// NewPartitionSchedule draws a schedule from cfg and seed. It panics
+// on a non-positive node or round count — a schedule for nothing is a
+// test bug, not a runtime condition.
+func NewPartitionSchedule(cfg PartitionConfig, seed uint64) *PartitionSchedule {
+	if cfg.Nodes <= 0 || cfg.Rounds <= 0 {
+		panic("faultinject: partition schedule needs positive Nodes and Rounds")
+	}
+	episodes := cfg.Episodes
+	if episodes == 0 {
+		episodes = 2
+	}
+	maxSpan := cfg.MaxSpan
+	if maxSpan <= 0 {
+		maxSpan = cfg.Rounds / 4
+	}
+	if maxSpan < 1 {
+		maxSpan = 1
+	}
+	s := &PartitionSchedule{nodes: cfg.Nodes, rounds: cfg.Rounds}
+	s.blocked = make([][]bool, cfg.Rounds)
+	for r := range s.blocked {
+		s.blocked[r] = make([]bool, cfg.Nodes*cfg.Nodes)
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0xda3e39cb94b95bdb))
+	for e := 0; e < episodes; e++ {
+		start := rng.IntN(cfg.Rounds)
+		span := rng.IntN(maxSpan) + 1
+		// A random bipartition; redraw a one-sided cut so every episode
+		// actually severs something when Nodes > 1.
+		side := make([]bool, cfg.Nodes)
+		for {
+			a, b := 0, 0
+			for i := range side {
+				side[i] = rng.Uint64()&1 == 1
+				if side[i] {
+					a++
+				} else {
+					b++
+				}
+			}
+			if cfg.Nodes == 1 || (a > 0 && b > 0) {
+				break
+			}
+		}
+		oneWay := rng.Float64() < cfg.AsymmetricProb
+		for r := start; r < start+span && r < cfg.Rounds; r++ {
+			for from := 0; from < cfg.Nodes; from++ {
+				for to := 0; to < cfg.Nodes; to++ {
+					if side[from] == side[to] {
+						continue
+					}
+					// Asymmetric episodes cut only A→B; symmetric both.
+					if oneWay && !side[from] {
+						continue
+					}
+					s.blocked[r][from*cfg.Nodes+to] = true
+				}
+			}
+			if r+1 > s.healed {
+				s.healed = r + 1
+			}
+		}
+	}
+	return s
+}
+
+// Blocked reports whether a frame from node `from` to node `to` is cut
+// in the given round. Rounds beyond the schedule are fully healed.
+func (s *PartitionSchedule) Blocked(round, from, to int) bool {
+	if round < 0 || round >= s.rounds || from == to {
+		return false
+	}
+	if from < 0 || from >= s.nodes || to < 0 || to >= s.nodes {
+		return false
+	}
+	return s.blocked[round][from*s.nodes+to]
+}
+
+// HealedAfter returns the first round from which no link is ever cut
+// again — where a convergence clock may start.
+func (s *PartitionSchedule) HealedAfter() int { return s.healed }

@@ -1,0 +1,87 @@
+package faultinject
+
+import "testing"
+
+func TestPartitionScheduleDeterministic(t *testing.T) {
+	cfg := PartitionConfig{Nodes: 5, Rounds: 40, Episodes: 3, AsymmetricProb: 0.5}
+	a := NewPartitionSchedule(cfg, 42)
+	b := NewPartitionSchedule(cfg, 42)
+	c := NewPartitionSchedule(cfg, 43)
+	same, diff := true, false
+	for r := 0; r < 40; r++ {
+		for i := 0; i < 5; i++ {
+			for j := 0; j < 5; j++ {
+				if a.Blocked(r, i, j) != b.Blocked(r, i, j) {
+					same = false
+				}
+				if a.Blocked(r, i, j) != c.Blocked(r, i, j) {
+					diff = true
+				}
+			}
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different schedules")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical schedules (suspicious)")
+	}
+}
+
+func TestPartitionScheduleShape(t *testing.T) {
+	s := NewPartitionSchedule(PartitionConfig{Nodes: 4, Rounds: 30, Episodes: 4}, 7)
+	cuts := 0
+	for r := 0; r < 30; r++ {
+		for i := 0; i < 4; i++ {
+			if s.Blocked(r, i, i) {
+				t.Fatal("self-link cut")
+			}
+			for j := 0; j < 4; j++ {
+				if s.Blocked(r, i, j) {
+					cuts++
+					if r >= s.HealedAfter() {
+						t.Fatalf("cut at round %d, HealedAfter=%d", r, s.HealedAfter())
+					}
+				}
+			}
+		}
+	}
+	if cuts == 0 {
+		t.Fatal("schedule with 4 episodes cut nothing")
+	}
+	// Out-of-schedule queries are healed, out-of-range nodes unblocked.
+	if s.Blocked(30, 0, 1) || s.Blocked(-1, 0, 1) || s.Blocked(0, 9, 1) || s.Blocked(0, 0, -1) {
+		t.Fatal("out-of-range query reported a cut")
+	}
+}
+
+// TestPartitionScheduleAsymmetric: with AsymmetricProb 1 every episode
+// cuts one direction only, so some blocked (from,to) has an open
+// reverse link.
+func TestPartitionScheduleAsymmetric(t *testing.T) {
+	s := NewPartitionSchedule(PartitionConfig{Nodes: 4, Rounds: 30, Episodes: 4, AsymmetricProb: 1}, 11)
+	oneWay := false
+	for r := 0; r < 30 && !oneWay; r++ {
+		for i := 0; i < 4 && !oneWay; i++ {
+			for j := 0; j < 4; j++ {
+				if s.Blocked(r, i, j) && !s.Blocked(r, j, i) {
+					oneWay = true
+					break
+				}
+			}
+		}
+	}
+	if !oneWay {
+		t.Fatal("fully asymmetric schedule produced no one-way cut")
+	}
+	sym := NewPartitionSchedule(PartitionConfig{Nodes: 4, Rounds: 30, Episodes: 4, AsymmetricProb: 0}, 11)
+	for r := 0; r < 30; r++ {
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				if sym.Blocked(r, i, j) != sym.Blocked(r, j, i) {
+					t.Fatal("symmetric schedule produced a one-way cut")
+				}
+			}
+		}
+	}
+}

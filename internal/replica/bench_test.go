@@ -1,0 +1,127 @@
+package replica
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"p2pbound/internal/core"
+)
+
+// steadyCfg is the paper-scale geometry (N = 2^18 bits per vector)
+// where shipping full snapshots would dominate the sync budget.
+func steadyCfg() core.Config {
+	return core.Config{K: 4, NBits: 18, M: 3, DeltaT: time.Second}
+}
+
+// TestDeltaSyncCheaperThanSnapshots: at steady state — a trickle of
+// new flows per tick — the measured delta bytes (from the node's own
+// telemetry counters) must be far below what shipping a snapshot per
+// tick would cost. This is the acceptance bar for the delta encoder:
+// if it regresses to shipping whole vectors, this fails.
+func TestDeltaSyncCheaperThanSnapshots(t *testing.T) {
+	fa := mustFilter(t, steadyCfg())
+	fb := mustFilter(t, steadyCfg())
+	na, err := NewNode(fa, Config{ID: 1, Peers: []uint32{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := NewNode(fb, Config{ID: 2, Peers: []uint32{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab := newFabric(na, nb)
+	// Warm up: an initial population, fully synced and acked.
+	for i := uint32(0); i < 2000; i++ {
+		fa.Mark(pairN(i))
+	}
+	for r := 0; r < 4; r++ {
+		na.Tick(fab.out)
+		nb.Tick(fab.out)
+		fab.pump(t)
+	}
+	var snap bytes.Buffer
+	if _, err := fa.WriteTo(&snap); err != nil {
+		t.Fatal(err)
+	}
+	snapBytes := int64(snap.Len())
+
+	// Steady state: 20 new flows per tick for 50 ticks.
+	base := na.Metrics().DeltaBytesSent
+	next := uint32(2000)
+	const ticks = 50
+	for r := 0; r < ticks; r++ {
+		for j := 0; j < 20; j++ {
+			fa.Mark(pairN(next))
+			next++
+		}
+		na.Tick(fab.out)
+		nb.Tick(fab.out)
+		fab.pump(t)
+	}
+	deltaPerTick := (na.Metrics().DeltaBytesSent - base) / ticks
+	if deltaPerTick == 0 {
+		t.Fatal("no delta traffic measured")
+	}
+	if deltaPerTick >= snapBytes/4 {
+		t.Fatalf("steady-state delta %d B/tick not meaningfully cheaper than a %d B snapshot", deltaPerTick, snapBytes)
+	}
+	if !filtersEqual(fa, fb) {
+		t.Fatal("steady-state sync diverged")
+	}
+	t.Logf("delta %d B/tick vs snapshot %d B (%.1f%%)", deltaPerTick, snapBytes, 100*float64(deltaPerTick)/float64(snapBytes))
+}
+
+// BenchmarkDeltaTick measures one steady-state sync round (20 new
+// flows, diff + encode + merge + ack) between two replicas.
+func BenchmarkDeltaTick(b *testing.B) {
+	fa := mustFilter(b, steadyCfg())
+	fb := mustFilter(b, steadyCfg())
+	na, _ := NewNode(fa, Config{ID: 1, Peers: []uint32{2}})
+	nb, _ := NewNode(fb, Config{ID: 2, Peers: []uint32{1}})
+	var queue [][]byte
+	outA := func(to uint32, frame []byte) { queue = append(queue, append([]byte(nil), frame...)) }
+	sink := func(uint32, []byte) {}
+	next := uint32(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 20; j++ {
+			fa.Mark(pairN(next))
+			next++
+		}
+		na.Tick(outA)
+		for _, fr := range queue {
+			if err := nb.Handle(fr, sink); err != nil {
+				b.Fatal(err)
+			}
+		}
+		queue = queue[:0]
+	}
+	m := na.Metrics()
+	b.ReportMetric(float64(m.DeltaBytesSent)/float64(b.N), "deltaB/tick")
+}
+
+// BenchmarkSnapshotTick is the baseline BenchmarkDeltaTick displaces:
+// shipping and restoring a full snapshot per sync round.
+func BenchmarkSnapshotTick(b *testing.B) {
+	fa := mustFilter(b, steadyCfg())
+	next := uint32(0)
+	var buf bytes.Buffer
+	total := int64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 20; j++ {
+			fa.Mark(pairN(next))
+			next++
+		}
+		buf.Reset()
+		if _, err := fa.WriteTo(&buf); err != nil {
+			b.Fatal(err)
+		}
+		total += int64(buf.Len())
+		if _, err := core.ReadFilter(bytes.NewReader(buf.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "snapB/tick")
+}

@@ -1,0 +1,270 @@
+package replica
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"p2pbound/internal/core"
+	"p2pbound/internal/faultinject"
+	"p2pbound/internal/hashes"
+	"p2pbound/internal/netsim"
+	"p2pbound/internal/packet"
+)
+
+// chaosFault names one fault dimension of the chaos matrix.
+type chaosFault struct {
+	name string
+	link netsim.LinkConfig
+	// clockRegress injects backward epochs: a random node is
+	// AlignRotations'd ahead of the fleet mid-run, so everyone else
+	// observes a "future" epoch and must fast-forward monotonically.
+	clockRegress bool
+	// restart replaces a random node mid-run with a fresh filter+node
+	// (crash without snapshot) and requires it to heal via repair.
+	restart bool
+}
+
+// chaosFleet is an in-process fleet of replicas wired through a
+// netsim.Mesh. Node IDs are 1..n; mesh addresses are ID-1.
+type chaosFleet struct {
+	t       *testing.T
+	cfg     core.Config
+	filters []*core.Filter
+	nodes   []*Node
+	mesh    *netsim.Mesh
+}
+
+func newChaosFleet(t *testing.T, n int, cfg core.Config, link netsim.LinkConfig) *chaosFleet {
+	t.Helper()
+	fl := &chaosFleet{t: t, cfg: cfg, mesh: netsim.NewMesh(n, link)}
+	for i := 0; i < n; i++ {
+		fl.filters = append(fl.filters, mustFilter(t, cfg))
+		fl.nodes = append(fl.nodes, mustNode(t, fl.filters[i], i+1, n))
+	}
+	return fl
+}
+
+func mustFilter(tb testing.TB, cfg core.Config) *core.Filter {
+	tb.Helper()
+	f, err := core.New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return f
+}
+
+func mustNode(tb testing.TB, f *core.Filter, id, n int) *Node {
+	tb.Helper()
+	var peers []uint32
+	for p := 1; p <= n; p++ {
+		if p != id {
+			peers = append(peers, uint32(p))
+		}
+	}
+	node, err := NewNode(f, Config{ID: uint32(id), Peers: peers, DigestEvery: 2, SuspectAfter: 8})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return node
+}
+
+// outFor adapts a node's Outbox onto the mesh (IDs are 1-based).
+func (fl *chaosFleet) outFor(i int) Outbox {
+	return func(to uint32, frame []byte) {
+		fl.mesh.Send(i, int(to)-1, frame)
+	}
+}
+
+// round runs one fleet round: every node ticks, then every node drains
+// its inbox (handler errors are expected under corruption-free chaos
+// only for stale generations, which Handle does not error on — so any
+// error here fails the test), then the mesh advances its partition
+// round.
+func (fl *chaosFleet) round() {
+	for i, n := range fl.nodes {
+		n.Tick(fl.outFor(i))
+	}
+	for i, n := range fl.nodes {
+		node, out := n, fl.outFor(i)
+		fl.mesh.Deliver(i, func(frame []byte) {
+			if err := node.Handle(frame, out); err != nil {
+				fl.t.Fatalf("node %d: %v", node.ID(), err)
+			}
+		})
+	}
+	fl.mesh.NextRound()
+}
+
+// converged reports whether all fleet filters are bitwise identical.
+func (fl *chaosFleet) converged() bool {
+	for i := 1; i < len(fl.filters); i++ {
+		if !filtersEqual(fl.filters[0], fl.filters[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func chaosConfig(layout hashes.Layout) core.Config {
+	return core.Config{K: 4, NBits: 12, M: 3, DeltaT: time.Second, Layout: layout}
+}
+
+func chaosFaults(seed uint64) []chaosFault {
+	nodes, rounds := 4, 40
+	part := func(asym float64) *faultinject.PartitionSchedule {
+		return faultinject.NewPartitionSchedule(faultinject.PartitionConfig{
+			Nodes: nodes, Rounds: rounds / 2, Episodes: 2, AsymmetricProb: asym,
+		}, seed)
+	}
+	return []chaosFault{
+		{name: "clean"},
+		{name: "loss", link: netsim.LinkConfig{LossProb: 0.3, Seed: seed}},
+		{name: "reorder", link: netsim.LinkConfig{ReorderWindow: 6, Seed: seed}},
+		{name: "duplicate", link: netsim.LinkConfig{DupProb: 0.4, Seed: seed}},
+		{name: "partition-sym", link: netsim.LinkConfig{Partitions: part(0), Seed: seed}},
+		{name: "partition-asym", link: netsim.LinkConfig{Partitions: part(1), Seed: seed}},
+		{name: "clock-regress", link: netsim.LinkConfig{LossProb: 0.1, Seed: seed}, clockRegress: true},
+		{name: "restart", link: netsim.LinkConfig{LossProb: 0.1, Seed: seed}, restart: true},
+		{name: "everything", link: netsim.LinkConfig{
+			LossProb: 0.15, DupProb: 0.15, ReorderWindow: 4,
+			Partitions: part(0.5), Seed: seed,
+		}, clockRegress: true, restart: true},
+	}
+}
+
+// TestChaosConvergence is the fleet's partition/rejoin proof: for
+// every seeded fault schedule, a 4-node fleet that marks disjoint
+// flows on each member converges to the bitwise union within a
+// bounded number of rounds after the faults end, with zero cross-peer
+// false negatives and an FPR within 2× of a single box holding the
+// same union (it is the same bits, so the check is structural).
+func TestChaosConvergence(t *testing.T) {
+	for _, layout := range []hashes.Layout{hashes.LayoutClassic, hashes.LayoutBlocked} {
+		for _, seed := range []uint64{1, 7, 42} {
+			for _, fault := range chaosFaults(seed) {
+				name := fmt.Sprintf("%s/seed%d/%s", layout, seed, fault.name)
+				t.Run(name, func(t *testing.T) {
+					runChaos(t, chaosConfig(layout), seed, fault)
+				})
+			}
+		}
+	}
+}
+
+func runChaos(t *testing.T, cfg core.Config, seed uint64, fault chaosFault) {
+	const nodes, flowsPer, rounds = 4, 120, 40
+	fl := newChaosFleet(t, nodes, cfg, fault.link)
+	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	restartAt, regressAt := rounds/3, rounds/2
+	victim := int(rng.Uint64() % nodes)
+
+	marked := make([][]packet.SocketPair, nodes)
+	for r := 0; r < rounds; r++ {
+		// Each node marks its own disjoint flow slice over the first
+		// half of the run, spread across rounds so deltas interleave
+		// with the fault schedule.
+		if r < rounds/2 {
+			for i := 0; i < nodes; i++ {
+				for j := 0; j < 2*flowsPer/rounds; j++ {
+					p := pairN(uint32(i*flowsPer + len(marked[i])))
+					fl.filters[i].Mark(p)
+					marked[i] = append(marked[i], p)
+				}
+			}
+		}
+		if fault.restart && r == restartAt {
+			// Crash-without-snapshot: the victim loses every replicated
+			// bit and re-learns them via anti-entropy. Its own live
+			// flows keep sending traffic after the restart, so their
+			// next outbound packets re-mark them — without that, marks
+			// that never left the box (same-round, or cut off by a
+			// partition) would be genuinely lost, which is crash
+			// semantics, not a replication defect.
+			fl.filters[victim] = mustFilter(t, cfg)
+			fl.nodes[victim] = mustNode(t, fl.filters[victim], victim+1, nodes)
+			for _, p := range marked[victim] {
+				fl.filters[victim].Mark(p)
+			}
+		}
+		if fault.clockRegress && r == regressAt {
+			// One node's rotation clock jumps ahead (an NTP step); the
+			// fleet must follow monotonically, never backward.
+			fl.filters[victim].AlignRotations(fl.filters[victim].Rotations() + 1)
+		}
+		fl.round()
+	}
+	// Fault schedules are over (partitions healed, no more chaos
+	// injections). Give the fleet K repair rounds on a clean mesh.
+	fl.mesh = netsim.NewMesh(nodes, netsim.LinkConfig{})
+	const healRounds = 12
+	healed := -1
+	for r := 0; r < healRounds; r++ {
+		fl.round()
+		if fl.converged() {
+			healed = r
+			break
+		}
+	}
+	if healed < 0 {
+		t.Fatalf("fleet not converged %d rounds after faults ended", healRounds)
+	}
+	for i, n := range fl.nodes {
+		if !n.Ready() {
+			// Readiness can trail convergence by one digest exchange.
+			for r := 0; r < 4 && !n.Ready(); r++ {
+				fl.round()
+			}
+			if !n.Ready() {
+				t.Fatalf("node %d converged but never Ready", i+1)
+			}
+		}
+	}
+	// Zero false negatives across peers: every flow marked anywhere and
+	// still within its retention window must be admitted everywhere.
+	// Marks stopped at rounds/2 and epochs only advanced via the
+	// clock-regress fault (+1), so all marks are within k rotations.
+	// (Under the restart fault the victim's own pre-crash marks survive
+	// only via the fleet; they had rounds to replicate before the
+	// crash, so they are held to the same standard.)
+	for i := range marked {
+		for _, p := range marked[i] {
+			for j, f := range fl.filters {
+				if !f.Contains(p.Inverse()) {
+					t.Fatalf("false negative: flow marked on node %d missing on node %d", i+1, j+1)
+				}
+			}
+		}
+	}
+	// FPR within budget: converged fleet filters are bitwise equal to
+	// each other; compare utilization (the FPR driver) against a single
+	// box that marked the union directly. Replication may only add the
+	// union's bits, so utilization must not exceed the single box's —
+	// equality up to marks lost to the restart fault.
+	single := mustFilter(t, cfg)
+	for i := range marked {
+		for _, p := range marked[i] {
+			single.Mark(p)
+		}
+	}
+	su, fu := single.Utilization(), fl.filters[0].Utilization()
+	if fu > 2*su {
+		t.Fatalf("fleet utilization %.4f more than 2× single-box %.4f", fu, su)
+	}
+	// Probe FPR directly on unmarked flows.
+	fpSingle, fpFleet := 0, 0
+	const probes = 2000
+	for i := 0; i < probes; i++ {
+		q := pairN(uint32(900000 + i))
+		if single.Contains(q.Inverse()) {
+			fpSingle++
+		}
+		if fl.filters[0].Contains(q.Inverse()) {
+			fpFleet++
+		}
+	}
+	if fpFleet > 2*fpSingle+probes/100 {
+		t.Fatalf("fleet FPR %d/%d more than 2× single-box %d/%d", fpFleet, probes, fpSingle, probes)
+	}
+}

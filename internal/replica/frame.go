@@ -1,0 +1,353 @@
+// Package replica turns a fleet of bitmap-filter limiters behind ECMP
+// into one logical filter. Each node exports the XOR of dirty 512-bit
+// blocks since the last fleet-acknowledged state (delta sync), peers
+// periodically exchange per-block-range CRC32C digests and push only
+// divergent ranges (anti-entropy repair), and a membership handshake
+// aligns rotation epochs and fail-closes rejoining nodes until their
+// first full digest round matches (see DESIGN.md §14).
+//
+// The one invariant everything here defends: replication may add
+// false positives, never false negatives. Merges are bitwise-OR
+// unions, vector generations are derived from the rotation count so a
+// delta can never land in a vector of a different age, and a frame
+// that fails any validation is rejected whole — the filter is not
+// touched by a single byte of it.
+package replica
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"p2pbound/internal/bitvec"
+)
+
+// FrameType discriminates replication frames.
+type FrameType uint8
+
+// Frame types.
+const (
+	// FrameHello announces (re)joining: carries only the header. A
+	// receiver answers with a unicast digest so the joiner repairs
+	// without waiting for the next digest round.
+	FrameHello FrameType = iota + 1
+	// FrameDelta carries XOR'd dirty blocks since the sender's acked
+	// shadow, tagged with a cumulative sequence number.
+	FrameDelta
+	// FrameAck acknowledges every delta up to a sequence number.
+	FrameAck
+	// FrameDigest carries per-vector, per-block-range CRC32C digests
+	// of the sender's state.
+	FrameDigest
+	// FrameRepair pushes full block contents for ranges a digest
+	// exchange found divergent.
+	FrameRepair
+)
+
+// String names the frame type.
+func (t FrameType) String() string {
+	switch t {
+	case FrameHello:
+		return "hello"
+	case FrameDelta:
+		return "delta"
+	case FrameAck:
+		return "ack"
+	case FrameDigest:
+		return "digest"
+	case FrameRepair:
+		return "repair"
+	default:
+		return fmt.Sprintf("frametype(%d)", int(t))
+	}
+}
+
+// Wire format. Little-endian, mirroring the snapshot format; the
+// trailing CRC32C (Castagnoli, same polynomial as snapshots) covers
+// every preceding byte, so a corrupt frame is rejected before any of
+// it is interpreted against filter state.
+//
+//	offset size  field
+//	0      4     magic "RPF1"
+//	4      1     version (1)
+//	5      1     frame type
+//	6      2     flags (reserved, zero)
+//	8      4     sender replica ID
+//	12     8     epoch: the sender's rotation count
+//	20     8     geometry fingerprint (see Fingerprint)
+//	28     4     payload length
+//	32     n     payload (per-type, see decodePayload)
+//	32+n   4     CRC32C over bytes [0, 32+n)
+const (
+	frameMagic      = 0x52504631 // "RPF1"
+	frameVersion    = 1
+	frameHeaderLen  = 32
+	frameTrailerLen = 4
+)
+
+// castagnoli is the shared CRC32C table.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Typed decode-rejection sentinels, fuzz-asserted like the snapshot
+// ones in internal/core.
+var (
+	// ErrFrameMagic: not a replication frame.
+	ErrFrameMagic = errors.New("replica: bad frame magic")
+	// ErrFrameVersion: a frame from an incompatible protocol version.
+	ErrFrameVersion = errors.New("replica: unsupported frame version")
+	// ErrFrameChecksum: the CRC32C trailer does not match.
+	ErrFrameChecksum = errors.New("replica: frame checksum mismatch")
+	// ErrFrameMalformed: truncation, length mismatch, or a payload
+	// whose structure contradicts its framing.
+	ErrFrameMalformed = errors.New("replica: malformed frame")
+	// ErrGeometry: a structurally valid frame whose geometry
+	// fingerprint or block coordinates do not fit this node's filter.
+	ErrGeometry = errors.New("replica: frame geometry mismatch")
+)
+
+// BlockPatch is one 512-bit block of delta or repair payload.
+type BlockPatch struct {
+	Blk   uint32
+	Words [bitvec.DeltaBlockWords]uint64
+}
+
+// VectorSection groups the patches of one bit vector.
+type VectorSection struct {
+	Vec    uint32
+	Blocks []BlockPatch
+}
+
+// VectorDigest is one vector's range digests.
+type VectorDigest struct {
+	Vec  uint32
+	CRCs []uint32
+}
+
+// Frame is a decoded replication frame.
+type Frame struct {
+	Type   FrameType
+	Sender uint32
+	// Epoch is the sender's rotation count, the fleet's logical clock
+	// for vector generations.
+	Epoch uint64
+	// Geom fingerprints the sender's filter geometry; a receiver
+	// rejects frames whose fingerprint differs from its own.
+	Geom uint64
+	// Seq is the cumulative delta sequence (Delta) or the acknowledged
+	// sequence (Ack).
+	Seq uint64
+	// BlocksPerRange is the digest range width (Digest only).
+	BlocksPerRange uint32
+	// Sections carry block patches (Delta, Repair).
+	Sections []VectorSection
+	// Digests carry range CRCs (Digest only).
+	Digests []VectorDigest
+}
+
+// sectionHeaderLen and patchLen size the Delta/Repair payload pieces.
+const (
+	sectionHeaderLen = 8 // vec u32 + nblocks u32
+	patchLen         = 4 + bitvec.DeltaBlockBytes
+)
+
+// appendHeader writes the fixed header (sans payload length, patched
+// later) and returns dst.
+func appendHeader(dst []byte, t FrameType, sender uint32, epoch int64, geom uint64) []byte {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], frameMagic)
+	hdr[4] = frameVersion
+	hdr[5] = byte(t)
+	binary.LittleEndian.PutUint32(hdr[8:], sender)
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(epoch))
+	binary.LittleEndian.PutUint64(hdr[20:], geom)
+	return append(dst, hdr[:]...)
+}
+
+// finish patches the payload length and appends the CRC trailer.
+func finish(frame []byte) []byte {
+	binary.LittleEndian.PutUint32(frame[28:], uint32(len(frame)-frameHeaderLen))
+	var tr [frameTrailerLen]byte
+	binary.LittleEndian.PutUint32(tr[:], crc32.Checksum(frame, castagnoli))
+	return append(frame, tr[:]...)
+}
+
+// EncodeHello renders a Hello frame into dst[:0]'s storage.
+func EncodeHello(dst []byte, sender uint32, epoch int64, geom uint64) []byte {
+	return finish(appendHeader(dst[:0], FrameHello, sender, epoch, geom))
+}
+
+// EncodeAck renders an Ack frame.
+func EncodeAck(dst []byte, sender uint32, epoch int64, geom uint64, seq uint64) []byte {
+	frame := appendHeader(dst[:0], FrameAck, sender, epoch, geom)
+	frame = binary.LittleEndian.AppendUint64(frame, seq)
+	return finish(frame)
+}
+
+// EncodeSections renders a Delta (with its sequence number) or Repair
+// (seq 0) frame from per-vector block patches.
+func EncodeSections(dst []byte, t FrameType, sender uint32, epoch int64, geom uint64, seq uint64, secs []VectorSection) []byte {
+	frame := appendHeader(dst[:0], t, sender, epoch, geom)
+	frame = binary.LittleEndian.AppendUint64(frame, seq)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(secs)))
+	for _, sec := range secs {
+		frame = binary.LittleEndian.AppendUint32(frame, sec.Vec)
+		frame = binary.LittleEndian.AppendUint32(frame, uint32(len(sec.Blocks)))
+		for _, p := range sec.Blocks {
+			frame = binary.LittleEndian.AppendUint32(frame, p.Blk)
+			for _, w := range p.Words {
+				frame = binary.LittleEndian.AppendUint64(frame, w)
+			}
+		}
+	}
+	return finish(frame)
+}
+
+// EncodeDigest renders a Digest frame.
+func EncodeDigest(dst []byte, sender uint32, epoch int64, geom uint64, blocksPerRange uint32, digests []VectorDigest) []byte {
+	frame := appendHeader(dst[:0], FrameDigest, sender, epoch, geom)
+	frame = binary.LittleEndian.AppendUint32(frame, blocksPerRange)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(digests)))
+	for _, d := range digests {
+		frame = binary.LittleEndian.AppendUint32(frame, d.Vec)
+		frame = binary.LittleEndian.AppendUint32(frame, uint32(len(d.CRCs)))
+		for _, c := range d.CRCs {
+			frame = binary.LittleEndian.AppendUint32(frame, c)
+		}
+	}
+	return finish(frame)
+}
+
+// DecodeFrame parses and fully validates one frame. On any error the
+// returned frame is nil: a frame is either completely decoded —
+// structure, lengths, and checksum all verified — or completely
+// rejected, so a receiver can never half-apply a corrupt frame.
+// Robustness contract (held by FuzzDecodeFrame): arbitrary input
+// yields a typed error or a valid frame, never a panic and never an
+// allocation beyond the input's own framing.
+func DecodeFrame(data []byte) (*Frame, error) {
+	if len(data) < frameHeaderLen+frameTrailerLen {
+		return nil, fmt.Errorf("%w: %d bytes, want at least %d", ErrFrameMalformed, len(data), frameHeaderLen+frameTrailerLen)
+	}
+	if got := binary.LittleEndian.Uint32(data[0:]); got != frameMagic {
+		return nil, fmt.Errorf("%w: %#x", ErrFrameMagic, got)
+	}
+	if data[4] != frameVersion {
+		return nil, fmt.Errorf("%w: %d", ErrFrameVersion, data[4])
+	}
+	plen := binary.LittleEndian.Uint32(data[28:])
+	if uint64(plen) != uint64(len(data)-frameHeaderLen-frameTrailerLen) {
+		return nil, fmt.Errorf("%w: payload length %d in a %d-byte frame", ErrFrameMalformed, plen, len(data))
+	}
+	body := data[:len(data)-frameTrailerLen]
+	want := binary.LittleEndian.Uint32(data[len(data)-frameTrailerLen:])
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		return nil, fmt.Errorf("%w: stored %#x, computed %#x", ErrFrameChecksum, want, got)
+	}
+	fr := &Frame{
+		Type:   FrameType(data[5]),
+		Sender: binary.LittleEndian.Uint32(data[8:]),
+		Epoch:  binary.LittleEndian.Uint64(data[12:]),
+		Geom:   binary.LittleEndian.Uint64(data[20:]),
+	}
+	if err := fr.decodePayload(body[frameHeaderLen:]); err != nil {
+		return nil, err
+	}
+	return fr, nil
+}
+
+// decodePayload parses the per-type payload, already checksummed.
+func (fr *Frame) decodePayload(p []byte) error {
+	switch fr.Type {
+	case FrameHello:
+		if len(p) != 0 {
+			return fmt.Errorf("%w: hello with %d payload bytes", ErrFrameMalformed, len(p))
+		}
+		return nil
+	case FrameAck:
+		if len(p) != 8 {
+			return fmt.Errorf("%w: ack payload %d bytes, want 8", ErrFrameMalformed, len(p))
+		}
+		fr.Seq = binary.LittleEndian.Uint64(p)
+		return nil
+	case FrameDelta, FrameRepair:
+		return fr.decodeSections(p)
+	case FrameDigest:
+		return fr.decodeDigests(p)
+	default:
+		return fmt.Errorf("%w: unknown frame type %d", ErrFrameMalformed, int(fr.Type))
+	}
+}
+
+func (fr *Frame) decodeSections(p []byte) error {
+	if len(p) < 12 {
+		return fmt.Errorf("%w: section payload %d bytes", ErrFrameMalformed, len(p))
+	}
+	fr.Seq = binary.LittleEndian.Uint64(p)
+	nsec := binary.LittleEndian.Uint32(p[8:])
+	p = p[12:]
+	// Every section costs ≥ sectionHeaderLen bytes, so nsec is bounded
+	// by the (checksummed) payload itself — no allocation amplification.
+	if uint64(nsec)*sectionHeaderLen > uint64(len(p)) {
+		return fmt.Errorf("%w: %d sections in %d payload bytes", ErrFrameMalformed, nsec, len(p))
+	}
+	fr.Sections = make([]VectorSection, 0, nsec)
+	for s := uint32(0); s < nsec; s++ {
+		if len(p) < sectionHeaderLen {
+			return fmt.Errorf("%w: truncated section header", ErrFrameMalformed)
+		}
+		vec := binary.LittleEndian.Uint32(p)
+		nblk := binary.LittleEndian.Uint32(p[4:])
+		p = p[sectionHeaderLen:]
+		if uint64(nblk)*patchLen > uint64(len(p)) {
+			return fmt.Errorf("%w: %d blocks in %d payload bytes", ErrFrameMalformed, nblk, len(p))
+		}
+		sec := VectorSection{Vec: vec, Blocks: make([]BlockPatch, nblk)}
+		for b := uint32(0); b < nblk; b++ {
+			sec.Blocks[b].Blk = binary.LittleEndian.Uint32(p)
+			for w := range sec.Blocks[b].Words {
+				sec.Blocks[b].Words[w] = binary.LittleEndian.Uint64(p[4+8*w:])
+			}
+			p = p[patchLen:]
+		}
+		fr.Sections = append(fr.Sections, sec)
+	}
+	if len(p) != 0 {
+		return fmt.Errorf("%w: %d trailing payload bytes", ErrFrameMalformed, len(p))
+	}
+	return nil
+}
+
+func (fr *Frame) decodeDigests(p []byte) error {
+	if len(p) < 8 {
+		return fmt.Errorf("%w: digest payload %d bytes", ErrFrameMalformed, len(p))
+	}
+	fr.BlocksPerRange = binary.LittleEndian.Uint32(p)
+	nvec := binary.LittleEndian.Uint32(p[4:])
+	p = p[8:]
+	if uint64(nvec)*8 > uint64(len(p)) {
+		return fmt.Errorf("%w: %d digest vectors in %d payload bytes", ErrFrameMalformed, nvec, len(p))
+	}
+	fr.Digests = make([]VectorDigest, 0, nvec)
+	for v := uint32(0); v < nvec; v++ {
+		if len(p) < 8 {
+			return fmt.Errorf("%w: truncated digest header", ErrFrameMalformed)
+		}
+		vec := binary.LittleEndian.Uint32(p)
+		ncrc := binary.LittleEndian.Uint32(p[4:])
+		p = p[8:]
+		if uint64(ncrc)*4 > uint64(len(p)) {
+			return fmt.Errorf("%w: %d range digests in %d payload bytes", ErrFrameMalformed, ncrc, len(p))
+		}
+		d := VectorDigest{Vec: vec, CRCs: make([]uint32, ncrc)}
+		for c := uint32(0); c < ncrc; c++ {
+			d.CRCs[c] = binary.LittleEndian.Uint32(p)
+			p = p[4:]
+		}
+		fr.Digests = append(fr.Digests, d)
+	}
+	if len(p) != 0 {
+		return fmt.Errorf("%w: %d trailing payload bytes", ErrFrameMalformed, len(p))
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+package replica
+
+import (
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func sampleSections() []VectorSection {
+	return []VectorSection{
+		{Vec: 0, Blocks: []BlockPatch{
+			{Blk: 3, Words: [8]uint64{1, 0, 0xdeadbeef, 0, 0, 0, 0, 1 << 63}},
+			{Blk: 17, Words: [8]uint64{0, 2, 0, 0, 0, 0, 0, 0}},
+		}},
+		{Vec: 2, Blocks: []BlockPatch{
+			{Blk: 0, Words: [8]uint64{^uint64(0), 0, 0, 0, 0, 0, 0, 0}},
+		}},
+	}
+}
+
+func TestFrameRoundTrips(t *testing.T) {
+	const sender, geom = uint32(7), uint64(0xabcdef0123456789)
+	cases := []struct {
+		name   string
+		encode func() []byte
+		check  func(t *testing.T, fr *Frame)
+	}{
+		{"hello", func() []byte { return EncodeHello(nil, sender, 42, geom) },
+			func(t *testing.T, fr *Frame) {
+				if fr.Type != FrameHello || len(fr.Sections) != 0 || len(fr.Digests) != 0 {
+					t.Fatalf("bad hello: %+v", fr)
+				}
+			}},
+		{"ack", func() []byte { return EncodeAck(nil, sender, 42, geom, 991) },
+			func(t *testing.T, fr *Frame) {
+				if fr.Type != FrameAck || fr.Seq != 991 {
+					t.Fatalf("bad ack: %+v", fr)
+				}
+			}},
+		{"delta", func() []byte { return EncodeSections(nil, FrameDelta, sender, 42, geom, 55, sampleSections()) },
+			func(t *testing.T, fr *Frame) {
+				if fr.Type != FrameDelta || fr.Seq != 55 || !reflect.DeepEqual(fr.Sections, sampleSections()) {
+					t.Fatalf("bad delta: %+v", fr)
+				}
+			}},
+		{"repair", func() []byte { return EncodeSections(nil, FrameRepair, sender, 42, geom, 0, sampleSections()) },
+			func(t *testing.T, fr *Frame) {
+				if fr.Type != FrameRepair || !reflect.DeepEqual(fr.Sections, sampleSections()) {
+					t.Fatalf("bad repair: %+v", fr)
+				}
+			}},
+		{"digest", func() []byte {
+			return EncodeDigest(nil, sender, 42, geom, 16, []VectorDigest{
+				{Vec: 0, CRCs: []uint32{1, 2, 3}},
+				{Vec: 3, CRCs: []uint32{0xffffffff}},
+			})
+		},
+			func(t *testing.T, fr *Frame) {
+				if fr.Type != FrameDigest || fr.BlocksPerRange != 16 ||
+					len(fr.Digests) != 2 || fr.Digests[1].CRCs[0] != 0xffffffff {
+					t.Fatalf("bad digest: %+v", fr)
+				}
+			}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := tc.encode()
+			fr, err := DecodeFrame(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fr.Sender != sender || fr.Epoch != 42 || fr.Geom != geom {
+				t.Fatalf("header mismatch: %+v", fr)
+			}
+			tc.check(t, fr)
+		})
+	}
+}
+
+// TestFrameEncodeReusesBuffer: encoding into a previously returned
+// buffer must not leave stale bytes behind.
+func TestFrameEncodeReusesBuffer(t *testing.T) {
+	buf := EncodeSections(nil, FrameDelta, 1, 9, 5, 3, sampleSections())
+	buf = EncodeHello(buf, 2, 10, 6)
+	fr, err := DecodeFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Type != FrameHello || fr.Sender != 2 || fr.Epoch != 10 || fr.Geom != 6 {
+		t.Fatalf("reused-buffer hello decoded wrong: %+v", fr)
+	}
+}
+
+func refix(data []byte) []byte {
+	// Recompute payload length and CRC after a structural mutation so
+	// only the targeted defect remains.
+	return finish(data[:len(data)-frameTrailerLen])
+}
+
+func TestFrameRejections(t *testing.T) {
+	good := func() []byte { return EncodeSections(nil, FrameDelta, 1, 2, 3, 4, sampleSections()) }
+	digest := func() []byte {
+		return EncodeDigest(nil, 1, 2, 3, 16, []VectorDigest{{Vec: 0, CRCs: []uint32{1}}})
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"short", good()[:frameHeaderLen+frameTrailerLen-1], ErrFrameMalformed},
+		{"magic", func() []byte { d := good(); d[0] ^= 0xff; return refix(d) }(), ErrFrameMagic},
+		{"version", func() []byte { d := good(); d[4] = 9; return refix(d) }(), ErrFrameVersion},
+		{"paylen", func() []byte {
+			d := good()
+			binary.LittleEndian.PutUint32(d[28:], 1<<30)
+			// CRC left stale on purpose: length is checked first.
+			return d
+		}(), ErrFrameMalformed},
+		{"checksum", func() []byte { d := good(); d[frameHeaderLen+3] ^= 1; return d }(), ErrFrameChecksum},
+		{"trailer", func() []byte { d := good(); d[len(d)-1] ^= 1; return d }(), ErrFrameChecksum},
+		{"unknown-type", func() []byte { d := good(); d[5] = 99; return refix(d) }(), ErrFrameMalformed},
+		{"hello-payload", func() []byte {
+			d := EncodeHello(nil, 1, 2, 3)
+			return finish(append(d[:len(d)-frameTrailerLen], 0xaa))
+		}(), ErrFrameMalformed},
+		{"ack-short", func() []byte {
+			d := EncodeAck(nil, 1, 2, 3, 4)
+			return finish(d[:len(d)-frameTrailerLen-1])
+		}(), ErrFrameMalformed},
+		{"section-count", func() []byte {
+			d := good()
+			binary.LittleEndian.PutUint32(d[frameHeaderLen+8:], 1<<31)
+			return refix(d)
+		}(), ErrFrameMalformed},
+		{"block-count", func() []byte {
+			d := good()
+			binary.LittleEndian.PutUint32(d[frameHeaderLen+16:], 1<<31)
+			return refix(d)
+		}(), ErrFrameMalformed},
+		{"section-trailing", func() []byte {
+			d := good()
+			d = append(d[:len(d)-frameTrailerLen], 0xbb)
+			return refix(d)
+		}(), ErrFrameMalformed},
+		{"digest-count", func() []byte {
+			d := digest()
+			binary.LittleEndian.PutUint32(d[frameHeaderLen+4:], 1<<31)
+			return refix(d)
+		}(), ErrFrameMalformed},
+		{"digest-crc-count", func() []byte {
+			d := digest()
+			binary.LittleEndian.PutUint32(d[frameHeaderLen+12:], 1<<31)
+			return refix(d)
+		}(), ErrFrameMalformed},
+	}
+	sentinels := []error{ErrFrameMagic, ErrFrameVersion, ErrFrameChecksum, ErrFrameMalformed, ErrGeometry}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fr, err := DecodeFrame(tc.data)
+			if err == nil {
+				t.Fatalf("decoded a %s frame: %+v", tc.name, fr)
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+			matched := 0
+			for _, s := range sentinels {
+				if errors.Is(err, s) {
+					matched++
+				}
+			}
+			if matched != 1 {
+				t.Fatalf("error %v matches %d sentinels, want exactly 1", err, matched)
+			}
+		})
+	}
+}
+
+func TestFrameTypeString(t *testing.T) {
+	for _, tc := range []struct {
+		t    FrameType
+		want string
+	}{
+		{FrameHello, "hello"}, {FrameDelta, "delta"}, {FrameAck, "ack"},
+		{FrameDigest, "digest"}, {FrameRepair, "repair"}, {FrameType(77), "frametype(77)"},
+	} {
+		if got := tc.t.String(); got != tc.want {
+			t.Fatalf("FrameType(%d).String() = %q, want %q", tc.t, got, tc.want)
+		}
+	}
+}

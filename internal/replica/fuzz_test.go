@@ -1,0 +1,125 @@
+package replica
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"p2pbound/internal/core"
+)
+
+func fuzzCfg() core.Config {
+	return core.Config{K: 2, NBits: 10, M: 2, DeltaT: time.Second}
+}
+
+// fuzzSeedFrames builds the seed frames shared by FuzzDecodeFrame and
+// the checked-in corpus: one valid frame of every type against the
+// fuzz filter's real geometry, plus classic mutations.
+func fuzzSeedFrames(tb testing.TB) map[string][]byte {
+	tb.Helper()
+	geom := Fingerprint(fuzzCfg())
+	secs := []VectorSection{
+		{Vec: 0, Blocks: []BlockPatch{{Blk: 1, Words: [8]uint64{2, 0, 0, 1, 0, 0, 0, 4}}}},
+		{Vec: 1, Blocks: []BlockPatch{{Blk: 0, Words: [8]uint64{1}}}},
+	}
+	f, err := core.New(fuzzCfg())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ncrc := f.Vector(0).RangeCount(16)
+	digests := make([]VectorDigest, 2)
+	for v := range digests {
+		digests[v] = VectorDigest{Vec: uint32(v), CRCs: make([]uint32, ncrc)}
+	}
+	delta := EncodeSections(nil, FrameDelta, 2, 0, geom, 3, secs)
+	flipped := append([]byte(nil), delta...)
+	flipped[len(flipped)/2] ^= 0x20
+	return map[string][]byte{
+		"seed-hello":     EncodeHello(nil, 2, 0, geom),
+		"seed-ack":       EncodeAck(nil, 2, 0, geom, 7),
+		"seed-delta":     delta,
+		"seed-repair":    EncodeSections(nil, FrameRepair, 2, 0, geom, 0, secs),
+		"seed-digest":    EncodeDigest(nil, 2, 0, geom, 16, digests),
+		"seed-badgeom":   EncodeHello(nil, 2, 0, geom+1),
+		"seed-truncated": delta[:len(delta)-9],
+		"seed-flipped":   flipped,
+		"seed-empty":     {},
+	}
+}
+
+// FuzzDecodeFrame holds the frame robustness contract: arbitrary bytes
+// yield either a valid frame or exactly one typed sentinel, never a
+// panic; a decoded frame re-encodes to a frame that decodes equal; and
+// any input a Node rejects leaves its filter — vectors, index, and
+// rotation count — byte-for-byte untouched.
+func FuzzDecodeFrame(f *testing.F) {
+	for _, seed := range fuzzSeedFrames(f) {
+		f.Add(seed)
+	}
+	filter, err := core.New(fuzzCfg())
+	if err != nil {
+		f.Fatal(err)
+	}
+	node, err := NewNode(filter, Config{ID: 1, Peers: []uint32{2}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	snapshot := func() []byte {
+		var buf bytes.Buffer
+		if _, err := filter.WriteTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	sentinels := []error{ErrFrameMagic, ErrFrameVersion, ErrFrameChecksum, ErrFrameMalformed, ErrGeometry}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := DecodeFrame(data)
+		if err != nil {
+			if fr != nil {
+				t.Fatal("decode returned a frame AND an error")
+			}
+			matched := 0
+			for _, s := range sentinels {
+				if errors.Is(err, s) {
+					matched++
+				}
+			}
+			if matched != 1 {
+				t.Fatalf("error %v matches %d sentinels, want exactly 1", err, matched)
+			}
+		} else {
+			// Canonical re-encode: the decoded value survives a round
+			// trip (flags are reserved-zero, so equality is exact).
+			var re []byte
+			switch fr.Type {
+			case FrameHello:
+				re = EncodeHello(nil, fr.Sender, int64(fr.Epoch), fr.Geom)
+			case FrameAck:
+				re = EncodeAck(nil, fr.Sender, int64(fr.Epoch), fr.Geom, fr.Seq)
+			case FrameDelta, FrameRepair:
+				re = EncodeSections(nil, fr.Type, fr.Sender, int64(fr.Epoch), fr.Geom, fr.Seq, fr.Sections)
+			case FrameDigest:
+				re = EncodeDigest(nil, fr.Sender, int64(fr.Epoch), fr.Geom, fr.BlocksPerRange, fr.Digests)
+			default:
+				t.Fatalf("decoded unknown type %d", fr.Type)
+			}
+			fr2, err := DecodeFrame(re)
+			if err != nil {
+				t.Fatalf("re-encode failed to decode: %v", err)
+			}
+			if !reflect.DeepEqual(fr, fr2) {
+				t.Fatalf("re-encode round trip diverged:\n%+v\n%+v", fr, fr2)
+			}
+		}
+		// Atomic rejection at the node level: a rejected frame leaves
+		// filter state untouched (accepted frames may mutate freely).
+		before := snapshot()
+		if err := node.Handle(data, func(uint32, []byte) {}); err != nil {
+			if !bytes.Equal(before, snapshot()) {
+				t.Fatalf("rejected frame (%v) mutated filter state", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,33 @@
+package replica
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// TestRegenFuzzCorpus rewrites the checked-in seed corpus under
+// testdata/fuzz/FuzzDecodeFrame, mirroring the f.Add seeds so CI
+// machines — which run seeds but not the mutation engine — exercise
+// every frame type and the classic corruptions from a cold checkout.
+// Run with
+//
+//	P2PBOUND_REGEN_CORPUS=1 go test -run TestRegenFuzzCorpus ./internal/replica
+//
+// after changing the frame format, and commit the result.
+func TestRegenFuzzCorpus(t *testing.T) {
+	if os.Getenv("P2PBOUND_REGEN_CORPUS") == "" {
+		t.Skip("set P2PBOUND_REGEN_CORPUS=1 to rewrite the seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeFrame")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range fuzzSeedFrames(t) {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

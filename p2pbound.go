@@ -30,10 +30,12 @@
 package p2pbound
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"net/netip"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -225,11 +227,33 @@ type Stats struct {
 	ShedDropped int64
 }
 
-// Limiter bounds P2P upload traffic for one client network. It is not
-// safe for concurrent use; shard by flow hash for multi-queue pipelines
-// (see ShardedLimiter and Pipeline).
+// Limiter bounds P2P upload traffic for one client network. Packet
+// processing is not safe for concurrent use — shard by flow hash for
+// multi-queue pipelines (see ShardedLimiter and Pipeline) — but Stats,
+// telemetry scrapes, and RestoreState/AdoptState may run concurrently
+// with processing: the filter hangs off an atomic pointer and a state
+// swap folds the outgoing filter's counters into a base so Stats stays
+// monotone across the swap.
 type Limiter struct {
-	filter    *core.Filter
+	// filter is the live bitmap filter. The hot path loads it once per
+	// Process call (or per batch chunk) and never touches a lock;
+	// RestoreState/AdoptState publish a replacement via swapFilter.
+	filter atomic.Pointer[core.Filter] //p2p:atomic
+
+	// statsMu serializes filter swaps against Stats snapshots;
+	// baseStats accumulates the counters of every retired filter so
+	// totals never move backward when a swap installs a fresh filter.
+	// Neither is touched by the packet path.
+	statsMu   sync.Mutex
+	baseStats core.Stats
+
+	// failClosed, when set, forces P_d to 1: every unmatched inbound
+	// packet is dropped regardless of uplink rate. A replicated fleet
+	// sets it while a member is joining or partitioned (not Ready), so
+	// a stale filter can never admit traffic the fleet already marked.
+	// Owned by the processing goroutine, like the rest of the limiter.
+	failClosed bool
+
 	prober    red.Prober
 	meter     *throughput.Meter
 	clientNet packet.Network
@@ -329,13 +353,13 @@ func New(cfg Config) (*Limiter, error) {
 		return nil, fmt.Errorf("p2pbound: %w", err)
 	}
 	l := &Limiter{
-		filter:      filter,
 		prober:      prober,
 		meter:       meter,
 		clientNet:   clientNet,
 		bucketWidth: window / time.Duration(buckets),
 		tolerance:   cfg.ReorderTolerance,
 	}
+	l.filter.Store(filter)
 	if cfg.TraceEveryN > 0 && cfg.TraceFunc != nil {
 		l.traceEvery = int64(cfg.TraceEveryN)
 		l.traceFn = cfg.TraceFunc
@@ -371,9 +395,10 @@ func (l *Limiter) Process(p Packet) Decision {
 		return Drop
 	}
 	l.clampTS(&pkt)
-	l.filter.Advance(pkt.TS)
+	f := l.filter.Load()
+	f.Advance(pkt.TS)
 	pd := l.pd(pkt.TS)
-	return l.decide(&p, &pkt, pd, l.filter.Process(&pkt, pd))
+	return l.decide(f, &p, &pkt, pd, f.Process(&pkt, pd))
 }
 
 // clampTS applies the monotonic clock guard to pkt and advances the
@@ -398,7 +423,7 @@ func (l *Limiter) clampTS(pkt *packet.Packet) {
 // Process and ProcessBatch, and maps the filter verdict to a Decision.
 //
 //p2p:hotpath
-func (l *Limiter) decide(p *Packet, pkt *packet.Packet, pd float64, verdict core.Verdict) Decision {
+func (l *Limiter) decide(f *core.Filter, p *Packet, pkt *packet.Packet, pd float64, verdict core.Verdict) Decision {
 	if verdict == core.Pass && pkt.Dir == packet.Outbound {
 		l.meter.Add(pkt.TS, p.Size)
 		l.pdValid = false
@@ -419,7 +444,7 @@ func (l *Limiter) decide(p *Packet, pkt *packet.Packet, pd float64, verdict core
 					DstPort:    p.DstPort,
 					Pd:         pd,
 					UplinkMbps: l.meter.Rate(pkt.TS) / 1e6,
-					Epoch:      l.filter.Rotations(),
+					Epoch:      f.Rotations(),
 				})
 			}
 		}
@@ -465,13 +490,14 @@ func (l *Limiter) ProcessBatch(pkts []Packet, dst []Decision) []Decision {
 //
 //p2p:hotpath
 func (l *Limiter) processChunk(chunk []Packet, dst []Decision) []Decision {
+	f := l.filter.Load()
 	for i := range chunk {
 		l.bok[i] = l.toInternal(chunk[i], &l.bpkts[i])
 		if !l.bok[i] {
 			l.bpkts[i] = packet.Packet{}
 		}
 	}
-	l.filter.HashBatch(l.bpkts[:len(chunk)])
+	f.HashBatch(l.bpkts[:len(chunk)])
 	for i := range chunk {
 		if !l.bok[i] {
 			l.unroutable.Add(1)
@@ -480,11 +506,11 @@ func (l *Limiter) processChunk(chunk []Packet, dst []Decision) []Decision {
 		}
 		pkt := &l.bpkts[i]
 		l.clampTS(pkt)
-		l.filter.Advance(pkt.TS)
+		f.Advance(pkt.TS)
 		pd := l.pd(pkt.TS)
-		dst = append(dst, l.decide(&chunk[i], pkt, pd, l.filter.ProcessHashed(i, pkt, pd))) //p2p:bounded cap(dst) is caller-owned; ProcessBatch appends exactly len(pkts)
+		dst = append(dst, l.decide(f, &chunk[i], pkt, pd, f.ProcessHashed(i, pkt, pd))) //p2p:bounded cap(dst) is caller-owned; ProcessBatch appends exactly len(pkts)
 	}
-	l.filter.FlushStats()
+	f.FlushStats()
 	return dst
 }
 
@@ -496,6 +522,9 @@ func (l *Limiter) processChunk(chunk []Packet, dst []Decision) []Decision {
 //
 //p2p:hotpath
 func (l *Limiter) pd(ts time.Duration) float64 {
+	if l.failClosed {
+		return 1
+	}
 	if !l.pdValid || ts >= l.pdUntil {
 		crossed := ts >= l.pdUntil
 		rate := l.meter.Rate(ts)
@@ -529,11 +558,20 @@ func (l *Limiter) DropProbability() float64 {
 }
 
 // MemoryBytes returns the fixed size of the bitmap in bytes.
-func (l *Limiter) MemoryBytes() int { return l.filter.Bytes() }
+func (l *Limiter) MemoryBytes() int { return l.filter.Load().Bytes() }
 
 // ExpiryHorizon returns T_e = k·Δt, the maximum idle time after which an
 // outbound flow's inbound packets face the drop probability.
-func (l *Limiter) ExpiryHorizon() time.Duration { return l.filter.TE() }
+func (l *Limiter) ExpiryHorizon() time.Duration { return l.filter.Load().TE() }
+
+// SetFailClosed switches the limiter between normal RED-ramp operation
+// and fail-closed mode (P_d pinned to 1; see Limiter.failClosed). Must
+// be called from the processing goroutine, like Process itself — the
+// replicated fleet flips it from its sync pump between batches.
+func (l *Limiter) SetFailClosed(on bool) { l.failClosed = on }
+
+// FailClosed reports whether SetFailClosed(true) is in effect.
+func (l *Limiter) FailClosed() bool { return l.failClosed }
 
 // Stats returns a snapshot of the activity counters. Unlike Process, it
 // may be called from any goroutine, concurrently with processing: every
@@ -542,20 +580,45 @@ func (l *Limiter) ExpiryHorizon() time.Duration { return l.filter.TE() }
 // increments (e.g. InboundPackets bumped before the matched/unmatched
 // split); quiesce the limiter before asserting cross-counter identities.
 func (l *Limiter) Stats() Stats {
-	s := l.filter.Stats()
+	l.statsMu.Lock()
+	s := l.filter.Load().Stats()
+	b := l.baseStats
+	l.statsMu.Unlock()
 	return Stats{
-		OutboundPackets:  s.OutboundPackets,
-		InboundPackets:   s.InboundPackets,
-		InboundMatched:   s.InboundHits,
-		InboundUnmatched: s.InboundMisses,
-		Dropped:          s.Dropped,
-		Rotations:        s.Rotations,
+		OutboundPackets:  b.OutboundPackets + s.OutboundPackets,
+		InboundPackets:   b.InboundPackets + s.InboundPackets,
+		InboundMatched:   b.InboundHits + s.InboundHits,
+		InboundUnmatched: b.InboundMisses + s.InboundMisses,
+		Dropped:          b.Dropped + s.Dropped,
+		Rotations:        b.Rotations + s.Rotations,
 		Unroutable:       l.unroutable.Load(),
 		// The limiter clamps timestamps before they reach the filter, so
 		// the filter's own counter stays zero on this path; it is summed
 		// anyway so direct core.Filter restores never lose anomalies.
-		TimeAnomalies: l.timeAnomalies.Load() + s.TimeAnomalies,
+		TimeAnomalies: l.timeAnomalies.Load() + b.TimeAnomalies + s.TimeAnomalies,
 	}
+}
+
+// swapFilter atomically publishes a replacement filter, folding the
+// outgoing filter's counters into the base so Stats stays monotone: a
+// reader can never observe totals lower than any earlier snapshot.
+// (Packets mid-flight on the processing goroutine may still decide
+// against the outgoing filter; their counter increments land on the
+// retired instance after the fold and are the one thing a swap can
+// lose — bounded by a single batch chunk, and never negative.)
+func (l *Limiter) swapFilter(filter *core.Filter) {
+	l.statsMu.Lock()
+	old := l.filter.Load()
+	s := old.Stats()
+	l.baseStats.OutboundPackets += s.OutboundPackets
+	l.baseStats.InboundPackets += s.InboundPackets
+	l.baseStats.InboundHits += s.InboundHits
+	l.baseStats.InboundMisses += s.InboundMisses
+	l.baseStats.Dropped += s.Dropped
+	l.baseStats.Rotations += s.Rotations
+	l.baseStats.TimeAnomalies += s.TimeAnomalies
+	l.filter.Store(filter)
+	l.statsMu.Unlock()
 }
 
 // toInternal converts a public Packet into dst. It reports false — and
@@ -587,7 +650,7 @@ func (l *Limiter) toInternal(p Packet, dst *packet.Packet) bool {
 // after boot. Thresholds and the throughput meter are not persisted; the
 // meter refills within its window.
 func (l *Limiter) SaveState(w io.Writer) error {
-	if _, err := l.filter.WriteTo(w); err != nil {
+	if _, err := l.filter.Load().WriteTo(w); err != nil {
 		return fmt.Errorf("p2pbound: save state: %w", err)
 	}
 	return nil
@@ -605,11 +668,11 @@ func (l *Limiter) RestoreState(r io.Reader) error {
 	if err != nil {
 		return fmt.Errorf("p2pbound: restore state: %w", err)
 	}
-	if err := geometryMismatch(l.filter.Config(), filter.Config()); err != nil {
+	if err := geometryMismatch(l.filter.Load().Config(), filter.Config()); err != nil {
 		return fmt.Errorf("p2pbound: restore state: %w (use AdoptState to accept the snapshot geometry)", err)
 	}
 	filter.SetReorderTolerance(l.tolerance)
-	l.filter = filter
+	l.swapFilter(filter)
 	return nil
 }
 
@@ -623,9 +686,17 @@ func (l *Limiter) AdoptState(r io.Reader) error {
 		return fmt.Errorf("p2pbound: adopt state: %w", err)
 	}
 	filter.SetReorderTolerance(l.tolerance)
-	l.filter = filter
+	l.swapFilter(filter)
 	return nil
 }
+
+// ErrGeometryMismatch is the typed rejection RestoreState returns when
+// a snapshot's geometry differs from the limiter's configured geometry;
+// match it with errors.Is to distinguish "wrong geometry" (an operator
+// decision: reconfigure or AdoptState) from a corrupt or unreadable
+// snapshot (see the core.ErrSnapshot* sentinels, which also satisfy
+// errors.Is through the same error chain).
+var ErrGeometryMismatch = errors.New("snapshot geometry mismatch")
 
 // geometryMismatch compares the geometry-bearing fields of two filter
 // configurations, ignoring operational knobs (seed, reorder tolerance).
@@ -643,21 +714,21 @@ func geometryMismatch(want, got core.Config) error {
 	got.HashScheme, got.Layout, _ = hashes.ResolveSchemeLayout(got.HashScheme, got.Layout)
 	switch {
 	case want.K != got.K:
-		return fmt.Errorf("snapshot geometry mismatch: k=%d, configured k=%d", got.K, want.K)
+		return fmt.Errorf("%w: k=%d, configured k=%d", ErrGeometryMismatch, got.K, want.K)
 	case want.NBits != got.NBits:
-		return fmt.Errorf("snapshot geometry mismatch: n=%d, configured n=%d", got.NBits, want.NBits)
+		return fmt.Errorf("%w: n=%d, configured n=%d", ErrGeometryMismatch, got.NBits, want.NBits)
 	case want.M != got.M:
-		return fmt.Errorf("snapshot geometry mismatch: m=%d, configured m=%d", got.M, want.M)
+		return fmt.Errorf("%w: m=%d, configured m=%d", ErrGeometryMismatch, got.M, want.M)
 	case want.DeltaT != got.DeltaT:
-		return fmt.Errorf("snapshot geometry mismatch: Δt=%v, configured Δt=%v", got.DeltaT, want.DeltaT)
+		return fmt.Errorf("%w: Δt=%v, configured Δt=%v", ErrGeometryMismatch, got.DeltaT, want.DeltaT)
 	case want.HashKind != got.HashKind:
-		return fmt.Errorf("snapshot geometry mismatch: hash kind %d, configured %d", got.HashKind, want.HashKind)
+		return fmt.Errorf("%w: hash kind %d, configured %d", ErrGeometryMismatch, got.HashKind, want.HashKind)
 	case want.HashScheme != got.HashScheme:
-		return fmt.Errorf("snapshot geometry mismatch: hash scheme %v, configured %v", got.HashScheme, want.HashScheme)
+		return fmt.Errorf("%w: hash scheme %v, configured %v", ErrGeometryMismatch, got.HashScheme, want.HashScheme)
 	case want.Layout != got.Layout:
-		return fmt.Errorf("snapshot geometry mismatch: layout %v, configured %v", got.Layout, want.Layout)
+		return fmt.Errorf("%w: layout %v, configured %v", ErrGeometryMismatch, got.Layout, want.Layout)
 	case want.HolePunch != got.HolePunch:
-		return fmt.Errorf("snapshot geometry mismatch: holepunch=%v, configured holepunch=%v", got.HolePunch, want.HolePunch)
+		return fmt.Errorf("%w: holepunch=%v, configured holepunch=%v", ErrGeometryMismatch, got.HolePunch, want.HolePunch)
 	}
 	return nil
 }

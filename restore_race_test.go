@@ -1,0 +1,166 @@
+package p2pbound
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRestoreRacesProcessing drives ProcessBatch, RestoreState /
+// AdoptState swaps, Stats polls, and telemetry-style reads all at once.
+// Under -race it proves the atomic filter pointer makes state swaps
+// safe against a live packet path; with or without -race it asserts
+// the swap contract: every Stats counter is monotone non-decreasing
+// across swaps (the retired filter's counters fold into the base), and
+// MemoryBytes/ExpiryHorizon stay coherent.
+func TestRestoreRacesProcessing(t *testing.T) {
+	l := newLimiter(t, Config{VectorBits: 12, LowMbps: 1e-9, HighMbps: 2e-9})
+
+	// Pre-capture the snapshot on a quiescent limiter: SaveState is
+	// owner-only, so the racing goroutines below restore from this
+	// frozen buffer rather than saving live.
+	for i := 0; i < 50; i++ {
+		l.Process(outPkt(0, uint16(40000+i), 80, 1500))
+	}
+	var snap bytes.Buffer
+	if err := l.SaveState(&snap); err != nil {
+		t.Fatal(err)
+	}
+	snapBytes := snap.Bytes()
+
+	const iters = 400
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Processing goroutine: the single owner of the packet path.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		batch := make([]Packet, 0, 32)
+		dst := make([]Decision, 0, 32)
+		for i := 0; i < iters; i++ {
+			batch = batch[:0]
+			ts := time.Duration(i) * time.Millisecond
+			for j := 0; j < 16; j++ {
+				batch = append(batch, outPkt(ts, uint16(40000+(i*16+j)%2000), 80, 1500))
+				batch = append(batch, inPkt(ts, 80, uint16(40000+(i*16+j)%2000), 1500))
+			}
+			dst = l.ProcessBatch(batch, dst[:0])
+		}
+	}()
+
+	// Swapper goroutine: alternates RestoreState and AdoptState from
+	// the pre-captured buffer while batches are in flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var err error
+			if i%2 == 0 {
+				err = l.RestoreState(bytes.NewReader(snapBytes))
+			} else {
+				err = l.AdoptState(bytes.NewReader(snapBytes))
+			}
+			if err != nil {
+				t.Errorf("swap %d: %v", i, err)
+				return
+			}
+		}
+	}()
+
+	// Stats poller: every counter must be monotone across swaps.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var prev Stats
+		for {
+			s := l.Stats()
+			for name, pair := range map[string][2]int64{
+				"OutboundPackets":  {prev.OutboundPackets, s.OutboundPackets},
+				"InboundPackets":   {prev.InboundPackets, s.InboundPackets},
+				"InboundMatched":   {prev.InboundMatched, s.InboundMatched},
+				"InboundUnmatched": {prev.InboundUnmatched, s.InboundUnmatched},
+				"Dropped":          {prev.Dropped, s.Dropped},
+				"Rotations":        {prev.Rotations, s.Rotations},
+				"Unroutable":       {prev.Unroutable, s.Unroutable},
+				"TimeAnomalies":    {prev.TimeAnomalies, s.TimeAnomalies},
+			} {
+				if pair[1] < pair[0] {
+					t.Errorf("%s went backward across a swap: %d -> %d", name, pair[0], pair[1])
+					return
+				}
+			}
+			prev = s
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+
+	// Telemetry-style reader: scrape closures load the filter pointer.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			if l.MemoryBytes() <= 0 {
+				t.Error("MemoryBytes not positive during swap")
+				return
+			}
+			if l.ExpiryHorizon() <= 0 {
+				t.Error("ExpiryHorizon not positive during swap")
+				return
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+
+	wg.Wait()
+
+	// Quiescent close-out: a final batch decides against whichever
+	// filter won the last swap, and totals are still sane.
+	l.Process(outPkt(time.Duration(iters)*time.Millisecond, 39999, 80, 1500))
+	s := l.Stats()
+	if s.OutboundPackets == 0 || s.InboundPackets == 0 {
+		t.Fatalf("no traffic accounted after race: %+v", s)
+	}
+}
+
+// TestRestoreGeometrySentinel: geometry rejections carry the typed
+// ErrGeometryMismatch sentinel through both RestoreState's wrap and
+// geometryMismatch's detail text.
+func TestRestoreGeometrySentinel(t *testing.T) {
+	src := newLimiter(t, Config{VectorBits: 12})
+	var snap bytes.Buffer
+	if err := src.SaveState(&snap); err != nil {
+		t.Fatal(err)
+	}
+	dst := newLimiter(t, Config{VectorBits: 13})
+	err := dst.RestoreState(bytes.NewReader(snap.Bytes()))
+	if err == nil {
+		t.Fatal("geometry mismatch accepted")
+	}
+	if !errors.Is(err, ErrGeometryMismatch) {
+		t.Fatalf("error %v does not match ErrGeometryMismatch", err)
+	}
+	// AdoptState accepts the foreign geometry instead.
+	if err := dst.AdoptState(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if dst.MemoryBytes() != src.MemoryBytes() {
+		t.Fatalf("adopt did not take snapshot geometry: %d != %d", dst.MemoryBytes(), src.MemoryBytes())
+	}
+}

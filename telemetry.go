@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"p2pbound/internal/metrics"
+	"p2pbound/internal/replica"
 )
 
 // telemetryStripes is the stripe count of the shared histograms and
@@ -50,6 +51,7 @@ type Telemetry struct {
 	mu        sync.Mutex
 	shards    int
 	pipelines int
+	replicas  int
 }
 
 // NewTelemetry returns an empty telemetry root ready to be referenced
@@ -86,10 +88,9 @@ func (t *Telemetry) WriteJSON(w io.Writer) error { return t.reg.WriteJSON(w) }
 
 // attach registers one limiter's counters and gauges under the next
 // shard label. Called from New when Config.Telemetry is set; the scrape
-// closures read the limiter's atomic counters, so they are safe
-// concurrently with processing. (They read l.filter as a plain pointer,
-// so RestoreState/AdoptState must not race a scrape — restore state
-// before serving, as the daemon does.)
+// closures read the limiter's atomic counters and load l.filter through
+// its atomic pointer, so they are safe concurrently with processing and
+// with RestoreState/AdoptState swaps.
 func (t *Telemetry) attach(l *Limiter) {
 	t.mu.Lock()
 	shard := t.shards
@@ -129,8 +130,8 @@ func (t *Telemetry) attach(l *Limiter) {
 	// correlate FPR and latency shifts with a layout rollout.
 	t.reg.GaugeFunc("p2pbound_filter_info", "Always 1; labels carry the filter's hash scheme and bit layout.",
 		func() float64 { return 1 },
-		metrics.L("hash_scheme", l.filter.HashScheme().String()),
-		metrics.L("layout", l.filter.Layout().String()), lbl)
+		metrics.L("hash_scheme", l.filter.Load().HashScheme().String()),
+		metrics.L("layout", l.filter.Load().Layout().String()), lbl)
 }
 
 // attachPipeline registers one pipeline's verdict and shed counters
@@ -154,6 +155,49 @@ func (t *Telemetry) attachPipeline(p *Pipeline) {
 		counter(p.shedPassed), metrics.L("verdict", "pass"), lbl)
 	t.reg.CounterFunc("p2pbound_pipeline_shed_total", "Packets shed undecided by the overload policy.",
 		counter(p.shedDropped), metrics.L("verdict", "drop"), lbl)
+}
+
+// attachReplicas registers a fleet's replication telemetry, one label
+// set per member. Called from NewFleet when Config.Telemetry is set;
+// the scrape closures read the replica nodes' atomic metric mirrors,
+// so they are safe concurrently with processing and Sync.
+func (t *Telemetry) attachReplicas(fl *Fleet) {
+	t.mu.Lock()
+	base := t.replicas
+	t.replicas += len(fl.nodes)
+	t.mu.Unlock()
+	for i, node := range fl.nodes {
+		n := node
+		lbl := metrics.L("replica", strconv.Itoa(base+i))
+		rm := func(pick func(replica.Metrics) int64) func() float64 {
+			return func() float64 { return float64(pick(n.Metrics())) }
+		}
+		t.reg.CounterFunc("p2pbound_replica_delta_frames_total", "Delta frames broadcast by this member.",
+			rm(func(m replica.Metrics) int64 { return m.DeltaFramesSent }), lbl)
+		t.reg.CounterFunc("p2pbound_replica_delta_bytes_total", "Delta frame bytes sent by this member.",
+			rm(func(m replica.Metrics) int64 { return m.DeltaBytesSent }), lbl)
+		t.reg.CounterFunc("p2pbound_replica_digest_frames_total", "Anti-entropy digest frames sent.",
+			rm(func(m replica.Metrics) int64 { return m.DigestFramesSent }), lbl)
+		t.reg.CounterFunc("p2pbound_replica_digest_mismatches_total", "Digest ranges that disagreed with a peer.",
+			rm(func(m replica.Metrics) int64 { return m.DigestMismatchRanges }), lbl)
+		t.reg.CounterFunc("p2pbound_replica_repair_rounds_total", "Repair rounds triggered by digest mismatches.",
+			rm(func(m replica.Metrics) int64 { return m.RepairRounds }), lbl)
+		t.reg.CounterFunc("p2pbound_replica_repair_bytes_total", "Repair frame bytes pushed to peers.",
+			rm(func(m replica.Metrics) int64 { return m.RepairBytesSent }), lbl)
+		t.reg.CounterFunc("p2pbound_replica_frames_rejected_total", "Inbound frames rejected (corrupt, wrong geometry, malformed).",
+			rm(func(m replica.Metrics) int64 { return m.FramesRejected }), lbl)
+		t.reg.CounterFunc("p2pbound_replica_stale_sections_total", "Delta sections skipped for stale vector generations.",
+			rm(func(m replica.Metrics) int64 { return m.StaleSections }), lbl)
+		t.reg.GaugeFunc("p2pbound_replica_sync_lag_epochs", "Rotations this member last trailed the fleet by.",
+			rm(func(m replica.Metrics) int64 { return m.SyncLagEpochs }), lbl)
+		t.reg.GaugeFunc("p2pbound_replica_ready", "1 once the member's first full digest round matched every live peer.",
+			func() float64 {
+				if n.Ready() {
+					return 1
+				}
+				return 0
+			}, lbl)
+	}
 }
 
 // DropTrace is one sampled drop decision, reported to Config.TraceFunc
