@@ -38,6 +38,7 @@ import (
 	"net/netip"
 	"os"
 	"os/signal"
+	"strings"
 	"path/filepath"
 	"syscall"
 	"time"
@@ -82,6 +83,12 @@ func runSig(args []string, out io.Writer, sigc <-chan os.Signal) error {
 		listen     = fs.String("listen", "", "serve /metrics, /metrics.json, and /debug/pprof/ on this address (empty = disabled)")
 		peers      = fs.Int("peers", 1, "in-process replicated fleet size: shard the stream across N limiters synced after every batch (1 = single limiter)")
 		traceEvery = fs.Int("trace-every", 0, "print a TRACE line for every Nth dropped packet (0 = disabled)")
+
+		tenantsPath = fs.String("tenants", "", "multi-tenant mode: file of subscriber networks, one '[id] CIDR' per line; runs a TenantManager instead of a single limiter (-net then only classifies capture direction)")
+		tenantBits  = fs.Int("tenant-prefix", 24, "uniform subscriber prefix length for -tenants")
+		tenantEvict = fs.Duration("tenant-evict", 0, "spill tenants idle for this much trace time after every batch (0 = never evict)")
+		aggLow      = fs.Float64("agg-low", 0, "aggregate uplink low threshold in Mbps: hierarchical RED across all -tenants (0 with -agg-high 0 = disabled)")
+		aggHigh     = fs.Float64("agg-high", 0, "aggregate uplink high threshold in Mbps")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -120,6 +127,7 @@ func runSig(args []string, out io.Writer, sigc <-chan os.Signal) error {
 	var (
 		limiter *p2pbound.Limiter
 		fleet   *p2pbound.Fleet
+		mgr     *p2pbound.TenantManager
 		stats   func() p2pbound.Stats
 		uplink  func() float64
 		dropPd  func() float64
@@ -127,6 +135,47 @@ func runSig(args []string, out io.Writer, sigc <-chan os.Signal) error {
 	switch {
 	case *peers < 1:
 		return fmt.Errorf("-peers must be positive, got %d", *peers)
+	case *tenantsPath != "" && *peers > 1:
+		return errors.New("-tenants and -peers are mutually exclusive: a tenant shard is already a single-writer island")
+	case *tenantsPath != "":
+		tcs, err := loadTenants(*tenantsPath)
+		if err != nil {
+			return err
+		}
+		m, err := p2pbound.NewTenantManager(p2pbound.TenantManagerConfig{
+			Tenant:            cfg,
+			PrefixBits:        *tenantBits,
+			AggregateLowMbps:  *aggLow,
+			AggregateHighMbps: *aggHigh,
+			Telemetry:         tel,
+		})
+		if err != nil {
+			return err
+		}
+		if err := m.AddTenants(tcs); err != nil {
+			return err
+		}
+		mgr = m
+		// The per-report line in tenant mode comes from mgr.Stats; the
+		// final accounting sums the population.
+		stats = func() p2pbound.Stats {
+			var sum p2pbound.Stats
+			for _, id := range m.TenantIDs() {
+				s, _ := m.TenantStats(id)
+				sum.OutboundPackets += s.OutboundPackets
+				sum.InboundPackets += s.InboundPackets
+				sum.InboundMatched += s.InboundMatched
+				sum.InboundUnmatched += s.InboundUnmatched
+				sum.Dropped += s.Dropped
+				sum.Rotations += s.Rotations
+				sum.Unroutable += s.Unroutable
+				sum.TimeAnomalies += s.TimeAnomalies
+			}
+			return sum
+		}
+		uplink = func() float64 { return 0 }
+		dropPd = func() float64 { return 0 }
+		fmt.Fprintf(out, "multi-tenant edge: %d subscribers (/%d each)\n", len(tcs), *tenantBits)
 	case *peers > 1:
 		// Fleet mode: the stream is sharded across replicated members
 		// over an in-process loopback transport, synced after every
@@ -185,7 +234,11 @@ func runSig(args []string, out io.Writer, sigc <-chan os.Signal) error {
 		fmt.Fprintf(out, "metrics on http://%s/metrics\n", ln.Addr())
 	}
 	if *statePath != "" {
-		switch restoreErr := restoreState(limiter, *statePath, *stateAdopt); {
+		restore := func() error { return restoreState(limiter, *statePath, *stateAdopt) }
+		if mgr != nil {
+			restore = func() error { return restoreTenantState(mgr, *statePath) }
+		}
+		switch restoreErr := restore(); {
 		case restoreErr == nil:
 			fmt.Fprintf(out, "restored state from %s\n", *statePath)
 		case errors.Is(restoreErr, os.ErrNotExist):
@@ -252,11 +305,17 @@ func runSig(args []string, out io.Writer, sigc <-chan os.Signal) error {
 		batch          = make([]p2pbound.Packet, 0, batchCap)
 		verdicts       = make([]p2pbound.Decision, 0, batchCap)
 	)
+	save := func() error {
+		if mgr != nil {
+			return saveTenantStateFn(mgr, *statePath)
+		}
+		return saveStateFn(limiter, *statePath)
+	}
 	snapshot := func() {
 		if *statePath == "" {
 			return
 		}
-		if err := saveStateFn(limiter, *statePath); err != nil {
+		if err := save(); err != nil {
 			// A failed periodic snapshot is an operational warning, not
 			// a reason to stop filtering: the previous snapshot is still
 			// intact because saveState writes atomically.
@@ -275,7 +334,8 @@ func runSig(args []string, out io.Writer, sigc <-chan os.Signal) error {
 				Size: pkt.Len,
 			})
 		}
-		if fleet != nil {
+		switch {
+		case fleet != nil:
 			// Verdicts stay in arrival order: each packet is decided on
 			// the member its connection hashes to, then one sync round
 			// replicates the batch's marks fleet-wide.
@@ -284,7 +344,14 @@ func runSig(args []string, out io.Writer, sigc <-chan os.Signal) error {
 				verdicts = append(verdicts, fleet.Process(batch[i]))
 			}
 			fleet.Sync()
-		} else {
+		case mgr != nil:
+			verdicts = mgr.ProcessBatch(batch, verdicts[:0])
+			if *tenantEvict > 0 {
+				// Between batches is the single-writer window; idle
+				// tenants spill their filters and recycle their vectors.
+				mgr.EvictIdle(*tenantEvict)
+			}
+		default:
 			verdicts = limiter.ProcessBatch(batch, verdicts[:0])
 		}
 		snapDue := false
@@ -299,9 +366,17 @@ func runSig(args []string, out io.Writer, sigc <-chan os.Signal) error {
 			}
 			if *report > 0 && pkt.TS >= nextReport {
 				s := stats()
-				fmt.Fprintf(out, "stats t=%v packets=%d dropped=%d uplink=%.2fMbps pd=%.2f matched=%d unroutable=%d anomalies=%d\n",
-					pkt.TS.Truncate(time.Second), total, dropped,
-					uplink(), dropPd(), s.InboundMatched, s.Unroutable, s.TimeAnomalies)
+				if mgr != nil {
+					ms := mgr.Stats()
+					fmt.Fprintf(out, "stats t=%v packets=%d dropped=%d tenants=%d hydrated=%d evictions=%d spill=%dKiB matched=%d anomalies=%d\n",
+						pkt.TS.Truncate(time.Second), total, dropped,
+						ms.Tenants, ms.Hydrated, ms.Evictions, ms.SpillBytes/1024,
+						s.InboundMatched, s.TimeAnomalies)
+				} else {
+					fmt.Fprintf(out, "stats t=%v packets=%d dropped=%d uplink=%.2fMbps pd=%.2f matched=%d unroutable=%d anomalies=%d\n",
+						pkt.TS.Truncate(time.Second), total, dropped,
+						uplink(), dropPd(), s.InboundMatched, s.Unroutable, s.TimeAnomalies)
+				}
 				for pkt.TS >= nextReport {
 					nextReport += *report
 				}
@@ -332,7 +407,7 @@ func runSig(args []string, out io.Writer, sigc <-chan os.Signal) error {
 		if *statePath == "" {
 			return nil
 		}
-		return saveStateFn(limiter, *statePath)
+		return save()
 	}
 	// Graceful-shutdown latch: a pending signal or -stop-after trips it;
 	// the loop checks it between packets so shutdown always lands on a
@@ -386,6 +461,35 @@ func runSig(args []string, out io.Writer, sigc <-chan os.Signal) error {
 	}
 }
 
+// loadTenants parses a -tenants file: one subscriber per line, either
+// "CIDR" (the CIDR doubles as the id) or "id CIDR". Blank lines and
+// #-comments are skipped.
+func loadTenants(path string) ([]p2pbound.TenantConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var tcs []p2pbound.TenantConfig
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch fields := strings.Fields(line); len(fields) {
+		case 1:
+			tcs = append(tcs, p2pbound.TenantConfig{Network: fields[0]})
+		case 2:
+			tcs = append(tcs, p2pbound.TenantConfig{ID: fields[0], Network: fields[1]})
+		default:
+			return nil, fmt.Errorf("tenants file %s:%d: want '[id] CIDR', got %q", path, lineNo+1, line)
+		}
+	}
+	if len(tcs) == 0 {
+		return nil, fmt.Errorf("tenants file %s: no subscribers", path)
+	}
+	return tcs, nil
+}
+
 // restoreState loads the snapshot at path. os.ErrNotExist passes through
 // for the caller's first-boot handling; adopt selects AdoptState, which
 // accepts a snapshot whose geometry differs from the configured one.
@@ -402,16 +506,38 @@ func restoreState(l *p2pbound.Limiter, path string, adopt bool) error {
 	return l.RestoreState(r)
 }
 
-// saveStateFn indirects saveState so tests can observe periodic snapshot
-// cadence without racing the filesystem.
-var saveStateFn = saveState
+// restoreTenantState is the -tenants analogue of restoreState.
+func restoreTenantState(m *p2pbound.TenantManager, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return m.RestoreTenantState(bufio.NewReader(f))
+}
 
-// saveState writes the snapshot atomically and durably: the bytes are
-// written to a temp file, fsynced, renamed over the target, and the
-// directory entry fsynced — so a crash at any point leaves either the
-// old snapshot or the new one, never a torn or missing file. On failure
-// the temp file is removed rather than leaked.
-func saveState(l *p2pbound.Limiter, path string) (err error) {
+// saveStateFn and saveTenantStateFn indirect the snapshot writers so
+// tests can observe periodic snapshot cadence without racing the
+// filesystem.
+var (
+	saveStateFn       = saveState
+	saveTenantStateFn = saveTenantState
+)
+
+func saveState(l *p2pbound.Limiter, path string) error {
+	return writeSnapshotAtomic(path, l.SaveState)
+}
+
+func saveTenantState(m *p2pbound.TenantManager, path string) error {
+	return writeSnapshotAtomic(path, m.SaveTenantState)
+}
+
+// writeSnapshotAtomic writes a snapshot atomically and durably: the
+// bytes are written to a temp file, fsynced, renamed over the target,
+// and the directory entry fsynced — so a crash at any point leaves
+// either the old snapshot or the new one, never a torn or missing file.
+// On failure the temp file is removed rather than leaked.
+func writeSnapshotAtomic(path string, saveTo func(io.Writer) error) (err error) {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -424,7 +550,7 @@ func saveState(l *p2pbound.Limiter, path string) (err error) {
 		}
 	}()
 	w := bufio.NewWriter(f)
-	if err = l.SaveState(w); err != nil {
+	if err = saveTo(w); err != nil {
 		return err
 	}
 	if err = w.Flush(); err != nil {

@@ -359,6 +359,121 @@ func TestRunPeersFleet(t *testing.T) {
 	}
 }
 
+// writeTenantsFile writes a -tenants subscriber file covering the test
+// trace's client network, plus a quiet second subscriber, exercising
+// both the bare-CIDR and the 'id CIDR' line forms.
+func writeTenantsFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "tenants.txt")
+	content := strings.Join([]string{
+		"# subscribers, one per line",
+		"campus 140.112.0.0/16",
+		"",
+		"10.99.0.0/16", // bare CIDR: the network doubles as the id
+	}, "\n")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunTenantsMode replays the trace through a TenantManager: the
+// campus subscriber absorbs all traffic, the quiet subscriber stays
+// cold, and the tenant-mode stats line replaces the single-box one.
+func TestRunTenantsMode(t *testing.T) {
+	path := writeTestPcap(t, 42)
+	tenants := writeTenantsFile(t)
+	var buf bytes.Buffer
+	err := run([]string{
+		"-i", path, "-net", "140.112.0.0/16",
+		"-tenants", tenants, "-tenant-prefix", "16",
+		"-tenant-evict", "30s", // exercised, but the active tenant never idles out
+		"-low", "0.5", "-high", "1",
+		"-report", "5s",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "multi-tenant edge: 2 subscribers (/16 each)") {
+		t.Fatalf("missing tenant-mode banner:\n%s", out)
+	}
+	if !strings.Contains(out, "tenants=2 hydrated=1") {
+		t.Fatalf("expected only the campus tenant hydrated:\n%s", out)
+	}
+	if !strings.Contains(out, "DROP ") {
+		t.Fatalf("expected drops at these tiny thresholds:\n%s", out)
+	}
+	if !strings.Contains(out, "done:") {
+		t.Fatalf("missing completion line:\n%s", out)
+	}
+	if m := regexp.MustCompile(`done: \d+ packets, \d+ dropped, (\d+) matched`).FindStringSubmatch(out); m == nil || m[1] == "0" {
+		t.Fatalf("tenant mode matched no inbound traffic:\n%s", out)
+	}
+}
+
+// TestRunTenantsStateRoundTrip: tenant mode writes a BMTM snapshot on
+// exit and restores the whole population from it on restart.
+func TestRunTenantsStateRoundTrip(t *testing.T) {
+	path := writeTestPcap(t, 43)
+	tenants := writeTenantsFile(t)
+	state := filepath.Join(t.TempDir(), "tenants.state")
+	args := []string{
+		"-i", path, "-net", "140.112.0.0/16",
+		"-tenants", tenants, "-tenant-prefix", "16",
+		"-quiet", "-state", state,
+	}
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(state); err != nil {
+		t.Fatalf("tenant state file not written: %v", err)
+	}
+	buf.Reset()
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "restored state from "+state) {
+		t.Fatalf("restart did not restore tenant snapshot:\n%s", buf.String())
+	}
+}
+
+// TestRunTenantsErrors: malformed subscriber files and incompatible
+// flag combinations are rejected up front, not discovered mid-stream.
+func TestRunTenantsErrors(t *testing.T) {
+	path := writeTestPcap(t, 44)
+	tenants := writeTenantsFile(t)
+	dir := t.TempDir()
+	file := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	base := []string{"-i", path, "-net", "140.112.0.0/16"}
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"with-peers", []string{"-tenants", tenants, "-peers", "2"}, "mutually exclusive"},
+		{"missing-file", []string{"-tenants", filepath.Join(dir, "nope.txt")}, "no such file"},
+		{"empty-file", []string{"-tenants", file("empty.txt", "# only comments\n\n")}, "no subscribers"},
+		{"bad-line", []string{"-tenants", file("bad.txt", "a b c\n")}, "want '[id] CIDR'"},
+		{"bad-cidr", []string{"-tenants", file("cidr.txt", "campus not-a-cidr\n")}, ""},
+	} {
+		err := run(append(append([]string{}, base...), tc.args...), &bytes.Buffer{})
+		if err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
 // TestRunPeersRejectsState: -state with -peers is unsupported, not
 // silently ignored.
 func TestRunPeersRejectsState(t *testing.T) {

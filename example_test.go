@@ -75,6 +75,70 @@ func ExampleNew_customGeometry() {
 	// 4 KiB, T_e = 4s
 }
 
+// Multi-tenant edge: one manager hosts many subscriber networks, each
+// with its own filter, and idle subscribers spill their state instead of
+// holding vector memory. A flow admitted before an eviction still
+// matches after the tenant rehydrates.
+func ExampleTenantManager() {
+	mgr, err := p2pbound.NewTenantManager(p2pbound.TenantManagerConfig{
+		Tenant: p2pbound.Config{
+			LowMbps:  0.001, // tiny thresholds so the example saturates
+			HighMbps: 0.002,
+		},
+		PrefixBits: 24,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, t := range []p2pbound.TenantConfig{
+		{ID: "alice", Network: "100.64.1.0/24"},
+		{ID: "bob", Network: "100.64.2.0/24"},
+	} {
+		if err := mgr.AddTenant(t); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+
+	alice := netip.MustParseAddr("100.64.1.10")
+	server := netip.MustParseAddr("93.184.216.34")
+	stranger := netip.MustParseAddr("45.9.9.9")
+
+	// Alice's request saturates her uplink and marks the flow.
+	fmt.Println("request:", mgr.Process(p2pbound.Packet{
+		Timestamp: 0, Protocol: p2pbound.TCP,
+		SrcAddr: alice, SrcPort: 40000, DstAddr: server, DstPort: 80,
+		Size: 1_000_000,
+	}))
+
+	// Alice idles out: her filter spills, its vectors return to the pool.
+	mgr.EvictIdle(0)
+
+	// The server's response rehydrates her tenant and still matches.
+	fmt.Println("response:", mgr.Process(p2pbound.Packet{
+		Timestamp: 50 * time.Millisecond, Protocol: p2pbound.TCP,
+		SrcAddr: server, SrcPort: 80, DstAddr: alice, DstPort: 40000,
+		Size: 1500,
+	}))
+
+	// A stranger's unsolicited packet to the saturated subscriber drops;
+	// Bob's quiet network is untouched by Alice's load.
+	fmt.Println("unsolicited:", mgr.Process(p2pbound.Packet{
+		Timestamp: 60 * time.Millisecond, Protocol: p2pbound.TCP,
+		SrcAddr: stranger, SrcPort: 50000, DstAddr: alice, DstPort: 6881,
+		Size: 60,
+	}))
+	s := mgr.Stats()
+	fmt.Printf("tenants: %d, hydrated: %d, hydrations: %d\n",
+		s.Tenants, s.Hydrated, s.Hydrations)
+	// Output:
+	// request: PASS
+	// response: PASS
+	// unsolicited: DROP
+	// tenants: 2, hydrated: 1, hydrations: 2
+}
+
 // Sharding for multi-queue pipelines: both directions of a connection
 // always land on the same shard.
 func ExampleShardedLimiter() {

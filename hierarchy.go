@@ -1,0 +1,87 @@
+package p2pbound
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"p2pbound/internal/red"
+	"p2pbound/internal/throughput"
+)
+
+// aggBudget is one shard's slice of the edge-wide uplink budget in the
+// hierarchical-RED composition: every tenant limiter on the shard feeds
+// its passed outbound bytes into the shared meter, and every tenant's
+// drop probability is red.Combine-d with the ramp over the shared rate.
+// One seeding subscriber therefore raises pressure on all of its
+// shard's tenants proportionally instead of starving them silently —
+// the Andreica & Tapuş resource-allocation framing applied to the
+// paper's Equation 1.
+//
+// Like the tenants it serves, an aggBudget is single-writer: only the
+// shard's processing goroutine touches the meter and cache. The atomic
+// mirrors exist for scrape goroutines, exactly as in Limiter.
+type aggBudget struct {
+	meter  *throughput.Meter
+	prober red.Prober
+
+	// P_d cache over the shared meter, same discipline as Limiter.pd:
+	// recompute only after outbound bytes land or simulated time crosses
+	// a meter bucket.
+	bucketWidth time.Duration
+	pdUntil     time.Duration
+	pdValid     bool
+	cachedPd    float64
+
+	pdBits     atomic.Uint64 //p2p:atomic
+	uplinkBits atomic.Uint64 //p2p:atomic
+}
+
+// newAggBudget builds one shard's aggregate budget with the given
+// Equation 1 thresholds (bits per second) over a window-sized meter.
+func newAggBudget(lowBps, highBps float64, window time.Duration) (*aggBudget, error) {
+	prober, err := red.NewLinear(lowBps, highBps)
+	if err != nil {
+		return nil, err
+	}
+	buckets := int(window / time.Second)
+	if buckets < 1 {
+		buckets = 1
+	}
+	meter, err := throughput.NewMeter(window/time.Duration(buckets), buckets)
+	if err != nil {
+		return nil, err
+	}
+	return &aggBudget{
+		meter:       meter,
+		prober:      prober,
+		bucketWidth: window / time.Duration(buckets),
+	}, nil
+}
+
+// add feeds passed outbound bytes into the shared meter and invalidates
+// the cached aggregate P_d.
+//
+//p2p:hotpath
+func (a *aggBudget) add(ts time.Duration, n int) {
+	a.meter.Add(ts, n)
+	a.pdValid = false
+}
+
+// pd returns the aggregate drop probability at simulated time ts.
+//
+//p2p:hotpath
+func (a *aggBudget) pd(ts time.Duration) float64 {
+	if !a.pdValid || ts >= a.pdUntil {
+		crossed := ts >= a.pdUntil
+		rate := a.meter.Rate(ts)
+		a.cachedPd = a.prober.Pd(rate)
+		a.pdUntil = ts - ts%a.bucketWidth + a.bucketWidth
+		a.pdValid = true
+		if crossed {
+			a.pdBits.Store(math.Float64bits(a.cachedPd))
+			a.uplinkBits.Store(math.Float64bits(rate))
+		}
+	}
+	return a.cachedPd
+}

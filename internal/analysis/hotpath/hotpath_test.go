@@ -12,6 +12,15 @@ func TestHotpath(t *testing.T) {
 	analysistest.Run(t, "testdata", []*analysis.Analyzer{hotpath.Analyzer}, "hot")
 }
 
+// TestHotpathTenantRoute proves the multi-tenant routing discipline
+// TenantManager's per-packet lookup relies on: the copy-on-write route
+// table keeps the fast path free of locks and allocation, and
+// control-plane work (registration, hydration) cannot be called from
+// under a packet.
+func TestHotpathTenantRoute(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{hotpath.Analyzer}, "tenantroute")
+}
+
 // TestHotpathReplicationBoundary proves the fleet-sync discipline the
 // replica package relies on: unannotated sync-pump code (goroutines,
 // locks, frame allocation) is legal, and the //p2p:hotpath packet path

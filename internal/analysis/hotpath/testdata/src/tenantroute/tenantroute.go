@@ -1,0 +1,111 @@
+// Package tenantroute fixes the multi-tenant per-packet routing
+// discipline TenantManager relies on: the route lookup — one atomic
+// table load, a shift, and at most two reads of an immutable map — is
+// allocation- and lock-free, while the control plane (registration
+// under a mutex, hydration, map cloning) is ordinary Go that the hot
+// path may not call into. The golden test asserts the only diagnostics
+// are the violations at the bottom.
+package tenantroute
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type tenant struct {
+	shard int
+	hits  atomic.Int64
+}
+
+// table is the immutable routing state, swapped copy-on-write.
+type table struct {
+	shift uint
+	byKey map[uint32]*tenant
+}
+
+type manager struct {
+	mu     sync.Mutex
+	routes atomic.Pointer[table]
+	miss   atomic.Int64
+}
+
+// addTenant is control plane: clone-and-swap under the registration
+// lock. Unannotated, so its lock, map literal, and per-entry copies
+// draw no diagnostics.
+func addTenant(m *manager, key uint32, t *tenant) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	old := m.routes.Load()
+	byKey := make(map[uint32]*tenant, len(old.byKey)+1)
+	for k, v := range old.byKey {
+		byKey[k] = v
+	}
+	byKey[key] = t
+	m.routes.Store(&table{shift: old.shift, byKey: byKey})
+}
+
+// hydrate is likewise control plane — it allocates filter storage.
+func hydrate(t *tenant) {
+	_ = make([]uint64, 1<<10)
+}
+
+// route is the per-packet fast path: source key first (the outbound
+// view), then destination. Atomic loads, shifts, and immutable map
+// index reads are all allowed.
+//
+//p2p:hotpath
+func route(m *manager, src, dst uint32) *tenant {
+	rt := m.routes.Load()
+	if t := rt.byKey[src>>rt.shift]; t != nil {
+		return t
+	}
+	if t := rt.byKey[dst>>rt.shift]; t != nil {
+		return t
+	}
+	m.miss.Add(1)
+	return nil
+}
+
+//p2p:hotpath
+func touch(t *tenant) int {
+	t.hits.Add(1)
+	return t.shard
+}
+
+// lockedRoute is the violation the copy-on-write table exists to avoid:
+// a registration lock on the per-packet path.
+//
+//p2p:hotpath
+func lockedRoute(m *manager, src uint32) *tenant {
+	m.mu.Lock() // want `may not acquire locks`
+	rt := m.routes.Load()
+	t := rt.byKey[src>>rt.shift]
+	m.mu.Unlock() // want `may not acquire locks`
+	return t
+}
+
+// hydratingRoute puts control-plane work under a packet: hydration
+// belongs on the miss path behind the shard's single writer, not inline
+// in the lookup.
+//
+//p2p:hotpath
+func hydratingRoute(m *manager, src uint32) *tenant {
+	t := route(m, src, src)
+	if t == nil {
+		return nil
+	}
+	hydrate(t) // want `calls hydrate, which is not annotated`
+	return t
+}
+
+// keyedRoute allocates a per-packet lookup structure — the lookup must
+// index the shared map directly.
+//
+//p2p:hotpath
+func keyedRoute(m *manager, srcs []uint32) []*tenant {
+	out := make([]*tenant, 0, len(srcs)) // want `allocates: make`
+	for _, s := range srcs {
+		out = append(out, route(m, s, s)) // want `calls append`
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package bitvec
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+func TestArenaVectorBehavesLikeNew(t *testing.T) {
+	a := NewArena(1<<14, 8)
+	av := a.NewVector(1 << 14)
+	nv := New(1 << 14)
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 5000; i++ {
+		bit := rng.Uint32()
+		av.Set(bit)
+		nv.Set(bit)
+	}
+	if !av.Equal(nv) {
+		t.Fatal("arena vector diverged from New vector under identical Sets")
+	}
+	if av.OnesCount() != nv.OnesCount() {
+		t.Fatalf("ones mismatch: arena %d, new %d", av.OnesCount(), nv.OnesCount())
+	}
+	av.Clear()
+	nv.Clear()
+	if !av.Equal(nv) {
+		t.Fatal("arena vector diverged after Clear")
+	}
+}
+
+func TestArenaGeometryRounding(t *testing.T) {
+	a := NewArena(1000, 4)
+	if a.NBits() != 1024 {
+		t.Fatalf("NBits = %d, want 1024", a.NBits())
+	}
+	// Any nbits that rounds to the arena geometry is accepted.
+	v := a.NewVector(1000)
+	if v.Len() != 1024 {
+		t.Fatalf("Len = %d, want 1024", v.Len())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewVector with mismatched geometry did not panic")
+		}
+	}()
+	a.NewVector(2048)
+}
+
+func TestArenaSpanAlignment(t *testing.T) {
+	a := NewArena(4096, 5)
+	for i := 0; i < 20; i++ {
+		v := a.NewVector(4096)
+		addr := uintptr(unsafe.Pointer(&v.words[0]))
+		if addr%64 != 0 {
+			t.Fatalf("vector %d words not 64-byte aligned: %#x", i, addr)
+		}
+	}
+}
+
+func TestArenaRecycledVectorReadsZero(t *testing.T) {
+	a := NewArena(1<<12, 2)
+	v := a.NewVector(1 << 12)
+	for i := uint32(0); i < 1<<12; i += 3 {
+		v.Set(i)
+	}
+	if v.OnesCount() == 0 {
+		t.Fatal("setup: no bits set")
+	}
+	if err := a.Release(v); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	// The recycled span still physically holds the old bits; the fresh
+	// vector must read logically zero everywhere and never resurrect
+	// them through Set's read-modify-write.
+	w := a.NewVector(1 << 12)
+	if w.OnesCount() != 0 {
+		t.Fatalf("recycled vector OnesCount = %d, want 0", w.OnesCount())
+	}
+	for i := uint32(0); i < 1<<12; i++ {
+		if w.Get(i) {
+			t.Fatalf("recycled vector bit %d reads set", i)
+		}
+	}
+	w.Set(7)
+	if got := w.OnesCount(); got != 1 {
+		t.Fatalf("after one Set on recycled vector, OnesCount = %d, want 1", got)
+	}
+	// StepClear must converge without reviving anything.
+	for !w.StepClear(1) {
+	}
+	if got := w.OnesCount(); got != 1 {
+		t.Fatalf("after sweep, OnesCount = %d, want 1", got)
+	}
+	if !w.Get(7) || w.Get(8) {
+		t.Fatal("sweep corrupted recycled vector contents")
+	}
+}
+
+func TestArenaFreeListReuse(t *testing.T) {
+	a := NewArena(2048, 4)
+	vs := make([]*Vector, 10)
+	for i := range vs {
+		vs[i] = a.NewVector(2048)
+	}
+	st := a.Stats()
+	if st.Live != 10 {
+		t.Fatalf("Live = %d, want 10", st.Live)
+	}
+	slabs := st.Slabs
+	for _, v := range vs {
+		if err := a.Release(v); err != nil {
+			t.Fatalf("Release: %v", err)
+		}
+	}
+	st = a.Stats()
+	if st.Live != 0 || st.Free != 10 {
+		t.Fatalf("after release: Live=%d Free=%d, want 0/10", st.Live, st.Free)
+	}
+	// Re-carving the same population must not grow new slabs.
+	for i := range vs {
+		vs[i] = a.NewVector(2048)
+	}
+	st = a.Stats()
+	if st.Slabs != slabs {
+		t.Fatalf("reuse allocated new slabs: %d -> %d", slabs, st.Slabs)
+	}
+	if st.Free != 0 {
+		t.Fatalf("free list not drained: %d", st.Free)
+	}
+}
+
+func TestArenaReleaseErrors(t *testing.T) {
+	a := NewArena(1024, 2)
+	if err := a.Release(New(1024)); err == nil {
+		t.Fatal("releasing a non-arena vector did not error")
+	}
+	b := NewArena(4096, 2)
+	v := b.NewVector(4096)
+	if err := a.Release(v); err == nil {
+		t.Fatal("cross-arena geometry release did not error")
+	}
+	w := a.NewVector(1024)
+	if err := a.Release(w); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if err := a.Release(w); err == nil {
+		t.Fatal("double release did not error")
+	}
+}
+
+func TestArenaConcurrentChurn(t *testing.T) {
+	a := NewArena(4096, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, seed^0xabcdef))
+			for i := 0; i < 200; i++ {
+				v := a.NewVector(4096)
+				for j := 0; j < 32; j++ {
+					v.Set(rng.Uint32())
+				}
+				if err := a.Release(v); err != nil {
+					t.Errorf("Release: %v", err)
+					return
+				}
+			}
+		}(uint64(g + 1))
+	}
+	wg.Wait()
+	st := a.Stats()
+	if st.Live != 0 {
+		t.Fatalf("Live = %d after churn, want 0", st.Live)
+	}
+}

@@ -55,6 +55,10 @@ type Vector struct {
 	mask       uint32 // nbits − 1; nbits is always a power of two
 	ones       int    // logical popcount, maintained incrementally
 	sweep      int    // clear watermark: blocks below are freshened
+	// span is the backing slab slice when the vector was carved from an
+	// Arena (words and blockEpoch alias into it); nil for vectors built
+	// by New. Arena.Release uses it to recycle the storage.
+	span []uint64
 }
 
 // New returns a Vector with capacity for nbits bits, all zero. nbits is

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"p2pbound/internal/bitvec"
+)
+
+// replayStep drives one seeded traffic step against f and returns the
+// verdict (or 0 for an outbound mark step). Both filters in a
+// differential pair must be fed from identically-seeded rngs.
+func replayStep(f *Filter, rng *rand.Rand, now time.Duration) Verdict {
+	pair := pairN(uint32(rng.IntN(4096)))
+	f.Advance(now)
+	if rng.IntN(3) == 0 {
+		f.Process(outPkt(now, pair), 0)
+		return 0
+	}
+	return f.Process(inPkt(now, pair), 0.5)
+}
+
+// TestArenaFilterMatchesHeapFilter pins that a filter whose vectors are
+// carved from a bitvec.Arena is verdict-for-verdict identical to a
+// plain New filter.
+func TestArenaFilterMatchesHeapFilter(t *testing.T) {
+	cfg := testConfig()
+	cfg.Seed = 42
+	arena := bitvec.NewArena(1<<cfg.NBits, 0)
+	af, err := NewWith(cfg, arena)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hf, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rngA := rand.New(rand.NewPCG(7, 9))
+	rngB := rand.New(rand.NewPCG(7, 9))
+	var now time.Duration
+	for i := 0; i < 50_000; i++ {
+		now += time.Duration(rngA.IntN(3000)) * time.Microsecond
+		rngB.IntN(3000)
+		va := replayStep(af, rngA, now)
+		vb := replayStep(hf, rngB, now)
+		if va != vb {
+			t.Fatalf("step %d: arena verdict %v, heap verdict %v", i, va, vb)
+		}
+	}
+	if af.Stats() != hf.Stats() {
+		t.Fatalf("stats diverged: arena %+v, heap %+v", af.Stats(), hf.Stats())
+	}
+	if err := af.ReleaseVectors(arena); err != nil {
+		t.Fatal(err)
+	}
+	if st := arena.Stats(); st.Live != 0 || st.Free != cfg.K {
+		t.Fatalf("arena after release: %+v", st)
+	}
+}
+
+// TestSuspendResumeVerdictExact pins the full evict/rehydrate state
+// loop: v2 snapshot + RotationState + RNGState restores a filter whose
+// subsequent verdicts and stats deltas are bit-identical to the filter
+// that never stopped.
+func TestSuspendResumeVerdictExact(t *testing.T) {
+	cfg := testConfig()
+	cfg.Seed = 99
+	cont, err := New(cfg) // never suspended
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := New(cfg) // suspended/resumed every epoch below
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena := bitvec.NewArena(1<<cfg.NBits, 0)
+	rngA := rand.New(rand.NewPCG(3, 5))
+	rngB := rand.New(rand.NewPCG(3, 5))
+	var now time.Duration
+	for epoch := 0; epoch < 8; epoch++ {
+		for i := 0; i < 5_000; i++ {
+			now += time.Duration(rngA.IntN(2500)) * time.Microsecond
+			rngB.IntN(2500)
+			va := replayStep(cont, rngA, now)
+			vb := replayStep(live, rngB, now)
+			if va != vb {
+				t.Fatalf("epoch %d step %d: verdicts diverged (%v vs %v)", epoch, i, va, vb)
+			}
+		}
+		// Evict: spill bitmap + temporal + rng state, then rebuild from
+		// the spill into arena-backed vectors.
+		var buf bytes.Buffer
+		if _, err := live.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		rot := live.RotationState()
+		rngState, err := live.RNGState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		resumed, err := ReadFilterWith(&buf, arena)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := resumed.SetRotationState(rot); err != nil {
+			t.Fatal(err)
+		}
+		if err := resumed.SetRNGState(rngState); err != nil {
+			t.Fatal(err)
+		}
+		live = resumed
+	}
+	// Counters are not part of the spill (the limiter folds them); only
+	// compare verdict-visible rotation state.
+	if cont.RotationState() != live.RotationState() {
+		t.Fatalf("rotation state diverged: %+v vs %+v", cont.RotationState(), live.RotationState())
+	}
+}
+
+// TestEmptyReportsLogicalZero pins that Empty tracks logical contents
+// through lazy clears.
+func TestEmptyReportsLogicalZero(t *testing.T) {
+	f, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Empty() {
+		t.Fatal("fresh filter not Empty")
+	}
+	f.Advance(0)
+	f.Process(outPkt(0, pairN(1)), 0)
+	if f.Empty() {
+		t.Fatal("marked filter reports Empty")
+	}
+	// K due rotations wipe every vector logically; Empty must see that
+	// without waiting for the physical sweep.
+	f.Advance(time.Duration(f.cfg.K+1) * f.cfg.DeltaT)
+	if !f.Empty() {
+		t.Fatal("fully rotated filter not Empty")
+	}
+}
+
+// TestRotationStateValidation pins the index range check.
+func TestRotationStateValidation(t *testing.T) {
+	f, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetRotationState(RotationState{Index: f.cfg.K}); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if err := f.SetRotationState(RotationState{Index: -1}); err == nil {
+		t.Fatal("negative index accepted")
+	}
+}
+
+// TestReadFilterWithReleasesOnError pins the no-leak contract: a
+// corrupt stream must leave the arena with no live spans.
+func TestReadFilterWithReleasesOnError(t *testing.T) {
+	cfg := testConfig()
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[len(b)-1] ^= 0xff // corrupt the checksum trailer
+	arena := bitvec.NewArena(1<<cfg.NBits, 0)
+	if _, err := ReadFilterWith(bytes.NewReader(b), arena); err == nil {
+		t.Fatal("corrupt snapshot accepted")
+	}
+	if st := arena.Stats(); st.Live != 0 {
+		t.Fatalf("decode error leaked %d arena spans", st.Live)
+	}
+}

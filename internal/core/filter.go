@@ -155,7 +155,11 @@ type Filter struct {
 	scheme  hashes.Scheme
 	layout  hashes.Layout
 	rng     *rand.Rand
-	sums    []uint32
+	// pcg is the source behind rng, retained so suspend/resume paths can
+	// marshal the exact draw position (RNGState); rand.Rand itself does
+	// not expose its source.
+	pcg  *rand.PCG
+	sums []uint32
 	// enc is the reusable socket-pair key encoder; each packet encodes
 	// its key exactly once and the m hash sums derived from it are
 	// shared by the mark fan-out across all k vectors (outbound) or the
@@ -192,8 +196,13 @@ type Filter struct {
 	stats    counters
 }
 
-// New builds a bitmap filter from cfg.
+// New builds a bitmap filter from cfg with heap-allocated bit vectors;
+// NewWith selects a pooled allocator instead.
 func New(cfg Config) (*Filter, error) {
+	return newFilter(cfg, nil)
+}
+
+func newFilter(cfg Config, alloc VectorAllocator) (*Filter, error) {
 	if cfg.K <= 0 {
 		return nil, errors.New("core: K must be positive, got " + strconv.Itoa(cfg.K))
 	}
@@ -224,15 +233,21 @@ func New(cfg Config) (*Filter, error) {
 	}
 	vectors := make([]*bitvec.Vector, cfg.K)
 	for i := range vectors {
-		vectors[i] = bitvec.New(1 << cfg.NBits)
+		if alloc != nil {
+			vectors[i] = alloc.NewVector(1 << cfg.NBits)
+		} else {
+			vectors[i] = bitvec.New(1 << cfg.NBits)
+		}
 	}
+	pcg := rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15)
 	return &Filter{
 		cfg:      cfg,
 		vectors:  vectors,
 		family:   family,
 		scheme:   scheme,
 		layout:   layout,
-		rng:      rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15)),
+		pcg:      pcg,
+		rng:      rand.New(pcg),
 		sums:     make([]uint32, 0, cfg.M),
 		enc:      packet.NewKeyEncoder(cfg.HolePunch),
 		bsums:    make([]uint32, BatchChunk*cfg.M),

@@ -147,6 +147,27 @@ func (f *Filter) writeToV1(w io.Writer) (int64, error) {
 // a snapshot that survived a torn write or bit rot is always rejected;
 // callers should treat the error as a cold start, not a fatal condition.
 func ReadFilter(r io.Reader) (*Filter, error) {
+	return ReadFilterWith(r, nil)
+}
+
+// ReadFilterWith is ReadFilter with the filter's bit vectors drawn from
+// alloc (nil selects plain heap vectors). The tenant rehydration path
+// uses it so a filter restored from a spill frame lands back in the
+// arena it was evicted from. On any decode error vectors already carved
+// from alloc are released before returning, so a rejected snapshot
+// leaks no spans.
+func ReadFilterWith(r io.Reader, alloc VectorAllocator) (*Filter, error) {
+	f, err := readFilter(r, alloc)
+	if err != nil && f != nil && alloc != nil {
+		_ = f.ReleaseVectors(alloc)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func readFilter(r io.Reader, alloc VectorAllocator) (*Filter, error) {
 	crc := crc32.New(castagnoli)
 	tee := io.TeeReader(r, crc)
 
@@ -186,14 +207,14 @@ func ReadFilter(r io.Reader) (*Filter, error) {
 			return nil, errfmt.Detail("core: implausible snapshot geometry: "+strconv.FormatInt(bytes, 10)+" vector bytes exceed "+strconv.Itoa(maxSnapshotBytes), ErrSnapshotGeometry)
 		}
 	}
-	f, err := New(cfg)
+	f, err := newFilter(cfg, alloc)
 	if err != nil {
 		return nil, errfmt.Detail("core: snapshot config: "+err.Error(), ErrSnapshotCorrupt)
 	}
 	f.started = hdr[33] == 1
 	f.idx = int(binary.LittleEndian.Uint32(hdr[36:]))
 	if f.idx < 0 || f.idx >= cfg.K {
-		return nil, errfmt.Detail("core: snapshot index "+strconv.Itoa(f.idx)+" out of range", ErrSnapshotCorrupt)
+		return f, errfmt.Detail("core: snapshot index "+strconv.Itoa(f.idx)+" out of range", ErrSnapshotCorrupt)
 	}
 	f.next = time.Duration(binary.LittleEndian.Uint64(hdr[40:]))
 
@@ -204,17 +225,17 @@ func ReadFilter(r io.Reader) (*Filter, error) {
 			_, err = v.ReadFrame(tee)
 		}
 		if err != nil {
-			return nil, errfmt.Wrap("core: read snapshot vectors", err)
+			return f, errfmt.Wrap("core: read snapshot vectors", err)
 		}
 	}
 	if version == snapshotV2 {
 		want := crc.Sum32()
 		var trailer [snapshotTrailerLen]byte
 		if _, err := io.ReadFull(r, trailer[:]); err != nil {
-			return nil, errfmt.Wrap("core: read snapshot trailer", err)
+			return f, errfmt.Wrap("core: read snapshot trailer", err)
 		}
 		if got := binary.LittleEndian.Uint32(trailer[:]); got != want {
-			return nil, errfmt.Detail("core: snapshot checksum mismatch: stored "+hex(uint64(got))+", computed "+hex(uint64(want)), ErrSnapshotChecksum)
+			return f, errfmt.Detail("core: snapshot checksum mismatch: stored "+hex(uint64(got))+", computed "+hex(uint64(want)), ErrSnapshotChecksum)
 		}
 	}
 	return f, nil

@@ -122,6 +122,38 @@ func (e *EWMA) Pd(throughputBps float64) float64 {
 // Average returns the current smoothed throughput estimate.
 func (e *EWMA) Average() float64 { return e.avg }
 
+// Combine nests a tenant's drop probability under an aggregate uplink
+// budget: the combined probability is the chance of losing at least one
+// of two independent draws,
+//
+//	P = 1 − (1−tenant)·(1−agg)
+//
+// — the hierarchical-RED composition of a multi-tenant edge. A
+// subscriber below its own L contributes tenant = 0, so edge-wide
+// pressure (agg > 0) still reaches it proportionally; a subscriber at
+// its own H drops everything regardless of the aggregate; and a
+// saturated edge (agg = 1) fails closed for every tenant at once.
+//
+// The boundary cases are exact, not merely within floating-point error:
+// when either input is ≤ 0 the other is returned unchanged, so a
+// disabled or idle aggregate budget leaves the per-tenant ramp
+// bit-identical to a bare limiter — the property the one-tenant
+// differential equivalence test pins.
+//
+//p2p:hotpath
+func Combine(tenant, agg float64) float64 {
+	switch {
+	case agg <= 0:
+		return tenant
+	case tenant <= 0:
+		return agg
+	case tenant >= 1 || agg >= 1:
+		return 1
+	default:
+		return 1 - (1-tenant)*(1-agg)
+	}
+}
+
 // Observed wraps a Prober and reports every computed (throughput, P_d)
 // pair to a callback — the seam observability layers use to watch the
 // RED ramp without re-deriving it. The callback runs synchronously on

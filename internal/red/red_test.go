@@ -187,3 +187,44 @@ func TestObserved(t *testing.T) {
 		t.Fatalf("nil-callback Pd = %g, want %g", got, l.Pd(75))
 	}
 }
+
+func TestCombine(t *testing.T) {
+	tests := []struct {
+		name        string
+		tenant, agg float64
+		want        float64
+	}{
+		{"both zero", 0, 0, 0},
+		{"agg disabled is exact identity", 0.37, 0, 0.37},
+		{"tenant idle is exact aggregate", 0, 0.42, 0.42},
+		{"tenant saturated", 1, 0.1, 1},
+		{"edge saturated fails closed", 0.1, 1, 1},
+		{"negative inputs clamp to the other side", -0.5, 0.3, 0.3},
+		{"independent composition", 0.5, 0.5, 0.75},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Combine(tt.tenant, tt.agg); got != tt.want {
+				t.Fatalf("Combine(%v, %v) = %v, want %v", tt.tenant, tt.agg, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCombineProperties(t *testing.T) {
+	for i := 0; i <= 100; i++ {
+		for j := 0; j <= 100; j++ {
+			a, b := float64(i)/100, float64(j)/100
+			p := Combine(a, b)
+			if p < 0 || p > 1 {
+				t.Fatalf("Combine(%v, %v) = %v out of [0,1]", a, b, p)
+			}
+			if p != Combine(b, a) {
+				t.Fatalf("Combine not symmetric at (%v, %v)", a, b)
+			}
+			if p+1e-12 < a || p+1e-12 < b {
+				t.Fatalf("Combine(%v, %v) = %v below an input: pressure must only add", a, b, p)
+			}
+		}
+	}
+}

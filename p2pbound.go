@@ -285,12 +285,23 @@ type Limiter struct {
 	traceFn    func(DropTrace)
 	dropSeen   int64
 
-	// Two-pass batch scratch: one chunk of converted internal packets
-	// and their routability flags, indexed in lockstep with the filter's
-	// hash scratch (see processChunk). Fixed arrays keep ProcessBatch
-	// allocation-free.
-	bpkts [core.BatchChunk]packet.Packet
-	bok   [core.BatchChunk]bool
+	// scratch is the two-pass batch scratch: one chunk of converted
+	// internal packets and their routability flags, indexed in lockstep
+	// with the filter's hash scratch (see processChunk). It is allocated
+	// on the first ProcessBatch call rather than inline in the struct:
+	// the fixed arrays dominate the limiter's resident size (~4.5 KiB of
+	// the ~5 KiB struct), and a multi-tenant control plane keeps hundreds
+	// of thousands of mostly-idle limiters resident whose packets arrive
+	// through the manager's own batching, never through their private
+	// scratch.
+	scratch *batchScratch
+
+	// agg, when non-nil, nests this limiter's P_d under a shared
+	// aggregate uplink budget (hierarchical RED): outbound bytes feed the
+	// aggregate meter too, and the effective drop probability becomes
+	// red.Combine(own, aggregate). Nil — every limiter outside a
+	// TenantManager — leaves the ramp bit-identical to the paper's.
+	agg *aggBudget
 
 	// P_d cache. The linear prober is a pure function of the metered
 	// uplink rate, and the rate only changes when bytes are added or
@@ -304,19 +315,48 @@ type Limiter struct {
 	cachedPd    float64
 }
 
+// batchScratch is the per-chunk conversion scratch behind ProcessBatch;
+// see Limiter.scratch for why it lives behind a pointer.
+type batchScratch struct {
+	bpkts [core.BatchChunk]packet.Packet
+	bok   [core.BatchChunk]bool
+}
+
 // New builds a Limiter from cfg, applying the paper's defaults to every
 // unset optional field.
 func New(cfg Config) (*Limiter, error) {
-	clientNet, err := packet.ParseNetwork(cfg.ClientNetwork)
+	l, coreCfg, err := newShell(cfg)
+	if err != nil {
+		return nil, err
+	}
+	filter, err := core.New(coreCfg)
 	if err != nil {
 		return nil, fmt.Errorf("p2pbound: %w", err)
+	}
+	l.filter.Store(filter)
+	if cfg.Telemetry != nil {
+		cfg.Telemetry.attach(l)
+	}
+	return l, nil
+}
+
+// newShell builds everything of a Limiter except its bitmap filter and
+// telemetry attachment, returning the resolved core configuration so
+// the caller chooses how the filter is built — core.New for a
+// standalone limiter, core.NewWith over a shared arena for the tenant
+// manager's per-subscriber fleet, or no filter at all for a tenant
+// created in the spilled (evicted) state.
+func newShell(cfg Config) (*Limiter, core.Config, error) {
+	clientNet, err := packet.ParseNetwork(cfg.ClientNetwork)
+	if err != nil {
+		return nil, core.Config{}, fmt.Errorf("p2pbound: %w", err)
 	}
 	if cfg.LowMbps == 0 && cfg.HighMbps == 0 {
 		cfg.LowMbps, cfg.HighMbps = 50, 100
 	}
 	prober, err := red.NewLinear(cfg.LowMbps*1e6, cfg.HighMbps*1e6)
 	if err != nil {
-		return nil, fmt.Errorf("p2pbound: %w", err)
+		return nil, core.Config{}, fmt.Errorf("p2pbound: %w", err)
 	}
 	coreCfg := core.DefaultConfig()
 	if cfg.Vectors != 0 {
@@ -336,10 +376,6 @@ func New(cfg Config) (*Limiter, error) {
 	coreCfg.HolePunch = cfg.HolePunch
 	coreCfg.Seed = cfg.Seed
 	coreCfg.ReorderTolerance = cfg.ReorderTolerance
-	filter, err := core.New(coreCfg)
-	if err != nil {
-		return nil, fmt.Errorf("p2pbound: %w", err)
-	}
 	window := cfg.MeterWindow
 	if window <= 0 {
 		window = 5 * time.Second
@@ -350,7 +386,7 @@ func New(cfg Config) (*Limiter, error) {
 	}
 	meter, err := throughput.NewMeter(window/time.Duration(buckets), buckets)
 	if err != nil {
-		return nil, fmt.Errorf("p2pbound: %w", err)
+		return nil, core.Config{}, fmt.Errorf("p2pbound: %w", err)
 	}
 	l := &Limiter{
 		prober:      prober,
@@ -359,15 +395,11 @@ func New(cfg Config) (*Limiter, error) {
 		bucketWidth: window / time.Duration(buckets),
 		tolerance:   cfg.ReorderTolerance,
 	}
-	l.filter.Store(filter)
 	if cfg.TraceEveryN > 0 && cfg.TraceFunc != nil {
 		l.traceEvery = int64(cfg.TraceEveryN)
 		l.traceFn = cfg.TraceFunc
 	}
-	if cfg.Telemetry != nil {
-		cfg.Telemetry.attach(l)
-	}
-	return l, nil
+	return l, coreCfg, nil
 }
 
 // Process decides one packet's fate. Packets should be fed in timestamp
@@ -427,6 +459,9 @@ func (l *Limiter) decide(f *core.Filter, p *Packet, pkt *packet.Packet, pd float
 	if verdict == core.Pass && pkt.Dir == packet.Outbound {
 		l.meter.Add(pkt.TS, p.Size)
 		l.pdValid = false
+		if l.agg != nil {
+			l.agg.add(pkt.TS, p.Size)
+		}
 	}
 	if verdict == core.Drop {
 		if l.tel != nil {
@@ -469,6 +504,11 @@ func (l *Limiter) ProcessBatch(pkts []Packet, dst []Decision) []Decision {
 	if l.tel != nil {
 		start = time.Now()
 	}
+	if l.scratch == nil && len(pkts) > 0 {
+		// One-time, off the annotated hot path: testing.AllocsPerRun's
+		// warm-up run absorbs it, and steady state never re-allocates.
+		l.scratch = new(batchScratch)
+	}
 	for lo := 0; lo < len(pkts); lo += core.BatchChunk {
 		hi := lo + core.BatchChunk
 		if hi > len(pkts) {
@@ -491,20 +531,21 @@ func (l *Limiter) ProcessBatch(pkts []Packet, dst []Decision) []Decision {
 //p2p:hotpath
 func (l *Limiter) processChunk(chunk []Packet, dst []Decision) []Decision {
 	f := l.filter.Load()
+	sc := l.scratch
 	for i := range chunk {
-		l.bok[i] = l.toInternal(chunk[i], &l.bpkts[i])
-		if !l.bok[i] {
-			l.bpkts[i] = packet.Packet{}
+		sc.bok[i] = l.toInternal(chunk[i], &sc.bpkts[i])
+		if !sc.bok[i] {
+			sc.bpkts[i] = packet.Packet{}
 		}
 	}
-	f.HashBatch(l.bpkts[:len(chunk)])
+	f.HashBatch(sc.bpkts[:len(chunk)])
 	for i := range chunk {
-		if !l.bok[i] {
+		if !sc.bok[i] {
 			l.unroutable.Add(1)
 			dst = append(dst, Drop) //p2p:bounded cap(dst) is caller-owned; ProcessBatch appends exactly len(pkts)
 			continue
 		}
-		pkt := &l.bpkts[i]
+		pkt := &sc.bpkts[i]
 		l.clampTS(pkt)
 		f.Advance(pkt.TS)
 		pd := l.pd(pkt.TS)
@@ -541,6 +582,12 @@ func (l *Limiter) pd(ts time.Duration) float64 {
 			l.pdBits.Store(math.Float64bits(l.cachedPd))
 			l.uplinkBits.Store(math.Float64bits(rate))
 		}
+	}
+	if l.agg != nil {
+		// Hierarchical RED: nest this limiter's ramp under the shared
+		// uplink budget. Combine's exact early-outs keep a zero aggregate
+		// pressure bit-identical to the bare ramp.
+		return red.Combine(l.cachedPd, l.agg.pd(ts))
 	}
 	return l.cachedPd
 }
@@ -581,7 +628,13 @@ func (l *Limiter) FailClosed() bool { return l.failClosed }
 // split); quiesce the limiter before asserting cross-counter identities.
 func (l *Limiter) Stats() Stats {
 	l.statsMu.Lock()
-	s := l.filter.Load().Stats()
+	var s core.Stats
+	// A nil filter is a tenant limiter in the evicted state: its counters
+	// were folded into baseStats when the filter was spilled, so the base
+	// alone is the complete, monotone history.
+	if f := l.filter.Load(); f != nil {
+		s = f.Stats()
+	}
 	b := l.baseStats
 	l.statsMu.Unlock()
 	return Stats{
@@ -608,15 +661,19 @@ func (l *Limiter) Stats() Stats {
 // lose — bounded by a single batch chunk, and never negative.)
 func (l *Limiter) swapFilter(filter *core.Filter) {
 	l.statsMu.Lock()
-	old := l.filter.Load()
-	s := old.Stats()
-	l.baseStats.OutboundPackets += s.OutboundPackets
-	l.baseStats.InboundPackets += s.InboundPackets
-	l.baseStats.InboundHits += s.InboundHits
-	l.baseStats.InboundMisses += s.InboundMisses
-	l.baseStats.Dropped += s.Dropped
-	l.baseStats.Rotations += s.Rotations
-	l.baseStats.TimeAnomalies += s.TimeAnomalies
+	// Swapping a nil in (tenant eviction) folds the final counters and
+	// leaves only the base; swapping out of nil (rehydration) has nothing
+	// to fold.
+	if old := l.filter.Load(); old != nil {
+		s := old.Stats()
+		l.baseStats.OutboundPackets += s.OutboundPackets
+		l.baseStats.InboundPackets += s.InboundPackets
+		l.baseStats.InboundHits += s.InboundHits
+		l.baseStats.InboundMisses += s.InboundMisses
+		l.baseStats.Dropped += s.Dropped
+		l.baseStats.Rotations += s.Rotations
+		l.baseStats.TimeAnomalies += s.TimeAnomalies
+	}
 	l.filter.Store(filter)
 	l.statsMu.Unlock()
 }

@@ -48,10 +48,11 @@ type Telemetry struct {
 	// call on a telemetry-attached limiter.
 	batchSeconds *metrics.Histogram
 
-	mu        sync.Mutex
-	shards    int
-	pipelines int
-	replicas  int
+	mu         sync.Mutex
+	shards     int
+	pipelines  int
+	replicas   int
+	tenantMgrs int
 }
 
 // NewTelemetry returns an empty telemetry root ready to be referenced
@@ -138,6 +139,90 @@ func (t *Telemetry) attach(l *Limiter) {
 // under the next pipeline label. Called from NewPipeline when
 // Config.Telemetry is set.
 func (t *Telemetry) attachPipeline(p *Pipeline) {
+	t.mu.Lock()
+	idx := t.pipelines
+	t.pipelines++
+	t.mu.Unlock()
+	lbl := metrics.L("pipeline", strconv.Itoa(idx))
+
+	counter := func(c *metrics.Counter) func() float64 {
+		return func() float64 { return float64(c.Value()) }
+	}
+	t.reg.CounterFunc("p2pbound_pipeline_verdicts_total", "Packets decided by the pipeline, by verdict.",
+		counter(p.passed), metrics.L("verdict", "pass"), lbl)
+	t.reg.CounterFunc("p2pbound_pipeline_verdicts_total", "Packets decided by the pipeline, by verdict.",
+		counter(p.dropped), metrics.L("verdict", "drop"), lbl)
+	t.reg.CounterFunc("p2pbound_pipeline_shed_total", "Packets shed undecided by the overload policy.",
+		counter(p.shedPassed), metrics.L("verdict", "pass"), lbl)
+	t.reg.CounterFunc("p2pbound_pipeline_shed_total", "Packets shed undecided by the overload policy.",
+		counter(p.shedDropped), metrics.L("verdict", "drop"), lbl)
+}
+
+// attachTenantManager registers a TenantManager's control-plane series:
+// population and spill accounting per manager, hydration churn and
+// arena occupancy per tenant shard, and — when the hierarchical uplink
+// budget is enabled — each shard's aggregate P_d and metered rate.
+// Called from NewTenantManager when TenantManagerConfig.Telemetry is
+// set; every closure reads atomics or takes the manager's control-plane
+// mutex, so scrapes are safe concurrently with processing.
+func (t *Telemetry) attachTenantManager(m *TenantManager) {
+	t.mu.Lock()
+	idx := t.tenantMgrs
+	t.tenantMgrs++
+	t.mu.Unlock()
+	lbl := metrics.L("manager", strconv.Itoa(idx))
+
+	t.reg.GaugeFunc("p2pbound_tenants", "Subscriber networks registered with the tenant manager.",
+		func() float64 { return float64(m.Stats().Tenants) }, lbl)
+	t.reg.CounterFunc("p2pbound_tenant_no_tenant_total", "Packets matching no registered subscriber, dropped defensively.",
+		func() float64 { return float64(m.noTenant.Load()) }, lbl)
+	t.reg.CounterFunc("p2pbound_tenant_unroutable_total", "Unclassifiable (non-IPv4) packets dropped defensively.",
+		func() float64 { return float64(m.unroutable.Load()) }, lbl)
+	t.reg.CounterFunc("p2pbound_tenant_hydrate_fallbacks_total", "Rehydrations that could not decode their spill and restarted fresh.",
+		func() float64 { return float64(m.hydrateFallbacks.Load()) }, lbl)
+	for _, sh := range m.shards {
+		sh := sh
+		slbl := metrics.L("tshard", strconv.Itoa(sh.idx))
+		t.reg.GaugeFunc("p2pbound_tenants_hydrated", "Tenants currently holding live filter vectors.",
+			func() float64 { return float64(sh.hydrated.Load()) }, slbl, lbl)
+		t.reg.CounterFunc("p2pbound_tenant_hydrations_total", "Tenants given live filter vectors.",
+			func() float64 { return float64(sh.hydrations.Load()) }, slbl, lbl)
+		t.reg.CounterFunc("p2pbound_tenant_evictions_total", "Tenants spilled to snapshot form.",
+			func() float64 { return float64(sh.evictions.Load()) }, slbl, lbl)
+		t.reg.GaugeFunc("p2pbound_tenant_spill_bytes", "Bytes currently held in spilled bitmap snapshots.",
+			func() float64 { return float64(sh.spillBytes.Load()) }, slbl, lbl)
+		t.reg.GaugeFunc("p2pbound_tenant_arena_bytes", "Slab storage backing the shard's bit-vector arena.",
+			func() float64 { return float64(sh.arena.FootprintBytes()) }, slbl, lbl)
+		if sh.agg != nil {
+			agg := sh.agg
+			t.reg.GaugeFunc("p2pbound_aggregate_pd", "Aggregate-budget drop probability nested over every tenant's ramp.",
+				func() float64 { return math.Float64frombits(agg.pdBits.Load()) }, slbl, lbl)
+			t.reg.GaugeFunc("p2pbound_aggregate_uplink_bps", "Shard slice of the edge-wide metered uplink rate, bits/s.",
+				func() float64 { return math.Float64frombits(agg.uplinkBits.Load()) }, slbl, lbl)
+		}
+	}
+}
+
+// attachTenant registers one subscriber's packet and drop counters
+// under a tenant label. Opt-in via PerTenantTelemetry — five series per
+// tenant is dashboard-friendly at hundreds of tenants and cardinality
+// abuse at hundreds of thousands.
+func (t *Telemetry) attachTenant(tn *tenant) {
+	lbl := metrics.L("tenant", tn.id)
+	stat := func(pick func(Stats) int64) func() float64 {
+		return func() float64 { return float64(pick(tn.lim.Stats())) }
+	}
+	t.reg.CounterFunc("p2pbound_tenant_packets_total", "Packets decided for this subscriber, by direction.",
+		stat(func(s Stats) int64 { return s.OutboundPackets }), metrics.L("dir", "outbound"), lbl)
+	t.reg.CounterFunc("p2pbound_tenant_packets_total", "Packets decided for this subscriber, by direction.",
+		stat(func(s Stats) int64 { return s.InboundPackets }), metrics.L("dir", "inbound"), lbl)
+	t.reg.CounterFunc("p2pbound_tenant_dropped_total", "Unmatched inbound packets dropped for this subscriber.",
+		stat(func(s Stats) int64 { return s.Dropped }), lbl)
+}
+
+// attachTenantPipeline registers a TenantPipeline's verdict and shed
+// counters; it shares the pipeline label space with attachPipeline.
+func (t *Telemetry) attachTenantPipeline(p *TenantPipeline) {
 	t.mu.Lock()
 	idx := t.pipelines
 	t.pipelines++

@@ -1,0 +1,105 @@
+package p2pbound
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// benchTenantManager builds n /20 subscribers under one manager. The
+// address plan keeps every tenant prefix disjoint from the remote
+// addresses the packets use, so routing is always a real lookup.
+func benchTenantManager(b *testing.B, n int) *TenantManager {
+	b.Helper()
+	m, err := NewTenantManager(TenantManagerConfig{
+		Tenant: Config{
+			LowMbps: 1, HighMbps: 5,
+			Vectors: 4, VectorBits: 12,
+			RotateEvery:      time.Hour,
+			ReorderTolerance: time.Hour, // timestamps replay across iterations
+			Seed:             9,
+		},
+		PrefixBits: 20,
+		Shards:     1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tcs := make([]TenantConfig, n)
+	for i := range tcs {
+		base := 0x0A000000 + uint32(i)<<12
+		tcs[i] = TenantConfig{Network: fmt.Sprintf("%d.%d.%d.%d/20",
+			byte(base>>24), byte(base>>16), byte(base>>8), byte(base))}
+	}
+	if err := m.AddTenants(tcs); err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// benchTenantBatch builds one reusable batch of outbound packets spread
+// round-robin over the first active tenants — the idle-mostly shape of
+// an ISP edge, where most of a 100k population is spilled and only a
+// working set touches the hot path.
+func benchTenantBatch(size, tenants, active int) []Packet {
+	if active > tenants {
+		active = tenants
+	}
+	pkts := make([]Packet, size)
+	for i := range pkts {
+		base := 0x0A000000 + uint32(i%active)<<12
+		pkts[i] = Packet{
+			Timestamp: time.Duration(i) * 10 * time.Microsecond,
+			Protocol:  TCP,
+			SrcAddr:   netip.AddrFrom4([4]byte{byte(base >> 24), byte(base >> 16), byte(base >> 8), byte(base) | 9}),
+			SrcPort:   uint16(30000 + i%1000),
+			DstAddr:   netip.AddrFrom4([4]byte{203, 0, byte(i >> 8), byte(i)}),
+			DstPort:   6881,
+			Size:      1200,
+		}
+	}
+	return pkts
+}
+
+// BenchmarkTenantManagerProcessBatch measures per-packet cost of the
+// multi-tenant hot path at three population scales. The 100k case is
+// the acceptance bar for the control plane: an idle-mostly population
+// two orders of magnitude larger than the active set must still route
+// and decide with zero allocations per operation.
+func BenchmarkTenantManagerProcessBatch(b *testing.B) {
+	for _, tenants := range []int{1, 1000, 100000} {
+		b.Run(fmt.Sprintf("tenants=%d", tenants), func(b *testing.B) {
+			m := benchTenantManager(b, tenants)
+			const batchSize = 4096
+			pkts := benchTenantBatch(batchSize, tenants, 256)
+			dst := make([]Decision, 0, batchSize)
+			dst = m.ProcessBatch(pkts, dst[:0]) // hydrate the working set
+			b.SetBytes(int64(batchSize))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = m.ProcessBatch(pkts, dst[:0])
+			}
+			b.StopTimer()
+			if s := m.Stats(); s.NoTenant != 0 || s.Unroutable != 0 {
+				b.Fatalf("benchmark traffic missed the tenant set: %+v", s)
+			}
+		})
+	}
+}
+
+// BenchmarkTenantHydrationCycle measures one full evict-and-rehydrate
+// round trip for a tenant with a marked filter — the cost a spilled
+// subscriber pays on its first packet back.
+func BenchmarkTenantHydrationCycle(b *testing.B) {
+	m := benchTenantManager(b, 1)
+	out := benchTenantBatch(1, 1, 1)[0]
+	m.Process(out)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.EvictIdle(0)
+		m.Process(out)
+	}
+}

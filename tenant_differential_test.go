@@ -1,0 +1,166 @@
+package p2pbound
+
+import (
+	"testing"
+	"time"
+
+	"p2pbound/internal/faultinject"
+)
+
+// diffConfig is the limiter configuration the differential tests run on
+// both sides: small filter geometry (cheap eviction churn), a rotation
+// period short enough that a 30-second trace crosses several rotation
+// boundaries, and non-trivial RED thresholds so unmatched inbound
+// exercises the P_d draw path (where rng-position divergence would
+// show).
+func diffConfig() Config {
+	return Config{
+		ClientNetwork: testNet,
+		LowMbps:       0.1,
+		HighMbps:      0.5,
+		Vectors:       4,
+		VectorBits:    14,
+		RotateEvery:   5 * time.Second,
+		Seed:          7,
+	}
+}
+
+// diffManager wraps diffConfig in a single-tenant TenantManager whose
+// tenant covers exactly the bare limiter's client network. Tenant 0's
+// seed is the template seed + 0, so both sides draw identical P_d
+// variates.
+func diffManager(t *testing.T, mutate func(*TenantManagerConfig)) *TenantManager {
+	t.Helper()
+	cfg := TenantManagerConfig{Tenant: diffConfig(), PrefixBits: 16, Shards: 1}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	m, err := NewTenantManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddTenant(TenantConfig{ID: "campus", Network: testNet}); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// runDifferential feeds the same packet stream to a bare Limiter and a
+// 1-tenant TenantManager and requires every verdict and every counter to
+// agree exactly. evictEvery > 0 forces a full spill/rehydrate cycle on
+// the manager side every that many packets — the bare limiter never
+// evicts, so equality proves eviction is verdict-invisible.
+func runDifferential(t *testing.T, pkts []Packet, mgr *TenantManager, evictEvery int) {
+	t.Helper()
+	bare, err := New(diffConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pkts {
+		want := bare.Process(pkts[i])
+		got := mgr.Process(pkts[i])
+		if got != want {
+			t.Fatalf("packet %d (ts %v): manager says %v, bare limiter says %v", i, pkts[i].Timestamp, got, want)
+		}
+		if evictEvery > 0 && (i+1)%evictEvery == 0 {
+			if n := mgr.EvictIdle(0); n != 1 {
+				t.Fatalf("packet %d: EvictIdle evicted %d tenants", i, n)
+			}
+		}
+	}
+	checkDifferentialStats(t, bare, mgr, evictEvery)
+}
+
+func checkDifferentialStats(t *testing.T, bare *Limiter, mgr *TenantManager, evictEvery int) {
+	t.Helper()
+	want := bare.Stats()
+	got, ok := mgr.TenantStats("campus")
+	if !ok {
+		t.Fatal("tenant stats missing")
+	}
+	if got != want {
+		t.Fatalf("stats diverge:\nmanager %+v\nbare    %+v", got, want)
+	}
+	if want.InboundUnmatched == 0 {
+		t.Fatal("trace produced no unmatched inbound; the P_d path was never compared")
+	}
+	ms := mgr.Stats()
+	if ms.NoTenant != 0 || ms.Unroutable != 0 {
+		t.Fatalf("trace leaked outside the tenant: %+v", ms)
+	}
+	if evictEvery > 0 && ms.Evictions == 0 {
+		t.Fatal("eviction schedule never fired")
+	}
+}
+
+// TestTenantDifferentialSequential: per-packet verdict and counter
+// equality with the tenant permanently resident.
+func TestTenantDifferentialSequential(t *testing.T) {
+	pkts := publicTrace(t, 30*time.Second, 0.02, 21)
+	runDifferential(t, pkts, diffManager(t, nil), 0)
+}
+
+// TestTenantDifferentialWithEviction: equality survives a forced
+// spill/rehydrate cycle every 64 packets — hundreds of evictions across
+// several filter rotations. This is the pin on the hydration contract:
+// a rehydrated filter's verdicts, rotation schedule, clamp state, and
+// P_d draw sequence are bit-identical to a filter that never left
+// memory.
+func TestTenantDifferentialWithEviction(t *testing.T) {
+	pkts := publicTrace(t, 30*time.Second, 0.02, 22)
+	runDifferential(t, pkts, diffManager(t, nil), 64)
+}
+
+// TestTenantDifferentialClockRegress: equality holds on a fault-injected
+// stream where ~5% of timestamps regress by up to 2Δt, with eviction
+// churn on top — the reorder-clamp high-water mark is part of the
+// spilled state, so both sides clamp identically.
+func TestTenantDifferentialClockRegress(t *testing.T) {
+	pkts := publicTrace(t, 30*time.Second, 0.02, 23)
+	faultinject.ClockRegress(pkts, func(p *Packet) *time.Duration { return &p.Timestamp }, 0.05, 10*time.Second, 23)
+	runDifferential(t, pkts, diffManager(t, nil), 97)
+}
+
+// TestTenantDifferentialIdleAggregate: an aggregate budget whose ramp
+// never engages (thresholds far above the trace's offered load) must
+// leave every verdict bit-identical to a bare limiter — red.Combine's
+// exact zero short-circuit, observed end to end.
+func TestTenantDifferentialIdleAggregate(t *testing.T) {
+	pkts := publicTrace(t, 30*time.Second, 0.02, 24)
+	mgr := diffManager(t, func(c *TenantManagerConfig) {
+		c.AggregateLowMbps = 1000
+		c.AggregateHighMbps = 2000
+	})
+	runDifferential(t, pkts, mgr, 128)
+}
+
+// TestTenantDifferentialBatch: ProcessBatch equality in odd-sized
+// chunks. A single-tenant batch is one run through the tenant limiter's
+// batch path, so chunking parity with the bare limiter is exact.
+func TestTenantDifferentialBatch(t *testing.T) {
+	pkts := publicTrace(t, 30*time.Second, 0.02, 25)
+	bare, err := New(diffConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := diffManager(t, nil)
+
+	const chunk = 509
+	want := make([]Decision, 0, chunk)
+	got := make([]Decision, 0, chunk)
+	for lo := 0; lo < len(pkts); lo += chunk {
+		hi := lo + chunk
+		if hi > len(pkts) {
+			hi = len(pkts)
+		}
+		want = bare.ProcessBatch(pkts[lo:hi], want[:0])
+		got = mgr.ProcessBatch(pkts[lo:hi], got[:0])
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("chunk at %d, packet %d: manager says %v, bare limiter says %v", lo, i, got[i], want[i])
+			}
+		}
+		mgr.EvictIdle(0) // spill between every chunk
+	}
+	checkDifferentialStats(t, bare, mgr, 1)
+}
