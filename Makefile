@@ -15,9 +15,10 @@ test:
 	$(GO) test -race ./...
 
 # lint runs the p2pvet static-analysis suite (hotpath, atomicfield,
-# exhaustive, bannedimport) over the whole module in standalone mode.
-# Exit status 1 on any diagnostic. `go run ./cmd/p2pvet ./...` is the
-# same thing without make.
+# exhaustive, bannedimport, publish, confine, lockhold, codecparity)
+# over the whole module in standalone mode. Exit status 1 on any
+# diagnostic. `go run ./cmd/p2pvet ./...` is the same thing without
+# make.
 lint:
 	$(GO) run ./cmd/p2pvet ./...
 

@@ -1,7 +1,9 @@
 // Command p2pvet runs the project's static-analysis suite: the
 // analyzers that prove the hot-path invariants (no allocation, no
 // locks, no wall clock), the //p2p:atomic field discipline, enum-switch
-// exhaustiveness, and the packet-path import policy.
+// exhaustiveness, the packet-path import policy, atomic publication
+// immutability, //p2p:confined goroutine ownership, lock-hold
+// discipline, and encoder/decoder field parity.
 //
 // Two modes share the same analyzers:
 //
@@ -22,9 +24,13 @@ import (
 	"p2pbound/internal/analysis"
 	"p2pbound/internal/analysis/atomicfield"
 	"p2pbound/internal/analysis/bannedimport"
+	"p2pbound/internal/analysis/codecparity"
+	"p2pbound/internal/analysis/confine"
 	"p2pbound/internal/analysis/driver"
 	"p2pbound/internal/analysis/exhaustive"
 	"p2pbound/internal/analysis/hotpath"
+	"p2pbound/internal/analysis/lockhold"
+	"p2pbound/internal/analysis/publish"
 )
 
 // suite is the full p2pvet analyzer set, in reporting order.
@@ -33,6 +39,10 @@ var suite = []*analysis.Analyzer{
 	atomicfield.Analyzer,
 	exhaustive.Analyzer,
 	bannedimport.Analyzer,
+	publish.Analyzer,
+	confine.Analyzer,
+	lockhold.Analyzer,
+	codecparity.Analyzer,
 }
 
 func main() {

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"testing"
+
+	"p2pbound/internal/analysis/driver"
+)
+
+// TestModuleClean pins the "p2pvet runs clean on HEAD" invariant: the
+// full analyzer suite over the whole module must report nothing. A
+// regression here means either a new violation slipped into the tree or
+// an analyzer started misfiring; both block the CI gate that runs the
+// same suite.
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module via go list")
+	}
+	diags, err := driver.Load([]string{"p2pbound/..."}, suite)
+	if err != nil {
+		t.Fatalf("p2pvet load: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic: %s", d.String())
+	}
+}

@@ -160,6 +160,23 @@ const (
 	// author asserts the append can never grow its destination beyond
 	// pre-allocated capacity (and a runtime allocation guard proves it).
 	DirectiveBounded = "p2p:bounded"
+	// DirectiveConfined marks goroutine-confined state. On a struct
+	// field, "//p2p:confined <group>" declares the field owned by the
+	// goroutine running the group's member functions; on a function,
+	// "//p2p:confined <group>" makes it a member (callable only from
+	// other members/entries of the group or as the operand of a go
+	// statement), and "//p2p:confined <group> entry" marks an API entry
+	// point whose callers promise the single-goroutine discipline.
+	DirectiveConfined = "p2p:confined"
+	// DirectiveCodec connects encoders and decoders. On a function,
+	// "//p2p:codec <name> encode|decode" assigns it to one side of the
+	// named codec; on a struct type, a bare "//p2p:codec" opts the
+	// struct into field-parity checking for every codec that touches it.
+	DirectiveCodec = "p2p:codec"
+	// DirectiveCodecSkip waives codec-parity coverage for one struct
+	// field: "//p2p:codecskip <reason>" asserts the field is
+	// deliberately not serialized.
+	DirectiveCodecSkip = "p2p:codecskip"
 )
 
 // HasDirective reports whether the comment group contains the given
@@ -174,6 +191,31 @@ func HasDirective(cg *ast.CommentGroup, directive string) bool {
 		}
 	}
 	return false
+}
+
+// DirectiveArgs collects the whitespace-split arguments of every
+// occurrence of the directive in the comment group, one slice per
+// occurrence (an empty slice for a bare directive). A comment group may
+// carry several occurrences — e.g. a function that is a member of two
+// confinement groups writes two //p2p:confined lines.
+func DirectiveArgs(cg *ast.CommentGroup, directive string) [][]string {
+	if cg == nil {
+		return nil
+	}
+	var out [][]string
+	for _, c := range cg.List {
+		rest, ok := strings.CutPrefix(c.Text, "//"+directive)
+		if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+			continue
+		}
+		// A trailing "// ..." note (fixture want comments) is not part of
+		// the directive's arguments.
+		if i := strings.Index(rest, "//"); i >= 0 {
+			rest = rest[:i]
+		}
+		out = append(out, strings.Fields(rest))
+	}
+	return out
 }
 
 // isDirective matches "//p2p:<name>" exactly or followed by a space and

@@ -1,0 +1,364 @@
+// Package codecparity implements the p2pvet analyzer that proves
+// encoder/decoder field parity: for every named codec, the set of
+// struct fields the encode side writes must equal the set the decode
+// side reads, and every field of an opted-in struct must be covered by
+// both sides or explicitly waived. When a snapshot or frame struct
+// gains a field that one side forgets, the build fails instead of the
+// filter silently restoring with a stale or zero field — the bug class
+// where a serialization gap becomes an invisible false-negative /
+// false-positive shift in the restored filter.
+//
+// Annotation grammar:
+//
+//   - "//p2p:codec <name> encode" / "//p2p:codec <name> decode" on a
+//     function assigns it to one side of the named codec; a codec's
+//     field set is the union over its functions, and both sides must
+//     live in the same package so the comparison is complete.
+//   - a bare "//p2p:codec" on a struct type opts the struct into
+//     parity checking for every codec that mentions it (exported to
+//     importing packages as a fact).
+//   - "//p2p:codecskip <reason>" on a struct field waives the
+//     coverage requirement for that field — the author documents why
+//     it is deliberately not serialized.
+//
+// A side "mentions" a field when any of its functions selects it
+// (read or write) or names it in a keyed composite literal; an
+// unkeyed composite literal mentions every field. Mentions are purely
+// syntactic over the side's function bodies — helper functions must
+// themselves be annotated to contribute, which keeps the field sets
+// reviewable at the annotation sites.
+package codecparity
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"p2pbound/internal/analysis"
+)
+
+// Analyzer is the encoder/decoder field-parity checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "codecparity",
+	Doc:  "check that codec encoders and decoders cover the same struct field sets",
+	Run:  run,
+}
+
+// Fact-key prefixes: "st|<pkg>.<Name>" marks a struct opted into parity
+// checking; "skip|<pkg>.<Name>.<Field>" marks a field waived by
+// //p2p:codecskip. Both are exported by the declaring package so codecs
+// in importing packages see the same contract.
+const (
+	factStruct = "st|"
+	factSkip   = "skip|"
+)
+
+// codec accumulates one named codec's two sides within a package.
+type codec struct {
+	encFuncs, decFuncs []*ast.FuncDecl
+	// enc and dec map struct key -> field name -> mentioned.
+	enc, dec map[string]map[string]bool
+	// structs holds a representative type per mentioned struct key, for
+	// field enumeration.
+	structs map[string]*types.Struct
+	anchor  token.Pos // earliest codec-function declaration, anchors codec-level diagnostics
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// localStructs and localSkips mirror the facts for structs declared
+	// in the package under analysis.
+	localStructs map[string]bool
+	localSkips   map[string]bool
+	codecs       map[string]*codec
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:         pass,
+		localStructs: make(map[string]bool),
+		localSkips:   make(map[string]bool),
+		codecs:       make(map[string]*codec),
+	}
+	c.collectStructs()
+	c.collectFuncs()
+	for _, cd := range c.codecs {
+		for _, fd := range cd.encFuncs {
+			c.mentions(fd, cd, cd.enc)
+		}
+		for _, fd := range cd.decFuncs {
+			c.mentions(fd, cd, cd.dec)
+		}
+	}
+	c.compare()
+	return nil
+}
+
+// collectStructs finds //p2p:codec struct opt-ins and //p2p:codecskip
+// field waivers declared in this package, recording them locally and as
+// facts.
+func (c *checker) collectStructs() {
+	pkgPath := c.pass.Pkg.Path()
+	for _, file := range c.pass.Files {
+		if c.pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil && len(gd.Specs) == 1 {
+					doc = gd.Doc
+				}
+				c.checkDirectiveShape(doc, ts.Pos())
+				opted := analysis.HasDirective(doc, analysis.DirectiveCodec) ||
+					analysis.HasDirective(ts.Comment, analysis.DirectiveCodec)
+				st, isStruct := ts.Type.(*ast.StructType)
+				if opted && !isStruct {
+					c.pass.Reportf(ts.Pos(), "//p2p:codec on a non-struct type has no effect")
+					continue
+				}
+				if !isStruct {
+					continue
+				}
+				key := pkgPath + "." + ts.Name.Name
+				if opted {
+					c.localStructs[key] = true
+					c.pass.ExportFact(factStruct + key)
+				}
+				for _, f := range st.Fields.List {
+					skip := analysis.HasDirective(f.Doc, analysis.DirectiveCodecSkip) ||
+						analysis.HasDirective(f.Comment, analysis.DirectiveCodecSkip)
+					if !skip {
+						continue
+					}
+					if !opted {
+						c.pass.Reportf(f.Pos(), "//p2p:codecskip on a field of a struct without //p2p:codec has no effect")
+						continue
+					}
+					if !skipHasReason(f.Doc) && !skipHasReason(f.Comment) {
+						c.pass.Reportf(f.Pos(), "//p2p:codecskip requires a reason: //p2p:codecskip <why this field is not serialized>")
+					}
+					for _, name := range f.Names {
+						fkey := key + "." + name.Name
+						c.localSkips[fkey] = true
+						c.pass.ExportFact(factSkip + fkey)
+					}
+				}
+			}
+		}
+	}
+}
+
+// skipHasReason reports whether some //p2p:codecskip occurrence in the
+// group carries at least one argument.
+func skipHasReason(cg *ast.CommentGroup) bool {
+	for _, args := range analysis.DirectiveArgs(cg, analysis.DirectiveCodecSkip) {
+		if len(args) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDirectiveShape reports a struct-level //p2p:codec that carries
+// arguments — the struct form is bare; the <name> <side> form belongs
+// on functions.
+func (c *checker) checkDirectiveShape(doc *ast.CommentGroup, pos token.Pos) {
+	for _, args := range analysis.DirectiveArgs(doc, analysis.DirectiveCodec) {
+		if len(args) != 0 {
+			c.pass.Reportf(pos, "//p2p:codec on a struct type takes no arguments; the \"<name> encode|decode\" form belongs on functions")
+		}
+	}
+}
+
+// collectFuncs gathers the package's codec functions per name and side.
+func (c *checker) collectFuncs() {
+	for _, file := range c.pass.Files {
+		if c.pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			for _, args := range analysis.DirectiveArgs(fd.Doc, analysis.DirectiveCodec) {
+				if len(args) != 2 || (args[1] != "encode" && args[1] != "decode") {
+					c.pass.Reportf(fd.Pos(), "malformed //p2p:codec directive on a function: want //p2p:codec <name> encode|decode")
+					continue
+				}
+				cd := c.codecs[args[0]]
+				if cd == nil {
+					cd = &codec{
+						enc:     make(map[string]map[string]bool),
+						dec:     make(map[string]map[string]bool),
+						structs: make(map[string]*types.Struct),
+						anchor:  fd.Pos(),
+					}
+					c.codecs[args[0]] = cd
+				}
+				if fd.Pos() < cd.anchor {
+					cd.anchor = fd.Pos()
+				}
+				if args[1] == "encode" {
+					cd.encFuncs = append(cd.encFuncs, fd)
+				} else {
+					cd.decFuncs = append(cd.decFuncs, fd)
+				}
+			}
+		}
+	}
+}
+
+// mentions records, into side, every opted-in struct field the function
+// body selects or names in a composite literal.
+func (c *checker) mentions(fd *ast.FuncDecl, cd *codec, side map[string]map[string]bool) {
+	if fd.Body == nil {
+		return
+	}
+	info := c.pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			s, ok := info.Selections[n]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			key, st := c.codecStruct(s.Recv())
+			if key == "" {
+				return true
+			}
+			cd.structs[key] = st
+			mark(side, key, n.Sel.Name)
+		case *ast.CompositeLit:
+			key, st := c.codecStruct(info.TypeOf(n))
+			if key == "" {
+				return true
+			}
+			cd.structs[key] = st
+			keyed := true
+			for _, elt := range n.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					keyed = false
+					break
+				}
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					mark(side, key, id.Name)
+				}
+			}
+			if !keyed {
+				// An unkeyed literal positionally covers every field.
+				for i := 0; i < st.NumFields(); i++ {
+					mark(side, key, st.Field(i).Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+func mark(side map[string]map[string]bool, key, field string) {
+	m := side[key]
+	if m == nil {
+		m = make(map[string]bool)
+		side[key] = m
+	}
+	m[field] = true
+}
+
+// codecStruct resolves t (possibly behind a pointer) to an opted-in
+// codec struct, returning its fact key and field layout, or "" when the
+// type is not an opted-in struct.
+func (c *checker) codecStruct(t types.Type) (string, *types.Struct) {
+	if t == nil {
+		return "", nil
+	}
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return "", nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return "", nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "", nil
+	}
+	key := obj.Pkg().Path() + "." + obj.Name()
+	if !c.localStructs[key] && !c.pass.ImportedFact(factStruct+key) {
+		return "", nil
+	}
+	return key, st
+}
+
+func (c *checker) skipped(fieldKey string) bool {
+	return c.localSkips[fieldKey] || c.pass.ImportedFact(factSkip+fieldKey)
+}
+
+// compare emits the parity and coverage diagnostics for every codec in
+// deterministic order.
+func (c *checker) compare() {
+	names := make([]string, 0, len(c.codecs))
+	for name := range c.codecs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		cd := c.codecs[name]
+		if len(cd.encFuncs) == 0 {
+			c.pass.Reportf(cd.anchor, "codec "+name+" has decode functions but no encode functions in this package; both sides must live together so field parity can be checked")
+			continue
+		}
+		if len(cd.decFuncs) == 0 {
+			c.pass.Reportf(cd.anchor, "codec "+name+" has encode functions but no decode functions in this package; both sides must live together so field parity can be checked")
+			continue
+		}
+		keys := make([]string, 0, len(cd.structs))
+		for key := range cd.structs {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			st := cd.structs[key]
+			enc, dec := cd.enc[key], cd.dec[key]
+			short := shortName(key)
+			for i := 0; i < st.NumFields(); i++ {
+				f := st.Field(i).Name()
+				label := short + "." + f
+				switch {
+				case enc[f] && !dec[f]:
+					c.pass.Reportf(cd.anchor, "codec "+name+": field "+label+" is written by the encoder but never read by the decoder")
+				case dec[f] && !enc[f]:
+					c.pass.Reportf(cd.anchor, "codec "+name+": field "+label+" is read by the decoder but never written by the encoder")
+				case !enc[f] && !dec[f] && !c.skipped(key+"."+f):
+					c.pass.Reportf(cd.anchor, "codec "+name+": field "+label+" is covered by neither encoder nor decoder; serialize it on both sides or mark it //p2p:codecskip")
+				}
+			}
+		}
+	}
+}
+
+// shortName trims the package path off a struct fact key for
+// diagnostics: "p2pbound/internal/replica.Frame" -> "Frame".
+func shortName(key string) string {
+	for i := len(key) - 1; i >= 0; i-- {
+		if key[i] == '.' {
+			return key[i+1:]
+		}
+	}
+	return key
+}

@@ -1,0 +1,17 @@
+package codecparity_test
+
+import (
+	"testing"
+
+	"p2pbound/internal/analysis"
+	"p2pbound/internal/analysis/analysistest"
+	"p2pbound/internal/analysis/codecparity"
+)
+
+func TestCodecParity(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{codecparity.Analyzer}, "codectest")
+}
+
+func TestCodecParityCrossPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{codecparity.Analyzer}, "codecuser")
+}

@@ -1,0 +1,11 @@
+// Package codecdep declares an opted-in codec struct whose opt-in and
+// skip facts flow to the importing fixture (codecuser), where the codec
+// functions live.
+package codecdep
+
+//p2p:codec
+type Payload struct {
+	ID   uint32
+	Body []byte
+	Tag  uint32 //p2p:codecskip diagnostic label, recomputed on decode
+}

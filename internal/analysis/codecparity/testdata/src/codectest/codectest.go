@@ -1,0 +1,114 @@
+// Package codectest exercises the codecparity analyzer within one
+// package: parity mismatches, coverage gaps, codecskip waivers, unkeyed
+// composite literals, one-sided codecs, and malformed directives.
+package codectest
+
+func put32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func get32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// header is fully covered: every field is either serialized by both
+// sides or waived with a reason.
+//
+//p2p:codec
+type header struct {
+	Seq   uint32
+	Flags uint32
+	Pad   uint32 //p2p:codecskip wire padding, never meaningful
+	Skew  uint32
+	Lost  uint32
+}
+
+//p2p:codec good encode
+func encodeGood(dst []byte, h *header) []byte {
+	dst = put32(dst, h.Seq)
+	dst = put32(dst, h.Flags)
+	dst = put32(dst, h.Skew)
+	dst = put32(dst, h.Lost)
+	return dst
+}
+
+//p2p:codec good decode
+func decodeGood(b []byte) header {
+	return header{
+		Seq:   get32(b[0:]),
+		Flags: get32(b[4:]),
+		Skew:  get32(b[8:]),
+		Lost:  get32(b[12:]),
+	}
+}
+
+//p2p:codec
+type record struct {
+	A uint32
+	B uint32
+	C uint32
+	D uint32
+}
+
+// encodeBad writes A and B; decodeBad reads A and C: B is enc-only, C
+// is dec-only, D is covered by neither. All three diagnostics anchor at
+// the codec's earliest function declaration.
+//
+//p2p:codec bad encode
+func encodeBad(dst []byte, r *record) []byte { // want `codec bad: field record\.B is written by the encoder but never read by the decoder` `codec bad: field record\.C is read by the decoder but never written by the encoder` `codec bad: field record\.D is covered by neither encoder nor decoder`
+	dst = put32(dst, r.A)
+	dst = put32(dst, r.B)
+	return dst
+}
+
+//p2p:codec bad decode
+func decodeBad(b []byte) record {
+	var r record
+	r.A = get32(b[0:])
+	r.C = get32(b[4:])
+	return r
+}
+
+//p2p:codec
+type pair struct {
+	X uint32
+	Y uint32
+}
+
+//p2p:codec pair encode
+func encodePair(dst []byte, p *pair) []byte {
+	dst = put32(dst, p.X)
+	dst = put32(dst, p.Y)
+	return dst
+}
+
+// decodePair's unkeyed literal positionally covers every field.
+//
+//p2p:codec pair decode
+func decodePair(b []byte) pair {
+	return pair{get32(b[0:]), get32(b[4:])}
+}
+
+//p2p:codec lonely encode
+func encodeLonely(dst []byte, r *record) []byte { // want `codec lonely has encode functions but no decode functions in this package`
+	return put32(dst, r.A)
+}
+
+//p2p:codec
+func orphan() {} // want `malformed //p2p:codec directive on a function: want //p2p:codec <name> encode\|decode`
+
+//p2p:codec wire encode
+type wrong struct{ X uint32 } // want `//p2p:codec on a struct type takes no arguments`
+
+//p2p:codec
+type alias uint32 // want `//p2p:codec on a non-struct type has no effect`
+
+type plain struct {
+	X uint32 //p2p:codecskip // want `//p2p:codecskip on a field of a struct without //p2p:codec has no effect`
+}
+
+//p2p:codec
+type frame struct {
+	N uint32
+	M uint32 //p2p:codecskip // want `//p2p:codecskip requires a reason`
+}

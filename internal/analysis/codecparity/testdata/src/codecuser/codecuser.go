@@ -1,0 +1,29 @@
+// Package codecuser imports codecdep and checks that struct opt-in and
+// field-skip contracts cross the package boundary through facts: Body
+// is enc-only (reported), Tag is waived by the declaring package's
+// //p2p:codecskip.
+package codecuser
+
+import "codecdep"
+
+func put32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func get32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+//p2p:codec pay encode
+func encode(dst []byte, p *codecdep.Payload) []byte { // want `codec pay: field Payload\.Body is written by the encoder but never read by the decoder`
+	dst = put32(dst, p.ID)
+	dst = append(dst, p.Body...)
+	return dst
+}
+
+//p2p:codec pay decode
+func decode(b []byte) codecdep.Payload {
+	var p codecdep.Payload
+	p.ID = get32(b)
+	return p
+}

@@ -1,0 +1,458 @@
+// Package confine implements the p2pvet analyzer that proves
+// goroutine-confinement annotations: state marked //p2p:confined is
+// touched only by the functions of its ownership group, so the SPSC
+// rings, per-shard tenant LRUs, replica nodes, and arena bookkeeping
+// the chaos suites exercise dynamically are closed off statically.
+//
+// The annotation grammar (shared with DESIGN.md §16):
+//
+//   - on a struct field, "//p2p:confined <group>" declares the field
+//     owned by whichever goroutine runs the group's functions;
+//   - on a function, "//p2p:confined <group>" makes it a member: it may
+//     touch the group's fields, and it may be called only from other
+//     members/entries of the group or spawned directly by a go
+//     statement (the spawn is the ownership handoff);
+//   - "//p2p:confined <group> entry" marks an API entry point: it may
+//     touch the group's fields and call its members, but its own
+//     callers are unrestricted — the function's documentation carries
+//     the single-goroutine contract (e.g. "must not run concurrently
+//     with packet processing").
+//
+// A function (or field) may carry several //p2p:confined lines and
+// belong to several groups. The checks:
+//
+//   - accessing a confined field from a function holding none of the
+//     field's groups is reported (keyed and positional composite
+//     literals are construction, not access, and stay exempt);
+//   - accessing a confined field inside a func literal is reported even
+//     within a member — a closure may escape to another goroutine;
+//   - calling a member from a non-member is reported unless the call is
+//     the direct operand of a go statement;
+//   - referencing a member as a function value is reported: the value
+//     may be called from anywhere.
+//
+// Cross-package confinement flows through facts: the declaring package
+// exports each confined function and field key with its groups, and
+// importing packages check accesses and calls against them.
+package confine
+
+import (
+	"go/ast"
+	"go/types"
+
+	"p2pbound/internal/analysis"
+)
+
+// Analyzer is the goroutine-confinement checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "confine",
+	Doc:  "check that //p2p:confined state is only touched by its owning group's functions",
+	Run:  run,
+}
+
+// Fact-key prefixes. A confined function exports "fn|<key>" plus
+// "fn|<key>|<group>" per group (entries export only the group forms —
+// their callers are unrestricted, so the bare restricted-callee key is
+// deliberately absent); a confined field exports "fld|<key>" plus
+// "fld|<key>|<group>".
+const (
+	factFn  = "fn|"
+	factFld = "fld|"
+)
+
+// roles holds one function's confinement annotation.
+type roles struct {
+	groups map[string]bool
+	entry  bool // every group came with the entry keyword
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+
+	// Phase 1: collect annotated functions and fields declared here.
+	funcs := make(map[*types.Func]*roles)
+	fields := make(map[*types.Var]map[string]bool) // field -> groups
+	fieldKey := make(map[*types.Var]string)
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			args := analysis.DirectiveArgs(fd.Doc, analysis.DirectiveConfined)
+			if len(args) == 0 {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			r := &roles{groups: make(map[string]bool), entry: true}
+			for _, a := range args {
+				switch {
+				case len(a) == 1:
+					r.groups[a[0]] = true
+					r.entry = false
+				case len(a) == 2 && a[1] == "entry":
+					r.groups[a[0]] = true
+				default:
+					pass.Reportf(fd.Pos(), "malformed //p2p:confined directive on "+fn.Name()+": want \"//p2p:confined <group>\" or \"//p2p:confined <group> entry\"")
+				}
+			}
+			if len(r.groups) == 0 {
+				continue
+			}
+			funcs[fn] = r
+			key := analysis.FuncKey(fn)
+			if !r.entry {
+				pass.ExportFact(factFn + key)
+			}
+			for g := range r.groups {
+				pass.ExportFact(factFn + key + "|" + g)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				args := analysis.DirectiveArgs(field.Doc, analysis.DirectiveConfined)
+				args = append(args, analysis.DirectiveArgs(field.Comment, analysis.DirectiveConfined)...)
+				if len(args) == 0 {
+					continue
+				}
+				groups := make(map[string]bool)
+				for _, a := range args {
+					if len(a) != 1 {
+						pass.Reportf(field.Pos(), "malformed //p2p:confined directive on a field of "+ts.Name.Name+": want \"//p2p:confined <group>\"")
+						continue
+					}
+					groups[a[0]] = true
+				}
+				if len(groups) == 0 {
+					continue
+				}
+				for _, name := range field.Names {
+					obj, ok := info.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					fields[obj] = groups
+					key := analysis.FieldKey(pass.Pkg.Path(), ts.Name.Name, name.Name)
+					fieldKey[obj] = key
+					pass.ExportFact(factFld + key)
+					for g := range groups {
+						pass.ExportFact(factFld + key + "|" + g)
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Phase 2: audit every function body.
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var held map[string]bool
+			holder := "function " + fd.Name.Name
+			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+				if r, ok := funcs[fn]; ok {
+					held = r.groups
+				}
+			}
+			w := &walker{
+				pass: pass, funcs: funcs, fields: fields, fieldKey: fieldKey,
+				held: held, holder: holder,
+			}
+			w.walk(fd.Body)
+		}
+	}
+	return nil
+}
+
+// walker audits one function body, tracking the ancestor chain (for
+// call/go contexts) and func-literal depth (for closure escapes).
+type walker struct {
+	pass     *analysis.Pass
+	funcs    map[*types.Func]*roles
+	fields   map[*types.Var]map[string]bool
+	fieldKey map[*types.Var]string
+	held     map[string]bool
+	holder   string
+	stack    []ast.Node
+	litDepth int
+}
+
+func (w *walker) walk(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			if _, ok := w.stack[len(w.stack)-1].(*ast.FuncLit); ok {
+				w.litDepth--
+			}
+			w.stack = w.stack[:len(w.stack)-1]
+			return true
+		}
+		w.stack = append(w.stack, n)
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.litDepth++
+		case *ast.SelectorExpr:
+			w.checkSelector(n)
+		case *ast.Ident:
+			// The Sel of a selector was already judged at the selector
+			// node; a bare identifier reference is judged here.
+			if len(w.stack) >= 2 {
+				if sel, ok := w.stack[len(w.stack)-2].(*ast.SelectorExpr); ok && sel.Sel == n {
+					return true
+				}
+			}
+			w.checkFuncRef(n, w.pass.TypesInfo.Uses[n])
+		}
+		return true
+	})
+}
+
+// holdsAny reports whether the auditing function holds one of the
+// required groups. Inside a func literal nothing is held: the closure
+// may run on any goroutine.
+func (w *walker) holdsAny(required map[string]bool) bool {
+	if w.litDepth > 0 {
+		return false
+	}
+	for g := range required {
+		if w.held[g] {
+			return true
+		}
+	}
+	return false
+}
+
+// groupList renders a group set for a diagnostic, smallest first for
+// determinism.
+func groupList(groups map[string]bool) string {
+	best := ""
+	for g := range groups {
+		if best == "" || g < best {
+			best = g
+		}
+	}
+	return best
+}
+
+// checkSelector audits x.f: confined-field accesses and member-method
+// references.
+func (w *walker) checkSelector(sel *ast.SelectorExpr) {
+	s, ok := w.pass.TypesInfo.Selections[sel]
+	if !ok {
+		// Package-qualified references (pkg.Fn) have no selection entry;
+		// resolve the function through Uses.
+		if fn, ok := w.pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok {
+			w.checkFuncUse(sel, fn)
+		}
+		return
+	}
+	switch s.Kind() {
+	case types.FieldVal:
+		v, ok := s.Obj().(*types.Var)
+		if !ok || !v.IsField() {
+			return
+		}
+		key, groups := w.fieldGroups(sel, v)
+		if groups == nil {
+			return
+		}
+		if w.holdsAny(groups) {
+			return
+		}
+		g := groupList(groups)
+		if w.litDepth > 0 {
+			w.pass.Reportf(sel.Pos(), "field "+key+" is confined to group "+g+" but escapes into a func literal here; closures may run on any goroutine — hoist the access to the owning function")
+			return
+		}
+		w.pass.Reportf(sel.Pos(), "field "+key+" is confined to group "+g+" but is accessed from "+w.holder+", which is not a member; annotate the function //p2p:confined "+g+" (or "+g+" entry) or route the access through the owning goroutine")
+	case types.MethodVal:
+		fn, ok := s.Obj().(*types.Func)
+		if ok {
+			w.checkFuncUse(sel, fn)
+		}
+	}
+}
+
+// checkFuncRef audits a bare identifier resolving to a confined
+// package-level function.
+func (w *walker) checkFuncRef(id *ast.Ident, obj types.Object) {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return
+	}
+	w.checkFuncUse(id, fn)
+}
+
+// checkFuncUse audits one reference to fn (via selector or identifier):
+// a call requires shared group membership or a direct go spawn; any
+// non-call reference leaks the member as a value.
+func (w *walker) checkFuncUse(ref ast.Node, fn *types.Func) {
+	key, groups, restricted := w.funcGroups(fn)
+	if !restricted {
+		return
+	}
+	g := groupList(groups)
+	switch w.refContext(ref) {
+	case refGo:
+		return // go m.worker(...): the spawn is the ownership handoff
+	case refCall:
+		if w.holdsAny(groups) {
+			return
+		}
+		if w.litDepth > 0 {
+			w.pass.Reportf(ref.Pos(), key+" is confined to group "+g+" but is called inside a func literal here; closures may run on any goroutine — spawn the member directly with go, or call it from a member")
+			return
+		}
+		w.pass.Reportf(ref.Pos(), key+" is confined to group "+g+" but is called from "+w.holder+", which is not a member; annotate the caller //p2p:confined "+g+" (or "+g+" entry), or spawn it directly with go")
+	default:
+		w.pass.Reportf(ref.Pos(), key+" is confined to group "+g+" but escapes as a function value here; a captured member can be invoked from any goroutine")
+	}
+}
+
+type refKind int
+
+const (
+	refValue refKind = iota
+	refCall
+	refGo
+)
+
+// refContext classifies how the function reference on top of the stack
+// is used: as the callee of a plain call, as the callee of a go
+// statement's call, or as a first-class value. ref is always the node
+// currently on top of the walker's stack (a SelectorExpr for method and
+// qualified references, an Ident otherwise).
+func (w *walker) refContext(ref ast.Node) refKind {
+	i := len(w.stack) - 2
+	for i >= 0 {
+		if _, ok := w.stack[i].(*ast.ParenExpr); ok {
+			i--
+			continue
+		}
+		break
+	}
+	if i < 0 {
+		return refValue
+	}
+	call, ok := w.stack[i].(*ast.CallExpr)
+	if !ok || unparen(call.Fun) != ref {
+		return refValue
+	}
+	if i > 0 {
+		if g, ok := w.stack[i-1].(*ast.GoStmt); ok && g.Call == call {
+			return refGo
+		}
+	}
+	return refCall
+}
+
+// fieldGroups resolves the confinement groups of a field: locally for
+// fields declared in this package, via imported facts otherwise.
+func (w *walker) fieldGroups(sel *ast.SelectorExpr, v *types.Var) (string, map[string]bool) {
+	if groups, ok := w.fields[v]; ok {
+		return w.fieldKey[v], groups
+	}
+	if v.Pkg() == nil || v.Pkg() == w.pass.Pkg {
+		return "", nil
+	}
+	key := w.keyOf(sel, v)
+	if !w.pass.ImportedFact(factFld + key) {
+		return "", nil
+	}
+	return key, w.factGroups(factFld + key + "|")
+}
+
+// funcGroups resolves a function's confinement: (key, groups,
+// restricted). Entries are unrestricted callees and return false.
+func (w *walker) funcGroups(fn *types.Func) (string, map[string]bool, bool) {
+	key := analysis.FuncKey(fn)
+	if fn.Pkg() == w.pass.Pkg {
+		if r, ok := w.funcs[fn]; ok && !r.entry {
+			return fn.Name(), r.groups, true
+		}
+		// Value/pointer receiver variants resolve to distinct objects;
+		// fall back to key comparison.
+		for cand, r := range w.funcs {
+			if !r.entry && analysis.FuncKey(cand) == key {
+				return fn.Name(), r.groups, true
+			}
+		}
+		return "", nil, false
+	}
+	if !w.pass.ImportedFact(factFn + key) {
+		return "", nil, false
+	}
+	return fn.Name(), w.factGroups(factFn + key + "|"), true
+}
+
+// factGroups recovers a symbol's group set from imported facts by
+// probing the groups this package's annotations name, plus the groups
+// named by any annotation the auditing function holds. Boolean facts
+// cannot be enumerated, so membership tests drive the recovery: what
+// matters is whether the auditing function's held groups intersect the
+// symbol's, and that needs only probes of the held groups (plus one
+// fallback name for the diagnostic).
+func (w *walker) factGroups(prefix string) map[string]bool {
+	groups := make(map[string]bool)
+	for g := range w.held {
+		if w.pass.ImportedFact(prefix + g) {
+			groups[g] = true
+		}
+	}
+	if len(groups) == 0 {
+		// No overlap with held groups — the access is a violation; name
+		// the group as unknown-but-foreign for the diagnostic.
+		groups["declared-elsewhere"] = true
+	}
+	return groups
+}
+
+// keyOf reconstructs a field's declaring-struct fact key from the
+// selection's receiver type.
+func (w *walker) keyOf(sel *ast.SelectorExpr, v *types.Var) string {
+	pkgPath := ""
+	if v.Pkg() != nil {
+		pkgPath = v.Pkg().Path()
+	}
+	structName := "?"
+	if s, ok := w.pass.TypesInfo.Selections[sel]; ok {
+		t := types.Unalias(s.Recv())
+		if p, ok := t.(*types.Pointer); ok {
+			t = types.Unalias(p.Elem())
+		}
+		if named, ok := t.(*types.Named); ok {
+			structName = named.Obj().Name()
+		}
+	}
+	return analysis.FieldKey(pkgPath, structName, v.Name())
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,17 @@
+package confine_test
+
+import (
+	"testing"
+
+	"p2pbound/internal/analysis"
+	"p2pbound/internal/analysis/analysistest"
+	"p2pbound/internal/analysis/confine"
+)
+
+func TestConfine(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{confine.Analyzer}, "conftest")
+}
+
+func TestConfineCrossPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{confine.Analyzer}, "confuser")
+}

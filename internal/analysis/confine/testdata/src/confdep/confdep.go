@@ -1,0 +1,17 @@
+// Package confdep declares a confinement group whose facts flow to the
+// importing fixture (confuser).
+package confdep
+
+type Node struct {
+	Seq int64 //p2p:confined nodegrp
+}
+
+//p2p:confined nodegrp
+func Step(n *Node) {
+	n.Seq++
+}
+
+//p2p:confined nodegrp entry
+func Tick(n *Node) {
+	Step(n)
+}

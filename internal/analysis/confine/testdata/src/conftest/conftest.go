@@ -1,0 +1,108 @@
+// Package conftest exercises the confine analyzer within one package:
+// confined fields, member/entry grammar, closure escapes, go-spawn
+// exemption, value escapes, and malformed directives.
+package conftest
+
+type shard struct {
+	now   int64 //p2p:confined shardgrp
+	total int64
+}
+
+//p2p:confined shardgrp
+func (s *shard) touch(ts int64) {
+	if ts > s.now {
+		s.now = ts
+	}
+}
+
+// Process is the API entry: callers are unrestricted, the doc carries
+// the single-goroutine contract.
+//
+//p2p:confined shardgrp entry
+func (s *shard) Process(ts int64) {
+	s.touch(ts)
+	s.total++
+}
+
+// stats is unannotated: reading confined state from it is a violation.
+func stats(s *shard) int64 {
+	return s.now // want `field conftest\.shard\.now is confined to group shardgrp but is accessed from function stats`
+}
+
+// callsMember calls a member without holding the group.
+func callsMember(s *shard) {
+	s.touch(1) // want `touch is confined to group shardgrp but is called from function callsMember`
+}
+
+// spawns hands ownership off with go: the spawn is the handoff.
+func spawns(s *shard) {
+	go s.touch(1)
+}
+
+// anyCaller may call the entry from anywhere.
+func anyCaller(s *shard) {
+	s.Process(5)
+}
+
+// construct builds the struct; keyed composite literals are
+// construction, not access.
+func construct() *shard {
+	return &shard{now: 0}
+}
+
+// leaks calls a member inside a func literal; the closure may run on
+// any goroutine.
+func leaks(s *shard) func() {
+	return func() { s.touch(2) } // want `touch is confined to group shardgrp but is called inside a func literal`
+}
+
+// flush is a member, but the closure it builds still escapes the
+// owning goroutine.
+//
+//p2p:confined shardgrp
+func (s *shard) flush() {
+	f := func() { s.now = 0 } // want `field conftest\.shard\.now is confined to group shardgrp but escapes into a func literal`
+	f()
+}
+
+// value captures a member as a function value.
+func value(s *shard) {
+	f := s.touch // want `touch is confined to group shardgrp but escapes as a function value`
+	f(1)
+}
+
+type ring struct {
+	tail int //p2p:confined loopgrp
+}
+
+//p2p:confined loopgrp
+func spin(r *ring) {
+	r.tail++
+}
+
+// bridge belongs to both groups: two directive lines, one per group.
+//
+//p2p:confined shardgrp
+//p2p:confined loopgrp
+func bridge(s *shard, r *ring) {
+	s.touch(1)
+	spin(r)
+}
+
+// goSpawn spawns a package-level member directly.
+func goSpawn(r *ring) {
+	go spin(r)
+}
+
+// leakLocal leaks a package-level member as a value.
+func leakLocal() {
+	f := spin // want `spin is confined to group loopgrp but escapes as a function value`
+	_ = f
+}
+
+//p2p:confined
+func badDirective() {} // want `malformed //p2p:confined directive on badDirective`
+
+type mis struct {
+	x int //p2p:confined grp extra // want `malformed //p2p:confined directive on a field of mis`
+}

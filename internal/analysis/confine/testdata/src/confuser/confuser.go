@@ -1,0 +1,27 @@
+// Package confuser imports confdep and checks that confinement crosses
+// the package boundary through facts. A caller holding none of the
+// groups sees the fallback group name "declared-elsewhere" (boolean
+// facts cannot be enumerated).
+package confuser
+
+import "confdep"
+
+func bad(n *confdep.Node) int64 {
+	confdep.Step(n) // want `Step is confined to group declared-elsewhere but is called from function bad`
+	return n.Seq    // want `field confdep\.Node\.Seq is confined to group declared-elsewhere but is accessed from function bad`
+}
+
+// good calls the entry (unrestricted) and spawns the member directly.
+func good(n *confdep.Node) {
+	confdep.Tick(n)
+	go confdep.Step(n)
+}
+
+// member holds the group declared in confdep: fact probes of the held
+// group recover the membership.
+//
+//p2p:confined nodegrp
+func member(n *confdep.Node) {
+	n.Seq = 0
+	confdep.Step(n)
+}

@@ -26,7 +26,11 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"io"
+	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 
 	"p2pbound/internal/analysis"
 )
@@ -155,4 +159,27 @@ func newTypesInfo() *types.Info {
 // String renders a diagnostic in the conventional file:line:col form.
 func (d Diagnostic) String() string {
 	return d.Position.String() + ": " + d.Message + " (" + d.Analyzer + ")"
+}
+
+// PrintDiagnostics renders diagnostics to w in the shared
+// file:line:col format, shortening absolute paths to cwd-relative ones
+// when that is shorter. Both drivers print through it, so standalone
+// and -vettool output stay byte-compatible for the same finding.
+func PrintDiagnostics(w io.Writer, diags []Diagnostic) {
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		d.Position.Filename = relPath(cwd, d.Position.Filename)
+		io.WriteString(w, d.String()+"\n")
+	}
+}
+
+// relPath shortens abs to a cwd-relative path when that is shorter.
+func relPath(cwd, abs string) string {
+	if cwd == "" {
+		return abs
+	}
+	if rel, err := filepath.Rel(cwd, abs); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return abs
 }

@@ -48,11 +48,7 @@ func Standalone(stderr io.Writer, patterns []string, analyzers []*analysis.Analy
 		fmt.Fprintln(stderr, "p2pvet:", err)
 		return 1
 	}
-	cwd, _ := os.Getwd()
-	for _, d := range diags {
-		d.Position.Filename = relPath(cwd, d.Position.Filename)
-		fmt.Fprintln(stderr, d.String())
-	}
+	PrintDiagnostics(stderr, diags)
 	if len(diags) > 0 {
 		return 1
 	}
@@ -214,15 +210,4 @@ func resolveImport(p *listPackage, importPath string) string {
 		return mapped
 	}
 	return importPath
-}
-
-// relPath shortens abs to a cwd-relative path when that is shorter.
-func relPath(cwd, abs string) string {
-	if cwd == "" {
-		return abs
-	}
-	if rel, err := filepath.Rel(cwd, abs); err == nil && !strings.HasPrefix(rel, "..") {
-		return rel
-	}
-	return abs
 }

@@ -12,6 +12,7 @@ import (
 	"go/types"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"p2pbound/internal/analysis"
@@ -69,16 +70,26 @@ func Vet(stderr io.Writer, configFile string, analyzers []*analysis.Analyzer) in
 
 	// Facts: the go command hands us one vetx file per direct
 	// dependency; each already contains that dependency's transitive
-	// fact closure, so merging the direct files yields the full view.
+	// fact closure, so merging the direct files yields the full view. A
+	// missing or corrupt fact file is a hard error: silently narrowing
+	// the fact view would let cross-package violations pass the gate.
 	imported := NewFactSet()
-	for _, file := range cfg.PackageVetx {
+	deps := make([]string, 0, len(cfg.PackageVetx))
+	for dep := range cfg.PackageVetx {
+		deps = append(deps, dep)
+	}
+	sort.Strings(deps)
+	for _, dep := range deps {
+		file := cfg.PackageVetx[dep]
 		data, err := os.ReadFile(file)
 		if err != nil {
-			continue // missing facts narrow the check, never break the build
+			fmt.Fprintln(stderr, "p2pvet: reading facts of", dep+":", err)
+			return 1
 		}
 		fs, err := DecodeFactSet(data)
 		if err != nil {
-			continue
+			fmt.Fprintln(stderr, "p2pvet: decoding facts of", dep, "("+file+"):", err)
+			return 1
 		}
 		imported.Merge(fs)
 	}
@@ -111,9 +122,7 @@ func Vet(stderr io.Writer, configFile string, analyzers []*analysis.Analyzer) in
 	if cfg.VetxOnly {
 		return 0
 	}
-	for _, d := range diags {
-		fmt.Fprintln(stderr, d.String())
-	}
+	PrintDiagnostics(stderr, diags)
 	if len(diags) > 0 {
 		return 1
 	}

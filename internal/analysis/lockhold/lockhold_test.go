@@ -1,0 +1,17 @@
+package lockhold_test
+
+import (
+	"testing"
+
+	"p2pbound/internal/analysis"
+	"p2pbound/internal/analysis/analysistest"
+	"p2pbound/internal/analysis/lockhold"
+)
+
+func TestLockhold(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{lockhold.Analyzer}, "locktest")
+}
+
+func TestLockholdCrossPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{lockhold.Analyzer}, "lockuser")
+}

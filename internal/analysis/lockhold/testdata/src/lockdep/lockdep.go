@@ -1,0 +1,8 @@
+// Package lockdep exports a hotpath function and a may-block function
+// whose facts flow to the importing fixture (lockuser).
+package lockdep
+
+//p2p:hotpath
+func Probe(v uint64) uint64 { return v * 2654435761 }
+
+func Wait(ch chan int) int { return <-ch }

@@ -1,0 +1,31 @@
+// Package lockuser imports lockdep and checks that hotpath and
+// may-block classifications cross the package boundary through facts.
+package lockuser
+
+import (
+	"sync"
+
+	"lockdep"
+)
+
+type gate struct {
+	mu sync.Mutex
+	ch chan int
+	v  uint64
+}
+
+func bad(g *gate) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.v = lockdep.Probe(g.v) // want `calls //p2p:hotpath function Probe`
+	lockdep.Wait(g.ch)       // want `calls lockdep\.Wait, which may block while holding g\.mu`
+}
+
+// good stages the blocking call before the Lock.
+func good(g *gate) {
+	n := lockdep.Wait(g.ch)
+	g.mu.Lock()
+	g.v = uint64(n)
+	g.mu.Unlock()
+	g.v = lockdep.Probe(g.v)
+}

@@ -1,0 +1,316 @@
+// Package publish implements the p2pvet analyzer that proves the
+// immutable-after-publish discipline of atomic.Pointer and atomic.Value
+// publication: a value handed to .Store (or .Swap, or the new-value
+// argument of .CompareAndSwap) must be fully constructed before the
+// store and never written again through any alias the storing function
+// retains. This is the static form of the restore-race bug class the
+// fleet PR defends dynamically (TestRestoreRacesProcessing): a reader
+// that Loads the pointer between two post-publish writes observes a
+// half-updated value without any happens-before edge.
+//
+// The check is function-local and lexical: within the function
+// containing the Store, the analyzer collects the reference-carrying
+// identifiers that alias the published value — the stored identifier
+// itself, every reference-typed identifier captured inside a stored
+// &T{...} composite literal, the operand of a stored &x, and the
+// closure of local assignments flowing those values into further
+// identifiers — and reports any write through them (field or element
+// assignment, ++/--, delete, or copy into) positioned after the store.
+// Mutations reached through separate functions, loops that re-enter the
+// store textually, or aliases smuggled through the heap are out of
+// scope; the race detector covers those schedules dynamically.
+package publish
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"p2pbound/internal/analysis"
+)
+
+// Analyzer is the atomic-publication discipline checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "publish",
+	Doc:  "check that values stored into atomic.Pointer/atomic.Value are never mutated after publication",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// store is one publication site within a function.
+type store struct {
+	call *ast.CallExpr
+	recv string                // "Pointer" or "Value", for diagnostics
+	end  token.Pos             // writes positioned after this are post-publish
+	set  map[types.Object]bool // identifiers aliasing the published value
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	// Pass 1: find the publication calls and their root aliases.
+	var stores []*store
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, arg := publication(info, call)
+		if recv == "" || arg == nil {
+			return true
+		}
+		s := &store{call: call, recv: recv, end: call.End(), set: make(map[types.Object]bool)}
+		collectRoots(info, arg, s.set)
+		if len(s.set) > 0 {
+			stores = append(stores, s)
+		}
+		return true
+	})
+	if len(stores) == 0 {
+		return
+	}
+
+	// Pass 2: close each alias set over local assignments. An assignment
+	// anywhere in the function whose right-hand side is rooted at a
+	// tracked identifier and yields a reference type extends the set;
+	// iterate to a fixed point (alias chains are short).
+	for _, s := range stores {
+		for changed := true; changed; {
+			changed = false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok || len(as.Lhs) != len(as.Rhs) {
+					return true
+				}
+				for i, rhs := range as.Rhs {
+					id, ok := as.Lhs[i].(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := info.Defs[id]
+					if obj == nil {
+						obj = info.Uses[id]
+					}
+					if obj == nil || s.set[obj] {
+						continue
+					}
+					if root := rootIdent(rhs); root != nil && s.set[objectOf(info, root)] && isReference(info.TypeOf(rhs)) {
+						s.set[obj] = true
+						changed = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 3: report writes through tracked aliases positioned after the
+	// store.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkWrite(pass, stores, info, lhs, n.Pos())
+			}
+		case *ast.IncDecStmt:
+			checkWrite(pass, stores, info, n.X, n.Pos())
+		case *ast.CallExpr:
+			if id, ok := unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && len(n.Args) > 0 {
+					switch b.Name() {
+					case "delete", "copy":
+						if root := rootIdent(n.Args[0]); root != nil {
+							reportIfTracked(pass, stores, info, root, n.Pos(), "passes "+root.Name+" to "+b.Name())
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkWrite reports a post-publish mutation when the write target is a
+// field, element, or dereference rooted at a tracked identifier. A bare
+// identifier on the left rebinds the variable rather than mutating the
+// published memory, so it is not a write.
+func checkWrite(pass *analysis.Pass, stores []*store, info *types.Info, target ast.Expr, pos token.Pos) {
+	switch unparen(target).(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return
+	}
+	root := rootIdent(target)
+	if root == nil {
+		return
+	}
+	reportIfTracked(pass, stores, info, root, pos, "writes through "+root.Name)
+}
+
+func reportIfTracked(pass *analysis.Pass, stores []*store, info *types.Info, root *ast.Ident, pos token.Pos, action string) {
+	obj := objectOf(info, root)
+	if obj == nil {
+		return
+	}
+	for _, s := range stores {
+		if pos > s.end && s.set[obj] {
+			pass.Reportf(pos, action+" after it was published via atomic."+s.recv+"; published values must be immutable — finish construction before the Store, or build and publish a fresh copy")
+			return
+		}
+	}
+}
+
+// publication reports whether call is an atomic.Pointer/atomic.Value
+// publication and returns the published-value argument: Store and Swap
+// publish argument 0, CompareAndSwap publishes its new value
+// (argument 1).
+func publication(info *types.Info, call *ast.CallExpr) (recv string, arg ast.Expr) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return "", nil
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok {
+		return "", nil
+	}
+	t := s.Recv()
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return "", nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return "", nil
+	}
+	name := obj.Name()
+	if name != "Pointer" && name != "Value" {
+		return "", nil
+	}
+	switch fn.Name() {
+	case "Store", "Swap":
+		if len(call.Args) >= 1 {
+			return name, call.Args[0]
+		}
+	case "CompareAndSwap":
+		if len(call.Args) >= 2 {
+			return name, call.Args[1]
+		}
+	}
+	return "", nil
+}
+
+// collectRoots gathers the reference-carrying identifiers through which
+// the published value's memory remains reachable in the storing
+// function: the stored identifier itself, the operand of a stored &x,
+// and every reference-typed identifier mentioned inside a stored
+// composite literal (whose referents the published value now retains).
+func collectRoots(info *types.Info, arg ast.Expr, set map[types.Object]bool) {
+	switch e := unparen(arg).(type) {
+	case *ast.Ident:
+		if obj := objectOf(info, e); obj != nil && isReference(info.TypeOf(e)) {
+			set[obj] = true
+		}
+	case *ast.UnaryExpr:
+		if e.Op != token.AND {
+			return
+		}
+		switch x := unparen(e.X).(type) {
+		case *ast.Ident:
+			// &x: the published pointer aliases the local directly.
+			if obj := objectOf(info, x); obj != nil {
+				set[obj] = true
+			}
+		case *ast.CompositeLit:
+			collectCompositeRoots(info, x, set)
+		}
+	case *ast.CompositeLit:
+		// atomic.Value may store a struct value whose reference fields
+		// still alias locals.
+		collectCompositeRoots(info, e, set)
+	}
+}
+
+func collectCompositeRoots(info *types.Info, lit *ast.CompositeLit, set map[types.Object]bool) {
+	ast.Inspect(lit, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if v, ok := obj.(*types.Var); ok && !v.IsField() && isReference(v.Type()) {
+			set[obj] = true
+		}
+		return true
+	})
+}
+
+// rootIdent returns the base identifier of a selector/index/dereference
+// chain, or nil when the expression is not rooted at an identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// isReference reports whether values of type t carry references to
+// shared memory (so retaining one retains the published value's state).
+func isReference(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch types.Unalias(t).Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Slice, *types.Chan, *types.Interface:
+		return true
+	}
+	return false
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

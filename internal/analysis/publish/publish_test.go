@@ -1,0 +1,13 @@
+package publish_test
+
+import (
+	"testing"
+
+	"p2pbound/internal/analysis"
+	"p2pbound/internal/analysis/analysistest"
+	"p2pbound/internal/analysis/publish"
+)
+
+func TestPublish(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{publish.Analyzer}, "pubtest")
+}

@@ -1,0 +1,93 @@
+// Package pubtest exercises the publish analyzer: values handed to
+// atomic.Pointer/atomic.Value Store (and the new-value argument of
+// CompareAndSwap) must be fully constructed before publication and
+// never written again through a retained alias.
+package pubtest
+
+import "sync/atomic"
+
+type table struct {
+	byKey map[uint32]int
+	n     int
+}
+
+type server struct {
+	routes atomic.Pointer[table]
+	val    atomic.Value
+}
+
+// good finishes construction before the Store: every write precedes
+// publication.
+func good(s *server) {
+	t := &table{byKey: make(map[uint32]int)}
+	t.byKey[1] = 1
+	t.n = 1
+	s.routes.Store(t)
+}
+
+// goodFresh republishes by building a new value instead of mutating the
+// published one.
+func goodFresh(s *server) {
+	t := &table{}
+	t.n = 1
+	s.routes.Store(t)
+	fresh := &table{n: 2}
+	s.routes.Store(fresh)
+}
+
+// bad mutates the published value through the stored identifier.
+func bad(s *server) {
+	t := &table{byKey: make(map[uint32]int)}
+	s.routes.Store(t)
+	t.n = 2        // want `writes through t after it was published via atomic\.Pointer`
+	t.byKey[1] = 2 // want `writes through t after it was published via atomic\.Pointer`
+}
+
+// badAlias mutates the published value through a second name bound to
+// the same pointer.
+func badAlias(s *server) {
+	t := &table{}
+	u := t
+	s.routes.Store(t)
+	u.n = 3 // want `writes through u after it was published via atomic\.Pointer`
+}
+
+// badComposite stores a literal that captures a map; the map is part of
+// the published value, so writing it afterwards is a post-publish
+// mutation even though the literal itself was never named.
+func badComposite(s *server, m map[uint32]int) {
+	s.routes.Store(&table{byKey: m})
+	m[1] = 9 // want `writes through m after it was published via atomic\.Pointer`
+}
+
+// badDelete reaches the published map through a builtin instead of an
+// assignment.
+func badDelete(s *server, m map[uint32]int) {
+	s.routes.Store(&table{byKey: m})
+	delete(m, 1) // want `passes m to delete after it was published via atomic\.Pointer`
+}
+
+// badValue publishes through atomic.Value; the discipline is the same.
+func badValue(s *server) {
+	cfg := &table{}
+	s.val.Store(cfg)
+	cfg.n = 1 // want `writes through cfg after it was published via atomic\.Value`
+}
+
+// badCAS publishes via CompareAndSwap: the new value (argument 1) is
+// the published one.
+func badCAS(s *server) {
+	old := s.routes.Load()
+	next := &table{}
+	if s.routes.CompareAndSwap(old, next) {
+		next.n = 1 // want `writes through next after it was published via atomic\.Pointer`
+	}
+}
+
+// goodIncDec increments through an alias before the store; only
+// post-publish mutations are reported.
+func goodIncDec(s *server) {
+	t := &table{}
+	t.n++
+	s.routes.Store(t)
+}

@@ -32,10 +32,10 @@ type Arena struct {
 	nwords       int
 	nblocks      int
 	spansPerSlab int
-	free         [][]uint64 // released spans awaiting reuse
-	cur          []uint64   // aligned tail of the newest slab
-	slabs        int
-	live         int
+	free         [][]uint64 //p2p:confined arena // released spans awaiting reuse
+	cur          []uint64   //p2p:confined arena // aligned tail of the newest slab
+	slabs        int        //p2p:confined arena
+	live         int        //p2p:confined arena
 }
 
 // alignWords is the span alignment in words: 8 words = 64 bytes = one
@@ -76,6 +76,8 @@ func (a *Arena) NBits() uint { return a.nbits }
 // the arena's configured geometry — the single-size contract is what
 // makes span recycling trivial — and is accepted as a parameter only so
 // Arena satisfies the allocator seam filters construct through.
+//
+//p2p:confined arena entry
 func (a *Arena) NewVector(nbits uint) *Vector {
 	if ceilPow2(nbits) != a.nbits {
 		panic("bitvec: arena geometry mismatch: want " + strconv.FormatUint(uint64(a.nbits), 10) +
@@ -106,6 +108,8 @@ func (a *Arena) NewVector(nbits uint) *Vector {
 // take returns one span, preferring the free list, then the current
 // slab's tail, growing a fresh slab only when both are empty. Callers
 // hold a.mu.
+//
+//p2p:confined arena
 func (a *Arena) take() []uint64 {
 	if n := len(a.free); n > 0 {
 		span := a.free[n-1]
@@ -132,6 +136,8 @@ func (a *Arena) take() []uint64 {
 // must have been produced by this arena (same geometry) and must not be
 // used afterwards; the caller owns that lifecycle — in the tenant
 // manager, eviction snapshots the filter before releasing its vectors.
+//
+//p2p:confined arena entry
 func (a *Arena) Release(v *Vector) error {
 	if v.span == nil {
 		return errors.New("bitvec: release of a non-arena vector")
@@ -159,6 +165,8 @@ type ArenaStats struct {
 }
 
 // Stats reports the arena's current occupancy.
+//
+//p2p:confined arena entry
 func (a *Arena) Stats() ArenaStats {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -167,6 +175,8 @@ func (a *Arena) Stats() ArenaStats {
 
 // FootprintBytes returns the total backing storage the arena has
 // allocated, whether carved out or free.
+//
+//p2p:confined arena entry
 func (a *Arena) FootprintBytes() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()

@@ -66,6 +66,8 @@ func (f *Filter) Empty() bool {
 // rng state; restoring both makes the rehydrated filter's subsequent
 // verdicts, rotations, and anomaly accounting bit-identical to a filter
 // that was never evicted.
+//
+//p2p:codec
 type RotationState struct {
 	Started bool
 	Index   int

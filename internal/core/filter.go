@@ -52,6 +52,8 @@ func (v Verdict) String() string {
 // Config parameterizes a bitmap filter. The paper's simulation setup
 // (Section 5.3) is NBits=20, K=4, DeltaT=5s, M=3: a 512 KiB filter with
 // T_e = 20 s.
+//
+//p2p:codec
 type Config struct {
 	// K is the number of bit vectors (columns in Figure 7).
 	K int
@@ -86,6 +88,8 @@ type Config struct {
 	// is clamped to it, and only a regression larger than this window is
 	// counted in Stats.TimeAnomalies. The default 0 counts every
 	// backward step.
+	//
+	//p2p:codecskip operational knob, not filter identity — deliberately not persisted
 	ReorderTolerance time.Duration
 }
 

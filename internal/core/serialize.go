@@ -84,6 +84,8 @@ func (f *Filter) WriteTo(w io.Writer) (int64, error) {
 }
 
 // encodeHeader renders the fixed snapshot header for the given version.
+//
+//p2p:codec snapshotv2 encode
 func (f *Filter) encodeHeader(version uint32) [snapshotHeaderLen]byte {
 	var hdr [snapshotHeaderLen]byte
 	binary.LittleEndian.PutUint32(hdr[0:], snapshotMagic)
@@ -107,8 +109,11 @@ func (f *Filter) encodeHeader(version uint32) [snapshotHeaderLen]byte {
 	// release; they now carry the resolved index-derivation scheme and
 	// bit layout. Older streams read as zero, which maps back to the
 	// defaults, so every previously written snapshot keeps its meaning.
-	hdr[34] = byte(f.scheme)
-	hdr[35] = byte(f.layout)
+	// newFilter resolves cfg.HashScheme/cfg.Layout in place, so these
+	// equal f.scheme/f.layout; reading the cfg copies keeps the codec
+	// field sets symmetric with readFilter's Config literal.
+	hdr[34] = byte(f.cfg.HashScheme)
+	hdr[35] = byte(f.cfg.Layout)
 	binary.LittleEndian.PutUint32(hdr[36:], uint32(f.idx))
 	binary.LittleEndian.PutUint64(hdr[40:], uint64(f.next))
 	binary.LittleEndian.PutUint64(hdr[48:], f.cfg.Seed)
@@ -167,6 +172,7 @@ func ReadFilterWith(r io.Reader, alloc VectorAllocator) (*Filter, error) {
 	return f, nil
 }
 
+//p2p:codec snapshotv2 decode
 func readFilter(r io.Reader, alloc VectorAllocator) (*Filter, error) {
 	crc := crc32.New(castagnoli)
 	tee := io.TeeReader(r, crc)

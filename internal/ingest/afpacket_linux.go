@@ -94,6 +94,8 @@ func OpenAFPacket(iface string, clientNet packet.Network, cfg RingConfig) (*AFPa
 
 // ReadBatch fills b with the next frames from the ring, blocking until
 // at least one arrives or the socket dies.
+//
+//p2p:confined afring entry
 func (s *AFPacketSource) ReadBatch(b *Batch) (int, error) {
 	for {
 		if n := s.rr.readBatch(b.Pkts); n > 0 {
@@ -110,10 +112,15 @@ func (s *AFPacketSource) ReadBatch(b *Batch) (int, error) {
 	}
 }
 
-// Malformed reports how many ring slots failed to decode.
+// Malformed reports how many ring slots failed to decode. Like
+// ReadBatch, a capture-goroutine call.
+//
+//p2p:confined afring entry
 func (s *AFPacketSource) Malformed() int64 { return s.rr.malformed }
 
 // ClockRegressions reports clamped backwards timestamps.
+//
+//p2p:confined afring entry
 func (s *AFPacketSource) ClockRegressions() int64 { return s.rr.clockRegressions }
 
 // Close unmaps the ring and closes the socket.

@@ -57,20 +57,20 @@ type ringReader struct {
 	ring      []byte
 	frameSize int
 	frameNr   int
-	idx       int // next slot to inspect
+	idx       int //p2p:confined afring // next slot to inspect
 	clientNet packet.Network
 
 	// Slots handed out by the previous readBatch, to release first.
-	heldFirst int
-	heldCount int
+	heldFirst int //p2p:confined afring
+	heldCount int //p2p:confined afring
 
-	baseSec  int64
-	baseNsec int64
-	baseSet  bool
-	lastTS   time.Duration
+	baseSec  int64         //p2p:confined afring
+	baseNsec int64         //p2p:confined afring
+	baseSet  bool          //p2p:confined afring
+	lastTS   time.Duration //p2p:confined afring
 
-	malformed        int64
-	clockRegressions int64
+	malformed        int64 //p2p:confined afring
+	clockRegressions int64 //p2p:confined afring
 }
 
 func newRingReader(ring []byte, cfg RingConfig, clientNet packet.Network) *ringReader {
@@ -86,11 +86,16 @@ func newRingReader(ring []byte, cfg RingConfig, clientNet packet.Network) *ringR
 // kernel writes the status with a release store after filling the slot;
 // the acquire load below makes the slot contents visible before we
 // parse them.
+//
+//p2p:hotpath
 func (r *ringReader) statusPtr(slot int) *uint32 {
 	return (*uint32)(unsafe.Pointer(&r.ring[slot*r.frameSize+tpOffStatus]))
 }
 
 // release returns the previous batch's slots to the kernel.
+//
+//p2p:hotpath
+//p2p:confined afring
 func (r *ringReader) release() {
 	for i := 0; i < r.heldCount; i++ {
 		slot := (r.heldFirst + i) % r.frameNr
@@ -104,6 +109,9 @@ func (r *ringReader) release() {
 // decides whether to wait (live socket) or stop (drained test ring).
 // It never blocks and never reads past the slots the kernel has
 // released to userspace.
+//
+//p2p:hotpath
+//p2p:confined afring
 func (r *ringReader) readBatch(dst []packet.Packet) int {
 	r.release()
 	first := r.idx
@@ -132,6 +140,7 @@ func (r *ringReader) readBatch(dst []packet.Packet) int {
 // decodeSlot parses one ring slot in place. Payloads alias the slot.
 //
 //p2p:hotpath
+//p2p:confined afring
 func (r *ringReader) decodeSlot(slot []byte, pkt *packet.Packet) bool {
 	mac := int(binary.NativeEndian.Uint16(slot[tpOffMac:]))
 	snap := int(binary.NativeEndian.Uint32(slot[tpOffSnaplen:]))

@@ -41,22 +41,22 @@ var (
 // trusted and the walk ends.
 type MMapSource struct {
 	data    []byte
-	off     int
+	off     int  //p2p:confined mmapwalk
 	swapped bool // file byte order is opposite the LE record layout we load
 	snaplen int
 	verify  bool
 
 	clientNet packet.Network
 
-	baseSec  int64
-	baseUsec int64
-	baseSet  bool
-	lastTS   time.Duration
+	baseSec  int64         //p2p:confined mmapwalk
+	baseUsec int64         //p2p:confined mmapwalk
+	baseSet  bool          //p2p:confined mmapwalk
+	lastTS   time.Duration //p2p:confined mmapwalk
 
-	malformed        int64
-	clockRegressions int64
-	done             bool
-	err              error // terminal framing error, nil on a clean end
+	malformed        int64 //p2p:confined mmapwalk
+	clockRegressions int64 //p2p:confined mmapwalk
+	done             bool  //p2p:confined mmapwalk
+	err              error //p2p:confined mmapwalk // terminal framing error, nil on a clean end
 
 	close func() error
 }
@@ -65,6 +65,8 @@ type MMapSource struct {
 // data is aliased, never copied; it must stay valid and unmodified
 // until the source is abandoned. verify enables IP/transport checksum
 // verification, with failing frames counted in Malformed and skipped.
+//
+//p2p:confined mmapwalk entry
 func NewMemSource(data []byte, clientNet packet.Network, verify bool) (*MMapSource, error) {
 	if len(data) < 24 {
 		return nil, fmt.Errorf("ingest: pcap global header truncated: %d bytes", len(data))
@@ -123,6 +125,8 @@ func OpenMMap(path string, clientNet packet.Network, verify bool) (*MMapSource, 
 
 // Close releases the file mapping. The source and every packet it
 // produced become invalid.
+//
+//p2p:confined mmapwalk entry
 func (s *MMapSource) Close() error {
 	s.done = true
 	s.data = nil
@@ -135,11 +139,16 @@ func (s *MMapSource) Close() error {
 }
 
 // Malformed reports how many well-framed records were skipped:
-// undecodable frames and checksum failures under verification.
+// undecodable frames and checksum failures under verification. Like
+// ReadBatch, a reader-goroutine call.
+//
+//p2p:confined mmapwalk entry
 func (s *MMapSource) Malformed() int64 { return s.malformed }
 
 // ClockRegressions reports how many records carried a capture timestamp
 // behind an earlier record's; their TS values were clamped.
+//
+//p2p:confined mmapwalk entry
 func (s *MMapSource) ClockRegressions() int64 { return s.clockRegressions }
 
 // ReadBatch decodes the next run of frames into b.Pkts in place and
@@ -147,6 +156,8 @@ func (s *MMapSource) ClockRegressions() int64 { return s.clockRegressions }
 // n > 0) once the mapping is cleanly exhausted or a framing error
 // (ErrTruncatedFile, ErrBadRecordLength) if the record stream breaks
 // mid-file.
+//
+//p2p:confined mmapwalk entry
 func (s *MMapSource) ReadBatch(b *Batch) (int, error) {
 	if s.done {
 		if s.err != nil {
@@ -183,6 +194,7 @@ func (s *MMapSource) u32(off int) uint32 {
 // bounds-checked against the mapping before it is touched.
 //
 //p2p:hotpath
+//p2p:confined mmapwalk
 func (s *MMapSource) walk(dst []packet.Packet) int {
 	n := 0
 	for n < len(dst) {

@@ -107,24 +107,33 @@ var (
 )
 
 // BlockPatch is one 512-bit block of delta or repair payload.
+//
+//p2p:codec
 type BlockPatch struct {
 	Blk   uint32
 	Words [bitvec.DeltaBlockWords]uint64
 }
 
 // VectorSection groups the patches of one bit vector.
+//
+//p2p:codec
 type VectorSection struct {
 	Vec    uint32
 	Blocks []BlockPatch
 }
 
 // VectorDigest is one vector's range digests.
+//
+//p2p:codec
 type VectorDigest struct {
 	Vec  uint32
 	CRCs []uint32
 }
 
-// Frame is a decoded replication frame.
+// Frame is a decoded replication frame. Frame.Encode is DecodeFrame's
+// inverse; the codecparity analyzer holds the two field sets equal.
+//
+//p2p:codec
 type Frame struct {
 	Type   FrameType
 	Sender uint32
@@ -186,6 +195,8 @@ func EncodeAck(dst []byte, sender uint32, epoch int64, geom uint64, seq uint64) 
 
 // EncodeSections renders a Delta (with its sequence number) or Repair
 // (seq 0) frame from per-vector block patches.
+//
+//p2p:codec replframe encode
 func EncodeSections(dst []byte, t FrameType, sender uint32, epoch int64, geom uint64, seq uint64, secs []VectorSection) []byte {
 	frame := appendHeader(dst[:0], t, sender, epoch, geom)
 	frame = binary.LittleEndian.AppendUint64(frame, seq)
@@ -204,6 +215,8 @@ func EncodeSections(dst []byte, t FrameType, sender uint32, epoch int64, geom ui
 }
 
 // EncodeDigest renders a Digest frame.
+//
+//p2p:codec replframe encode
 func EncodeDigest(dst []byte, sender uint32, epoch int64, geom uint64, blocksPerRange uint32, digests []VectorDigest) []byte {
 	frame := appendHeader(dst[:0], FrameDigest, sender, epoch, geom)
 	frame = binary.LittleEndian.AppendUint32(frame, blocksPerRange)
@@ -218,6 +231,29 @@ func EncodeDigest(dst []byte, sender uint32, epoch int64, geom uint64, blocksPer
 	return finish(frame)
 }
 
+// Encode renders the frame through the per-type encoder matching its
+// Type, the inverse of DecodeFrame. Protocol senders build frames with
+// the scalar Encode* helpers directly; Encode exists so a fully decoded
+// frame round-trips (proxying, capture replay, tests) and so the
+// codecparity analyzer can match the encoded field set against the
+// decoders'.
+//
+//p2p:codec replframe encode
+func (fr *Frame) Encode(dst []byte) ([]byte, error) {
+	switch fr.Type {
+	case FrameHello:
+		return EncodeHello(dst, fr.Sender, int64(fr.Epoch), fr.Geom), nil
+	case FrameAck:
+		return EncodeAck(dst, fr.Sender, int64(fr.Epoch), fr.Geom, fr.Seq), nil
+	case FrameDelta, FrameRepair:
+		return EncodeSections(dst, fr.Type, fr.Sender, int64(fr.Epoch), fr.Geom, fr.Seq, fr.Sections), nil
+	case FrameDigest:
+		return EncodeDigest(dst, fr.Sender, int64(fr.Epoch), fr.Geom, fr.BlocksPerRange, fr.Digests), nil
+	default:
+		return nil, fmt.Errorf("%w: unknown frame type %d", ErrFrameMalformed, int(fr.Type))
+	}
+}
+
 // DecodeFrame parses and fully validates one frame. On any error the
 // returned frame is nil: a frame is either completely decoded —
 // structure, lengths, and checksum all verified — or completely
@@ -225,6 +261,8 @@ func EncodeDigest(dst []byte, sender uint32, epoch int64, geom uint64, blocksPer
 // Robustness contract (held by FuzzDecodeFrame): arbitrary input
 // yields a typed error or a valid frame, never a panic and never an
 // allocation beyond the input's own framing.
+//
+//p2p:codec replframe decode
 func DecodeFrame(data []byte) (*Frame, error) {
 	if len(data) < frameHeaderLen+frameTrailerLen {
 		return nil, fmt.Errorf("%w: %d bytes, want at least %d", ErrFrameMalformed, len(data), frameHeaderLen+frameTrailerLen)
@@ -257,6 +295,8 @@ func DecodeFrame(data []byte) (*Frame, error) {
 }
 
 // decodePayload parses the per-type payload, already checksummed.
+//
+//p2p:codec replframe decode
 func (fr *Frame) decodePayload(p []byte) error {
 	switch fr.Type {
 	case FrameHello:
@@ -279,6 +319,7 @@ func (fr *Frame) decodePayload(p []byte) error {
 	}
 }
 
+//p2p:codec replframe decode
 func (fr *Frame) decodeSections(p []byte) error {
 	if len(p) < 12 {
 		return fmt.Errorf("%w: section payload %d bytes", ErrFrameMalformed, len(p))
@@ -318,6 +359,7 @@ func (fr *Frame) decodeSections(p []byte) error {
 	return nil
 }
 
+//p2p:codec replframe decode
 func (fr *Frame) decodeDigests(p []byte) error {
 	if len(p) < 8 {
 		return fmt.Errorf("%w: digest payload %d bytes", ErrFrameMalformed, len(p))

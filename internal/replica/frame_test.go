@@ -190,3 +190,33 @@ func TestFrameTypeString(t *testing.T) {
 		}
 	}
 }
+
+// TestFrameEncodeInverse: Frame.Encode must reproduce, byte for byte,
+// the wire form a decoded frame came from, for every frame type.
+func TestFrameEncodeInverse(t *testing.T) {
+	wires := map[string][]byte{
+		"hello":  EncodeHello(nil, 7, 42, 0xabcdef0123456789),
+		"ack":    EncodeAck(nil, 7, 42, 0xabcdef0123456789, 991),
+		"delta":  EncodeSections(nil, FrameDelta, 7, 42, 0xabcdef0123456789, 55, sampleSections()),
+		"repair": EncodeSections(nil, FrameRepair, 7, 42, 0xabcdef0123456789, 0, sampleSections()),
+		"digest": EncodeDigest(nil, 7, 42, 0xabcdef0123456789, 16, []VectorDigest{{Vec: 0, CRCs: []uint32{1, 2, 3}}}),
+	}
+	for name, wire := range wires {
+		t.Run(name, func(t *testing.T) {
+			fr, err := DecodeFrame(wire)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := fr.Encode(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(out, wire) {
+				t.Fatalf("re-encode differs:\n got %x\nwant %x", out, wire)
+			}
+		})
+	}
+	if _, err := (&Frame{Type: FrameType(77)}).Encode(nil); !errors.Is(err, ErrFrameMalformed) {
+		t.Fatalf("unknown type: got %v, want ErrFrameMalformed", err)
+	}
+}

@@ -110,7 +110,7 @@ type Node struct {
 	geom uint64
 
 	peerIDs      []uint32
-	peers        map[uint32]*peerState
+	peers        map[uint32]*peerState //p2p:confined replnode
 	digestEvery  int
 	suspectAfter int
 	rangeBlocks  int
@@ -118,22 +118,24 @@ type Node struct {
 	// shadow is the last fleet-acknowledged image of each vector — by
 	// construction a subset of the live vector within a generation, so
 	// XOR(live, shadow) is exactly the bits not yet acked everywhere.
+	//p2p:confined replnode
 	shadow      []*bitvec.Vector
-	shadowEpoch int64
+	shadowEpoch int64 //p2p:confined replnode
 
 	// pending is the last delta broadcast, kept until the live-peer
 	// min-ack covers pendingSeq, then folded into shadow.
+	//p2p:confined replnode
 	pending     []VectorSection
-	pendingSeq  uint64
-	pendingOpen bool
+	pendingSeq  uint64 //p2p:confined replnode
+	pendingOpen bool   //p2p:confined replnode
 
-	seq       uint64
-	tick      int
-	helloSent bool
-	active    bool
+	seq       uint64 //p2p:confined replnode
+	tick      int    //p2p:confined replnode
+	helloSent bool   //p2p:confined replnode
+	active    bool   //p2p:confined replnode
 
-	buf     []byte   // reused frame encode buffer
-	scratch []uint32 // reused digest buffer
+	buf     []byte   //p2p:confined replnode // reused frame encode buffer
+	scratch []uint32 //p2p:confined replnode // reused digest buffer
 
 	m metrics
 }
@@ -142,6 +144,8 @@ type Node struct {
 // rotation index is re-anchored to its rotation count (idx ≡
 // rotations mod k) so vector generations derived from the count name
 // the same physical vector on every member.
+//
+//p2p:confined replnode entry
 func NewNode(f *core.Filter, cfg Config) (*Node, error) {
 	k := f.VectorCount()
 	if cfg.DigestEvery <= 0 {
@@ -292,6 +296,8 @@ func b2i(b bool) int64 {
 // live reports whether a peer counts toward quorums: heard from
 // within SuspectAfter ticks, with a joining grace period before the
 // first frame.
+//
+//p2p:confined replnode
 func (n *Node) live(p *peerState) bool {
 	return n.tick-p.lastHeard <= n.suspectAfter
 }
@@ -301,6 +307,8 @@ func (n *Node) live(p *peerState) bool {
 // shadowEpoch was cleared by rotation, so its shadow is cleared too
 // and any pending (unacked) patches for it are dropped — re-sending
 // them would resurrect a dead generation's bits on peers.
+//
+//p2p:confined replnode
 func (n *Node) catchUpShadow() {
 	cur := n.f.Rotations()
 	if cur == n.shadowEpoch {
@@ -325,6 +333,8 @@ func (n *Node) catchUpShadow() {
 // peer acked it. Suspect peers are excluded — a dead peer must not
 // wedge the quorum — and re-learn the skipped bits from anti-entropy
 // digests after they return and re-ack.
+//
+//p2p:confined replnode
 func (n *Node) tryFold() {
 	if !n.pendingOpen {
 		return
@@ -353,6 +363,8 @@ func (n *Node) tryFold() {
 // fold acked deltas, broadcast the cumulative unacked delta, and on
 // the digest cadence broadcast range digests. The first tick also
 // broadcasts Hello so peers reset their view of this (re)started node.
+//
+//p2p:confined replnode entry
 func (n *Node) Tick(out Outbox) {
 	n.catchUpShadow()
 	n.tryFold()
@@ -404,12 +416,14 @@ func (n *Node) Tick(out Outbox) {
 	n.tick++
 }
 
+//p2p:confined replnode
 func (n *Node) broadcast(out Outbox, frame []byte) {
 	for _, to := range n.peerIDs {
 		out(to, frame)
 	}
 }
 
+//p2p:confined replnode
 func (n *Node) encodeOwnDigest(epoch int64) []byte {
 	digests := make([]VectorDigest, n.k)
 	for v := 0; v < n.k; v++ {
@@ -422,6 +436,8 @@ func (n *Node) encodeOwnDigest(epoch int64) []byte {
 // Handle processes one incoming frame, replying through out. Errors
 // are returned for observability; the filter is untouched by any
 // frame that fails validation (checksum, geometry, or block bounds).
+//
+//p2p:confined replnode entry
 func (n *Node) Handle(data []byte, out Outbox) error {
 	fr, err := DecodeFrame(data)
 	if err != nil {
@@ -574,6 +590,8 @@ func (n *Node) mergeSections(fr *Frame) {
 // handleDigest compares a pre-validated peer digest against local
 // state, pushes repair blocks for divergent ranges, and updates
 // readiness.
+//
+//p2p:confined replnode
 func (n *Node) handleDigest(fr *Frame, p *peerState, out Outbox) {
 	own := n.f.Rotations()
 	seen := make([]bool, n.k)
@@ -642,6 +660,8 @@ func (n *Node) handleDigest(fr *Frame, p *peerState, out Outbox) {
 // latest digest fully matched local state. Activation is one-way: a
 // later divergence is repaired, not demoted — demotion would let a
 // blip of packet loss flap the data path between open and fail-closed.
+//
+//p2p:confined replnode
 func (n *Node) reevaluateReadiness() {
 	anyLive := false
 	for _, p := range n.peers {

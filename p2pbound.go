@@ -252,12 +252,12 @@ type Limiter struct {
 	// sets it while a member is joining or partitioned (not Ready), so
 	// a stale filter can never admit traffic the fleet already marked.
 	// Owned by the processing goroutine, like the rest of the limiter.
-	failClosed bool
+	failClosed bool //p2p:confined limproc
 
 	prober    red.Prober
 	meter     *throughput.Meter
 	clientNet packet.Network
-	now       time.Duration
+	now       time.Duration //p2p:confined limproc
 
 	// unroutable and timeAnomalies are atomic for the same reason as the
 	// filter's counters: one writer (the processing goroutine), any number
@@ -267,8 +267,8 @@ type Limiter struct {
 	// Monotonic clock guard: maxTS is the high-water mark of processed
 	// timestamps, tolerance the reorder window, timeAnomalies the count
 	// of beyond-tolerance regressions (see Config.ReorderTolerance).
-	maxTS         time.Duration
-	tsStarted     bool
+	maxTS         time.Duration //p2p:confined limproc
+	tsStarted     bool          //p2p:confined limproc
 	tolerance     time.Duration
 	timeAnomalies atomic.Int64 //p2p:atomic
 
@@ -283,7 +283,7 @@ type Limiter struct {
 	// Sampled drop tracing (see Config.TraceEveryN).
 	traceEvery int64
 	traceFn    func(DropTrace)
-	dropSeen   int64
+	dropSeen   int64 //p2p:confined limproc
 
 	// scratch is the two-pass batch scratch: one chunk of converted
 	// internal packets and their routability flags, indexed in lockstep
@@ -294,7 +294,7 @@ type Limiter struct {
 	// of thousands of mostly-idle limiters resident whose packets arrive
 	// through the manager's own batching, never through their private
 	// scratch.
-	scratch *batchScratch
+	scratch *batchScratch //p2p:confined limproc
 
 	// agg, when non-nil, nests this limiter's P_d under a shared
 	// aggregate uplink budget (hierarchical RED): outbound bytes feed the
@@ -310,9 +310,9 @@ type Limiter struct {
 	// packet. pdUntil is the exclusive end of the bucket for which
 	// cachedPd is valid; meter.Add invalidates it.
 	bucketWidth time.Duration
-	pdUntil     time.Duration
-	pdValid     bool
-	cachedPd    float64
+	pdUntil     time.Duration //p2p:confined limproc
+	pdValid     bool          //p2p:confined limproc
+	cachedPd    float64       //p2p:confined limproc
 }
 
 // batchScratch is the per-chunk conversion scratch behind ProcessBatch;
@@ -420,6 +420,7 @@ func newShell(cfg Config) (*Limiter, core.Config, error) {
 // chain by value.
 //
 //p2p:hotpath
+//p2p:confined limproc entry
 func (l *Limiter) Process(p Packet) Decision {
 	var pkt packet.Packet
 	if !l.toInternal(p, &pkt) {
@@ -437,6 +438,7 @@ func (l *Limiter) Process(p Packet) Decision {
 // limiter's notion of now (see Config.ReorderTolerance).
 //
 //p2p:hotpath
+//p2p:confined limproc
 func (l *Limiter) clampTS(pkt *packet.Packet) {
 	if l.tsStarted && pkt.TS < l.maxTS {
 		if l.maxTS-pkt.TS > l.tolerance {
@@ -455,6 +457,7 @@ func (l *Limiter) clampTS(pkt *packet.Packet) {
 // Process and ProcessBatch, and maps the filter verdict to a Decision.
 //
 //p2p:hotpath
+//p2p:confined limproc
 func (l *Limiter) decide(f *core.Filter, p *Packet, pkt *packet.Packet, pd float64, verdict core.Verdict) Decision {
 	if verdict == core.Pass && pkt.Dir == packet.Outbound {
 		l.meter.Add(pkt.TS, p.Size)
@@ -499,6 +502,8 @@ func (l *Limiter) decide(f *core.Filter, p *Packet, pkt *packet.Packet, pd float
 // DESIGN.md §12). The split is invisible in the results because index
 // derivation depends only on key bytes and configuration, never on
 // rotation or meter state.
+//
+//p2p:confined limproc entry
 func (l *Limiter) ProcessBatch(pkts []Packet, dst []Decision) []Decision {
 	var start time.Time
 	if l.tel != nil {
@@ -529,6 +534,7 @@ func (l *Limiter) ProcessBatch(pkts []Packet, dst []Decision) []Decision {
 // filter's scratch index.
 //
 //p2p:hotpath
+//p2p:confined limproc
 func (l *Limiter) processChunk(chunk []Packet, dst []Decision) []Decision {
 	f := l.filter.Load()
 	sc := l.scratch
@@ -562,6 +568,7 @@ func (l *Limiter) processChunk(chunk []Packet, dst []Decision) []Decision {
 // path, so batch and per-packet runs draw identical P_d sequences.
 //
 //p2p:hotpath
+//p2p:confined limproc
 func (l *Limiter) pd(ts time.Duration) float64 {
 	if l.failClosed {
 		return 1
@@ -593,13 +600,18 @@ func (l *Limiter) pd(ts time.Duration) float64 {
 }
 
 // UplinkMbps returns the current measured uplink throughput in megabits
-// per second.
+// per second. Reads processing-goroutine state (the clock high-water
+// mark); call it from that goroutine, between batches.
+//
+//p2p:confined limproc entry
 func (l *Limiter) UplinkMbps() float64 {
 	return l.meter.Rate(l.now) / 1e6
 }
 
 // DropProbability returns the P_d currently applied to unmatched inbound
-// packets.
+// packets. Like UplinkMbps, a processing-goroutine call.
+//
+//p2p:confined limproc entry
 func (l *Limiter) DropProbability() float64 {
 	return l.prober.Pd(l.meter.Rate(l.now))
 }
@@ -615,9 +627,13 @@ func (l *Limiter) ExpiryHorizon() time.Duration { return l.filter.Load().TE() }
 // and fail-closed mode (P_d pinned to 1; see Limiter.failClosed). Must
 // be called from the processing goroutine, like Process itself — the
 // replicated fleet flips it from its sync pump between batches.
+//
+//p2p:confined limproc entry
 func (l *Limiter) SetFailClosed(on bool) { l.failClosed = on }
 
 // FailClosed reports whether SetFailClosed(true) is in effect.
+//
+//p2p:confined limproc entry
 func (l *Limiter) FailClosed() bool { return l.failClosed }
 
 // Stats returns a snapshot of the activity counters. Unlike Process, it

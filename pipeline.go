@@ -95,11 +95,11 @@ type Pipeline struct {
 	// entry points can classify packet direction at decode time.
 	clientNet packet.Network
 	rings     []*ring
-	scratch sync.Pool // *routeScratch
-	wg      sync.WaitGroup
-	closed  atomic.Bool //p2p:atomic
-	policy  ShedPolicy
-	gate    <-chan struct{}
+	scratch   sync.Pool // *routeScratch
+	wg        sync.WaitGroup
+	closed    atomic.Bool //p2p:atomic
+	policy    ShedPolicy
+	gate      <-chan struct{}
 
 	// Verdict and shed counters are striped per shard (cache-line-padded
 	// atomic cells), so concurrent shard workers never contend on a
@@ -351,6 +351,8 @@ func (p *Pipeline) ExpiryHorizon() time.Duration { return p.sharded.ExpiryHorizo
 // for the whole chunk, pass B decides against warm cache lines — see
 // DESIGN.md §12). The `done` cursor advances only after the batch is
 // decided, which is what Drain synchronizes on.
+//
+//p2p:confined pipeworker
 func (p *Pipeline) worker(sh int, batchSize int) {
 	defer p.wg.Done()
 	if p.gate != nil {
@@ -486,9 +488,11 @@ func (r *ring) pushAll(pkts []Packet) {
 }
 
 // take moves up to max available packets into dst. Only the consumer
-// goroutine may call it. Slots are released (head advanced) as soon as
-// the packets are copied out; completion is published separately via
-// done.
+// goroutine (a shard worker) may call it. Slots are released (head
+// advanced) as soon as the packets are copied out; completion is
+// published separately via done.
+//
+//p2p:confined pipeworker
 func (r *ring) take(dst []Packet, max int) []Packet {
 	h := r.head.Load()
 	avail := r.tail.Load() - h

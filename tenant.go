@@ -86,20 +86,20 @@ type tenant struct {
 	sh   *tshard
 	lim  *Limiter
 
-	hydrated bool
+	hydrated bool //p2p:confined tenantshard
 	// spilled marks that rot/rngState hold a real suspended position (a
 	// tenant that was hydrated at least once); a never-hydrated tenant
 	// starts from the fresh-filter state instead.
-	spilled     bool
-	spillBitmap []byte // v2 core snapshot, nil when the filter was empty
-	rot         core.RotationState
-	rngState    []byte
+	spilled     bool               //p2p:confined tenantshard
+	spillBitmap []byte             //p2p:confined tenantshard // v2 core snapshot, nil when empty
+	rot         core.RotationState //p2p:confined tenantshard
+	rngState    []byte             //p2p:confined tenantshard
 
 	// lastActive is the shard activity clock value of the tenant's most
 	// recent packet; the intrusive LRU list below is ordered by it
 	// (head = most recent) because the clock is monotone.
-	lastActive time.Duration
-	prev, next *tenant
+	lastActive time.Duration //p2p:confined tenantshard
+	prev, next *tenant       //p2p:confined tenantshard
 }
 
 // tshard is one single-writer island of the manager: only one goroutine
@@ -112,9 +112,9 @@ type tshard struct {
 	arena *bitvec.Arena
 	agg   *aggBudget // nil when the aggregate budget is disabled
 
-	now     time.Duration // monotone activity clock (max packet ts seen)
-	lruHead *tenant
-	lruTail *tenant
+	now     time.Duration //p2p:confined tenantshard // monotone activity clock (max packet ts seen)
+	lruHead *tenant       //p2p:confined tenantshard
+	lruTail *tenant       //p2p:confined tenantshard
 
 	hydrated   atomic.Int64 //p2p:atomic
 	hydrations atomic.Int64 //p2p:atomic
@@ -325,6 +325,8 @@ func (m *TenantManager) route(p *Packet) (t *tenant, ok bool) {
 // Stats.NoTenant), exactly as a bare Limiter defensively drops
 // unclassifiable packets; a non-IPv4 packet is counted in
 // Stats.Unroutable. Single-writer per shard — see the type comment.
+//
+//p2p:confined tenantshard entry
 func (m *TenantManager) Process(p Packet) Decision {
 	t, ok := m.route(&p)
 	if t == nil {
@@ -345,6 +347,8 @@ func (m *TenantManager) Process(p Packet) Decision {
 // two-pass batch path, so a single-tenant batch costs exactly what the
 // bare Limiter.ProcessBatch costs, while a many-tenant interleaving
 // degrades gracefully to per-packet decisions.
+//
+//p2p:confined tenantshard entry
 func (m *TenantManager) ProcessBatch(pkts []Packet, dst []Decision) []Decision {
 	var run *tenant
 	start := 0
@@ -367,6 +371,8 @@ func (m *TenantManager) ProcessBatch(pkts []Packet, dst []Decision) []Decision {
 
 // flushRun decides one same-tenant run (or defensively drops a
 // no-tenant run).
+//
+//p2p:confined tenantshard
 func (m *TenantManager) flushRun(t *tenant, run []Packet, dst []Decision) []Decision {
 	if len(run) == 0 {
 		return dst
@@ -386,6 +392,8 @@ func (m *TenantManager) flushRun(t *tenant, run []Packet, dst []Decision) []Deci
 
 // touch advances the shard activity clock, hydrates the tenant if its
 // filter is spilled, and keeps the shard LRU ordered.
+//
+//p2p:confined tenantshard
 func (m *TenantManager) touch(t *tenant, ts time.Duration) {
 	sh := t.sh
 	if ts > sh.now {
@@ -408,6 +416,8 @@ func (m *TenantManager) touch(t *tenant, ts time.Duration) {
 // subsequent verdicts are bit-identical to one that never left memory.
 // Hydrating past MaxHydratedPerShard first evicts the shard's
 // least-recently-active tenants.
+//
+//p2p:confined tenantshard
 func (m *TenantManager) hydrate(t *tenant) {
 	sh := t.sh
 	if max := m.cfg.MaxHydratedPerShard; max > 0 {
@@ -466,6 +476,8 @@ func (m *TenantManager) hydrate(t *tenant) {
 // marks spills the full v2+CRC32C snapshot so no admitted flow is
 // forgotten. The tenant's counters are folded into its limiter's base
 // (monotone Stats across any number of evict/rehydrate cycles).
+//
+//p2p:confined tenantshard
 func (m *TenantManager) evict(t *tenant) {
 	if !t.hydrated {
 		return
@@ -505,6 +517,8 @@ func (m *TenantManager) evict(t *tenant) {
 // evicted. idle 0 evicts everything. Like processing, it is
 // single-writer per shard: call it from the processing goroutine,
 // between batches (a TenantPipeline does this automatically).
+//
+//p2p:confined tenantshard entry
 func (m *TenantManager) EvictIdle(idle time.Duration) int {
 	n := 0
 	for _, sh := range m.shards {
@@ -516,6 +530,8 @@ func (m *TenantManager) EvictIdle(idle time.Duration) int {
 // evictIdleShard walks one shard's LRU from the cold end; the list is
 // ordered by lastActive (the activity clock is monotone), so the walk
 // stops at the first warm tenant.
+//
+//p2p:confined tenantshard
 func (m *TenantManager) evictIdleShard(sh *tshard, idle time.Duration) int {
 	n := 0
 	for t := sh.lruTail; t != nil; {
@@ -532,6 +548,8 @@ func (m *TenantManager) evictIdleShard(sh *tshard, idle time.Duration) int {
 
 // lruPushFront makes t the most-recently-active entry. Shard LRU lists
 // are intrusive — no allocation per touch.
+//
+//p2p:confined tenantshard
 func (sh *tshard) lruPushFront(t *tenant) {
 	t.prev = nil
 	t.next = sh.lruHead
@@ -545,6 +563,8 @@ func (sh *tshard) lruPushFront(t *tenant) {
 }
 
 // lruRemove unlinks t.
+//
+//p2p:confined tenantshard
 func (sh *tshard) lruRemove(t *tenant) {
 	if t.prev != nil {
 		t.prev.next = t.next

@@ -240,6 +240,9 @@ func (p *TenantPipeline) Manager() *TenantManager { return p.m }
 // the horizon. Both halves run on this one goroutine, which is what
 // lets hydration and eviction share unsynchronized state with packet
 // processing.
+//
+//p2p:confined pipeworker
+//p2p:confined tenantshard
 func (p *TenantPipeline) worker(sh int, batchSize int) {
 	defer p.wg.Done()
 	if p.gate != nil {
