@@ -36,6 +36,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzWritePrometheus -fuzztime 10s ./internal/metrics
 	$(GO) test -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 10s ./internal/replica
 	$(GO) test -run '^$$' -fuzz FuzzTenantSnapshot -fuzztime 10s .
+	$(GO) test -run '^$$' -fuzz FuzzOffloadMap -fuzztime 10s ./internal/offload
 
 # bench runs the root-package benchmarks at a stable benchtime and
 # records them as BENCH_p2pbound.json via cmd/benchjson. The committed
@@ -48,5 +49,5 @@ bench:
 # benchmarks still run and the JSON pipeline still parses, without
 # pretending a shared runner produces meaningful timings.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkFilterProcessBatch|BenchmarkIngestEndToEnd|BenchmarkTenantManagerProcessBatch' -benchmem -benchtime 5x . | $(GO) run ./cmd/benchjson -o BENCH_smoke.json
+	$(GO) test -run '^$$' -bench 'BenchmarkFilterProcessBatch|BenchmarkIngestEndToEnd|BenchmarkTenantManagerProcessBatch|BenchmarkOffloadEndToEnd' -benchmem -benchtime 5x . | $(GO) run ./cmd/benchjson -o BENCH_smoke.json
 	rm -f BENCH_smoke.json

@@ -84,6 +84,9 @@ func runSig(args []string, out io.Writer, sigc <-chan os.Signal) error {
 		peers      = fs.Int("peers", 1, "in-process replicated fleet size: shard the stream across N limiters synced after every batch (1 = single limiter)")
 		traceEvery = fs.Int("trace-every", 0, "print a TRACE line for every Nth dropped packet (0 = disabled)")
 
+		offloadPath  = fs.String("offload-map", "", "publish the kernel-offload flat verdict map to this file (written atomically), for an external fast-path stage to probe")
+		offloadEvery = fs.Duration("offload-every", time.Second, "trace-time interval between -offload-map publications")
+
 		tenantsPath = fs.String("tenants", "", "multi-tenant mode: file of subscriber networks, one '[id] CIDR' per line; runs a TenantManager instead of a single limiter (-net then only classifies capture direction)")
 		tenantBits  = fs.Int("tenant-prefix", 24, "uniform subscriber prefix length for -tenants")
 		tenantEvict = fs.Duration("tenant-evict", 0, "spill tenants idle for this much trace time after every batch (0 = never evict)")
@@ -233,6 +236,46 @@ func runSig(args []string, out io.Writer, sigc <-chan os.Signal) error {
 		}()
 		fmt.Fprintf(out, "metrics on http://%s/metrics\n", ln.Addr())
 	}
+	// The offload map publishes from the processing goroutine between
+	// batches — the single-writer position Section.Publish requires —
+	// then lands on disk through the same atomic tmp+rename as state
+	// snapshots, so an external fast-path consumer never maps a torn
+	// file.
+	var publishOffload func() error
+	if *offloadPath != "" {
+		switch {
+		case fleet != nil:
+			return errors.New("-offload-map is not supported with -peers: publish from one member's own daemon instead")
+		case mgr != nil:
+			to, err := mgr.NewOffload()
+			if err != nil {
+				return err
+			}
+			publishOffload = func() error {
+				if err := to.Publish(); err != nil {
+					return err
+				}
+				return writeSnapshotAtomic(*offloadPath, func(w io.Writer) error {
+					_, err := to.Map().WriteTo(w)
+					return err
+				})
+			}
+		default:
+			om, err := limiter.NewOffloadMap()
+			if err != nil {
+				return err
+			}
+			publishOffload = func() error {
+				if err := limiter.PublishOffload(om); err != nil {
+					return err
+				}
+				return writeSnapshotAtomic(*offloadPath, func(w io.Writer) error {
+					_, err := om.WriteTo(w)
+					return err
+				})
+			}
+		}
+	}
 	if *statePath != "" {
 		restore := func() error { return restoreState(limiter, *statePath, *stateAdopt) }
 		if mgr != nil {
@@ -301,6 +344,7 @@ func runSig(args []string, out io.Writer, sigc <-chan os.Signal) error {
 		readCount      int64
 		nextReport     = *report
 		nextSnap       = *snapEvery
+		nextOffload    = *offloadEvery
 		b              = ingest.NewBatch(batchCap)
 		batch          = make([]p2pbound.Packet, 0, batchCap)
 		verdicts       = make([]p2pbound.Decision, 0, batchCap)
@@ -355,6 +399,7 @@ func runSig(args []string, out io.Writer, sigc <-chan os.Signal) error {
 			verdicts = limiter.ProcessBatch(batch, verdicts[:0])
 		}
 		snapDue := false
+		offloadDue := false
 		for i, decision := range verdicts {
 			pkt := &raw[i]
 			total++
@@ -387,11 +432,25 @@ func runSig(args []string, out io.Writer, sigc <-chan os.Signal) error {
 					nextSnap += *snapEvery
 				}
 			}
+			if publishOffload != nil && *offloadEvery > 0 && pkt.TS >= nextOffload {
+				offloadDue = true
+				for pkt.TS >= nextOffload {
+					nextOffload += *offloadEvery
+				}
+			}
 		}
 		// Snapshot after the batch so the state file reflects every
 		// verdict already reported.
 		if snapDue {
 			snapshot()
+		}
+		if offloadDue {
+			if err := publishOffload(); err != nil {
+				// Like a failed periodic snapshot: the previous map file
+				// is intact, the fast path just runs staler — which only
+				// costs escalations, never verdicts.
+				fmt.Fprintf(os.Stderr, "p2pboundd: offload map publish failed: %v\n", err)
+			}
 		}
 	}
 	// finish emits the final accounting line; it is shared by the EOF,
@@ -404,6 +463,14 @@ func runSig(args []string, out io.Writer, sigc <-chan os.Signal) error {
 			reason, total, dropped, s.InboundMatched, s.TimeAnomalies, clockRegs())
 	}
 	saveFinal := func() error {
+		if publishOffload != nil {
+			// Final publish so the on-disk map covers every decided
+			// packet; a consumer restarted after the daemon exits probes
+			// the complete state.
+			if err := publishOffload(); err != nil {
+				fmt.Fprintf(os.Stderr, "p2pboundd: final offload map publish failed: %v\n", err)
+			}
+		}
 		if *statePath == "" {
 			return nil
 		}

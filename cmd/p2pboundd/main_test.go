@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"p2pbound"
+	"p2pbound/internal/offload"
 	"p2pbound/internal/pcap"
 	"p2pbound/internal/trace"
 )
@@ -487,5 +488,95 @@ func TestRunPeersRejectsState(t *testing.T) {
 	}
 	if err := run([]string{"-i", path, "-net", "140.112.0.0/16", "-peers", "0"}, &bytes.Buffer{}); err == nil {
 		t.Fatal("-peers 0 accepted")
+	}
+}
+
+// TestRunOffloadMapPublishes: -offload-map leaves a decodable flat
+// verdict map on disk whose single section was actually published (the
+// trace runs 15s against the default 1s cadence, so periodic
+// publication fires many times before the final one).
+func TestRunOffloadMapPublishes(t *testing.T) {
+	path := writeTestPcap(t, 51)
+	mapPath := filepath.Join(t.TempDir(), "verdicts.map")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-i", path, "-net", "140.112.0.0/16",
+		"-low", "0.5", "-high", "1",
+		"-quiet", "-offload-map", mapPath,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(mapPath)
+	if err != nil {
+		t.Fatalf("offload map not written: %v", err)
+	}
+	m, err := offload.OpenBytes(data)
+	if err != nil {
+		t.Fatalf("offload map does not decode: %v", err)
+	}
+	if m.Sections() != 1 || m.PrefixBits() != 0 {
+		t.Fatalf("sections=%d prefixBits=%d, want 1/0", m.Sections(), m.PrefixBits())
+	}
+	if !m.Section(0).Live() {
+		t.Fatal("published section is not live")
+	}
+	if m.Section(0).Generation() == 0 {
+		t.Fatal("section was never published")
+	}
+	if _, err := offload.NewFastPath(m); err != nil {
+		t.Fatalf("map not probeable: %v", err)
+	}
+}
+
+// TestRunOffloadTenantsMode: tenant mode exports one section per
+// subscriber with routed directory keys; the active tenant's section
+// is live, the idle (never-hydrated) one is not.
+func TestRunOffloadTenantsMode(t *testing.T) {
+	path := writeTestPcap(t, 52)
+	tenants := writeTenantsFile(t)
+	mapPath := filepath.Join(t.TempDir(), "tenants.map")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-i", path, "-net", "140.112.0.0/16",
+		"-tenants", tenants, "-tenant-prefix", "16",
+		"-low", "0.5", "-high", "1",
+		"-quiet", "-offload-map", mapPath,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(mapPath)
+	if err != nil {
+		t.Fatalf("offload map not written: %v", err)
+	}
+	m, err := offload.OpenBytes(data)
+	if err != nil {
+		t.Fatalf("offload map does not decode: %v", err)
+	}
+	if m.Sections() != 2 || m.PrefixBits() != 16 {
+		t.Fatalf("sections=%d prefixBits=%d, want 2/16", m.Sections(), m.PrefixBits())
+	}
+	live := 0
+	for i := 0; i < m.Sections(); i++ {
+		if m.Section(i).Live() {
+			live++
+		}
+	}
+	if live != 1 {
+		t.Fatalf("%d live sections, want exactly the campus tenant", live)
+	}
+}
+
+// TestRunOffloadRejectsPeers: the offload map has a single publisher
+// per section; fleet mode must refuse it rather than publish torn.
+func TestRunOffloadRejectsPeers(t *testing.T) {
+	path := writeTestPcap(t, 53)
+	err := run([]string{
+		"-i", path, "-net", "140.112.0.0/16",
+		"-peers", "2", "-offload-map", filepath.Join(t.TempDir(), "m.map"),
+	}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "-offload-map is not supported with -peers") {
+		t.Fatalf("want -offload-map/-peers rejection, got %v", err)
 	}
 }

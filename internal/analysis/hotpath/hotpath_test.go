@@ -28,3 +28,12 @@ func TestHotpathTenantRoute(t *testing.T) {
 func TestHotpathReplicationBoundary(t *testing.T) {
 	analysistest.Run(t, "testdata", []*analysis.Analyzer{hotpath.Analyzer}, "replsync")
 }
+
+// TestHotpathOffloadProbe proves the kernel-offload probe discipline
+// FastPath relies on: the seqlock read loop and the miss-ring producer
+// are hot-path clean, while publication (the seqlock writer, with its
+// shadow scratch) and any reader-side locking are banned from under a
+// probe.
+func TestHotpathOffloadProbe(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{hotpath.Analyzer}, "offprobe")
+}

@@ -1,0 +1,120 @@
+// Package offprobe fixes the kernel-offload probe discipline the
+// offload package's FastPath relies on: the seqlock reader — atomic
+// generation loads, bounded spin on an odd generation, word tests
+// against the flat map — is pure arithmetic over a preallocated
+// word slice, so the whole probe chain annotates //p2p:hotpath and
+// must pass the checks. Publication (the seqlock writer) is
+// control-plane code: unannotated, free to allocate shadow scratch,
+// and therefore unreachable from a probe. The golden test asserts the
+// only diagnostics are the three violations at the bottom.
+package offprobe
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type flatMap struct {
+	words []uint64
+	k     int
+}
+
+const (
+	secGen    = 0
+	secCurIdx = 2
+	maxSpin   = 64
+)
+
+//p2p:hotpath
+func loadGen(m *flatMap, base int) uint64 {
+	return atomic.LoadUint64(&m.words[base+secGen])
+}
+
+// probe is the seqlock read loop: legal because every shared word goes
+// through sync/atomic, the spin is bounded, and nothing allocates.
+//
+//p2p:hotpath
+func probe(m *flatMap, base int, bit uint64) bool {
+	for spin := 0; spin < maxSpin; spin++ {
+		g1 := loadGen(m, base)
+		if g1&1 != 0 {
+			continue
+		}
+		cur := atomic.LoadUint64(&m.words[base+secCurIdx])
+		if cur >= uint64(m.k) {
+			return false // torn geometry: escalate
+		}
+		w := atomic.LoadUint64(&m.words[base+8+int(bit/64)])
+		hit := w&(1<<(bit%64)) != 0
+		if loadGen(m, base) == g1 {
+			return hit
+		}
+	}
+	return false
+}
+
+// tryPush is the miss-ring producer: a fixed ring and two atomics.
+//
+//p2p:hotpath
+func tryPush(ring []uint64, head, tail *uint64, v uint64) bool {
+	h := atomic.LoadUint64(head)
+	t := atomic.LoadUint64(tail)
+	if h-t == uint64(len(ring)) {
+		return false
+	}
+	ring[h&uint64(len(ring)-1)] = v
+	atomic.StoreUint64(head, h+1)
+	return true
+}
+
+// publish is the seqlock writer: control-plane cadence, so the shadow
+// scratch allocation is legal here — and only here.
+func publish(m *flatMap, base int, dirty []uint64) {
+	atomic.StoreUint64(&m.words[base+secGen], loadGen(m, base)+1)
+	scratch := make([]uint64, 8)
+	for i, w := range dirty {
+		scratch[i%8] ^= w
+		atomic.StoreUint64(&m.words[base+8+i], scratch[i%8])
+	}
+	atomic.StoreUint64(&m.words[base+secGen], loadGen(m, base)+1)
+}
+
+// probeThenPublish breaks the split: publication under a packet puts
+// the writer's allocation and the full dirty-block walk on the
+// per-probe budget, and a second writer tears the seqlock.
+//
+//p2p:hotpath
+func probeThenPublish(m *flatMap, base int, bit uint64, dirty []uint64) bool {
+	hit := probe(m, base, bit)
+	if !hit {
+		publish(m, base, dirty) // want `calls publish, which is not annotated`
+	}
+	return hit
+}
+
+// probeAlloc breaks the probe's zero-alloc contract: per-probe scratch
+// belongs in the FastPath struct, not on the heap.
+//
+//p2p:hotpath
+func probeAlloc(m *flatMap, base int, bits []uint64) bool {
+	sums := make([]uint64, len(bits)) // want `allocates: make`
+	for i, b := range bits {
+		sums[i] = b
+	}
+	for _, b := range sums {
+		if !probe(m, base, b) {
+			return false
+		}
+	}
+	return true
+}
+
+// probeLocked breaks the coherence model: the flat map is coherent by
+// seqlock, never by mutex — a reader-side lock would stall the packet
+// path behind the publisher.
+//
+//p2p:hotpath
+func probeLocked(m *flatMap, mu *sync.Mutex, base int, bit uint64) bool {
+	mu.Lock() // want `hotpath functions may not acquire locks`
+	return probe(m, base, bit)
+}

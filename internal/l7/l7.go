@@ -11,8 +11,9 @@ package l7
 
 import (
 	"fmt"
+	"io"
 	"regexp"
-	"strings"
+	"sync"
 
 	"p2pbound/internal/packet"
 )
@@ -237,32 +238,53 @@ func NewLibrary() *Library {
 // stream prefix) against all signatures and returns the first matching
 // application, or Unknown.
 //
-// Payload bytes are decoded as Latin-1 before matching so that a pattern
+// Payload bytes are decoded as Latin-1 while matching so that a pattern
 // escape like \xe3 matches the raw wire byte 0xe3. (Go's regexp engine
-// decodes its input as UTF-8, under which a lone high byte becomes the
-// replacement rune and binary signatures would never match.)
+// decodes string and []byte input as UTF-8, under which a lone high
+// byte becomes the replacement rune and binary signatures would never
+// match.) The decoding happens through a pooled io.RuneReader that
+// widens bytes on the fly instead of materializing a widened string, so
+// matching allocates nothing at steady state.
 func (l *Library) MatchPayload(b []byte) App {
 	if len(b) == 0 {
 		return Unknown
 	}
-	s := latin1(b)
+	r := readerPool.Get().(*latin1Reader)
+	app := Unknown
 	for _, sig := range l.sigs {
-		if sig.re.MatchString(s) {
-			return sig.app
+		r.b, r.i = b, 0
+		if sig.re.MatchReader(r) {
+			app = sig.app
+			break
 		}
 	}
-	return Unknown
+	r.b = nil // do not pin the payload while pooled
+	readerPool.Put(r)
+	return app
 }
 
-// latin1 widens each payload byte to the rune with the same value.
-func latin1(b []byte) string {
-	var sb strings.Builder
-	sb.Grow(len(b) + len(b)/4)
-	for _, c := range b {
-		sb.WriteRune(rune(c))
-	}
-	return sb.String()
+// latin1Reader widens each payload byte to the rune with the same
+// value, presenting the payload to the regexp engine as a Latin-1 rune
+// stream. Reported sizes are 1 so match positions stay byte offsets.
+type latin1Reader struct {
+	b []byte
+	i int
 }
+
+// ReadRune implements io.RuneReader.
+func (r *latin1Reader) ReadRune() (rune, int, error) {
+	if r.i >= len(r.b) {
+		return 0, 0, io.EOF
+	}
+	c := r.b[r.i]
+	r.i++
+	return rune(c), 1, nil
+}
+
+// readerPool recycles latin1Readers across MatchPayload calls; the
+// analyzer identifies every connection's stream prefix through here, so
+// the matcher must not allocate per call.
+var readerPool = sync.Pool{New: func() any { return new(latin1Reader) }}
 
 // MatchPort returns the application registered for a well-known service
 // port, or Unknown. For TCP the caller passes the destination port of the

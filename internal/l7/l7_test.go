@@ -257,3 +257,34 @@ func TestStreamPrefixMatching(t *testing.T) {
 		t.Fatalf("concatenated stream = %v, want gnutella", got)
 	}
 }
+
+// TestMatchPayloadZeroAlloc pins the matcher's steady-state allocation
+// count at zero: the analyzer runs MatchPayload on every connection's
+// stream prefix, so a single per-call allocation shows up directly in
+// the ingest profile.
+func TestMatchPayloadZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector; alloc counts are not meaningful")
+	}
+	lib := NewLibrary()
+	payloads := [][]byte{
+		append([]byte{0x13}, []byte("BitTorrent protocol.....................................")...),
+		{0xe3, 0x29, 0, 0, 0, 0x01, 0xaa, 0xbb, 0xcc},
+		[]byte("GNUTELLA CONNECT/0.6\r\nUser-Agent: LimeWire\r\n\r\n"),
+		[]byte("GET /index.html HTTP/1.1\r\nHost: example.com\r\n\r\n"),
+		[]byte("220 ProFTPD 1.3.0 Server (FTP) ready.\r\n"),
+		{0x7f, 0x11, 0x99, 0x42, 0x37, 0x5b, 0x02, 0x60, 0x12, 0x7d}, // opaque
+	}
+	// Warm the pool and the regexp engines' lazily built machines.
+	for _, p := range payloads {
+		lib.MatchPayload(p)
+	}
+	i := 0
+	avg := testing.AllocsPerRun(1000, func() {
+		lib.MatchPayload(payloads[i%len(payloads)])
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("MatchPayload allocates %.2f objects/op, want 0", avg)
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package l7
+
+// raceEnabled gates allocation-count assertions: under the race
+// detector sync.Pool (ours and regexp's machine pools) deliberately
+// drops items to widen interleavings, so steady-state alloc counts
+// are not meaningful.
+const raceEnabled = true

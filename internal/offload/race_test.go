@@ -1,0 +1,202 @@
+package offload
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"p2pbound/internal/core"
+	"p2pbound/internal/packet"
+)
+
+// TestSeqlockNoTornVerdict is the coherence proof the seqlock exists
+// for: while a publisher mutates the map through marks and rotations,
+// concurrent probers must never return a verdict that mixes two
+// publications. Every probe is tagged with the (even) generation it
+// was computed under; the writer records, after each publish, the
+// ground-truth verdict of every probe key for that generation. Any
+// observation that disagrees with the table for its own generation is
+// a torn read. Run it under -race: the all-atomic word discipline of
+// the map is part of what is being proven.
+func TestSeqlockNoTornVerdict(t *testing.T) {
+	cfg := core.Config{K: 4, NBits: 8, M: 2, DeltaT: time.Second, Seed: 3}
+	f, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMap(GeometryOf(cfg), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := testPairs(16)
+
+	// expected[gen][pair][dir] is the coherent verdict for that
+	// generation; guarded by mu.
+	type verdicts [16][2]Verdict
+	var mu sync.Mutex
+	expected := make(map[uint64]verdicts)
+
+	truth, err := NewFastPath(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	record := func() {
+		gen := m.Section(0).Generation()
+		var v verdicts
+		for i, p := range pairs {
+			v[i][0] = truth.Probe(p, packet.Outbound)
+			v[i][1] = truth.Probe(p.Inverse(), packet.Inbound)
+		}
+		mu.Lock()
+		expected[gen] = v
+		mu.Unlock()
+	}
+
+	var done atomic.Bool
+	type obs struct {
+		gen  uint64
+		pair int
+		dir  int
+		v    Verdict
+	}
+	const readers = 3
+	results := make([][]obs, readers)
+	var counts [readers]atomic.Uint64
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		r := r
+		fp, err := NewFastPath(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			i := 0
+			for !done.Load() {
+				pi := i % len(pairs)
+				var v Verdict
+				var g uint64
+				var d int
+				if i&1 == 0 {
+					v, g = fp.ProbeSectionTagged(0, pairs[pi], packet.Outbound)
+				} else {
+					v, g = fp.ProbeSectionTagged(0, pairs[pi].Inverse(), packet.Inbound)
+					d = 1
+				}
+				results[r] = append(results[r], obs{gen: g, pair: pi, dir: d, v: v})
+				counts[r].Add(1)
+				i++
+			}
+		}()
+	}
+
+	// Writer: alternate marking (flips probes toward Hit) and rotating
+	// (clears the new current vector, flipping probes back toward
+	// Escalate), so verdicts genuinely differ between generations and a
+	// mixed read cannot masquerade as a coherent one.
+	record() // generation 0: the empty, non-live map
+	for step := 0; ; step++ {
+		switch step % 8 {
+		case 3:
+			f.Rotate()
+		default:
+			f.Mark(pairs[(step*7)%len(pairs)])
+		}
+		if err := m.Section(0).Publish(f); err != nil {
+			t.Fatal(err)
+		}
+		record()
+		if step >= 400 {
+			min := counts[0].Load()
+			for r := 1; r < readers; r++ {
+				if c := counts[r].Load(); c < min {
+					min = c
+				}
+			}
+			// Keep the publisher colliding with the probers until every
+			// reader has a real sample, but never unboundedly.
+			if min >= 1000 || step >= 200000 {
+				break
+			}
+		}
+	}
+	done.Store(true)
+	wg.Wait()
+
+	checked := 0
+	for r := range results {
+		for _, o := range results[r] {
+			want, ok := expected[o.gen]
+			if !ok {
+				// Generations advance only through Publish, and every
+				// publish was recorded.
+				t.Fatalf("reader %d observed unrecorded generation %d", r, o.gen)
+			}
+			if o.v != want[o.pair][o.dir] {
+				t.Fatalf("torn verdict: reader %d pair %d dir %d gen %d: got %v, want %v",
+					r, o.pair, o.dir, o.gen, o.v, want[o.pair][o.dir])
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("readers made no observations")
+	}
+	t.Logf("checked %d tagged verdicts across %d generations", checked, len(expected))
+}
+
+// TestProbeSpinsWhileGenOdd pins the reader half of the protocol: a
+// probe that observes an odd generation must not return — it spins
+// until the publish lands — and counts the collision in Retries.
+func TestProbeSpinsWhileGenOdd(t *testing.T) {
+	cfg := core.Config{K: 2, NBits: 8, M: 2, DeltaT: time.Second}
+	f, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMap(GeometryOf(cfg), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := testPairs(1)[0]
+	f.Mark(pair)
+	if err := m.Section(0).Publish(f); err != nil {
+		t.Fatal(err)
+	}
+	base := m.sectionBase(0)
+	gen := atomic.LoadUint64(&m.words[base+secGen])
+
+	// Freeze the section mid-publish.
+	atomic.StoreUint64(&m.words[base+secGen], gen+1)
+
+	fp, err := NewFastPath(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan Verdict)
+	go func() {
+		v, _ := fp.ProbeSectionTagged(0, pair, packet.Outbound)
+		got <- v
+	}()
+	select {
+	case v := <-got:
+		t.Fatalf("probe returned %v while generation was odd", v)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// Land the publish; the probe must complete with the coherent verdict.
+	atomic.StoreUint64(&m.words[base+secGen], gen+2)
+	select {
+	case v := <-got:
+		if v != Hit {
+			t.Fatalf("post-publish verdict %v, want Hit", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("probe still spinning after generation went even")
+	}
+	if fp.Retries() == 0 {
+		t.Fatal("spin left no trace in Retries")
+	}
+}

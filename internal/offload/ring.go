@@ -1,0 +1,70 @@
+package offload
+
+import "sync/atomic"
+
+// MissRing is the bounded escalation queue between the fast path and
+// the Go slow path: a lock-free single-producer/single-consumer ring.
+// The fast-path goroutine TryPushes packets its map cannot admit; the
+// slow-path goroutine Drains them into Limiter.ProcessBatch, which
+// marks, draws P_d, and rotates. The ring models the kernel boundary's
+// bounded queue (an XDP program's perf/ring buffer to userspace): when
+// it is full the push fails and the overflow counter advances, and the
+// caller chooses the shed policy — in a deployment, whether an
+// unqueueable new-connection packet is passed (fail-open) or dropped
+// (fail-closed), the same trade as Pipeline's ShedPolicy.
+type MissRing[T any] struct {
+	buf  []T
+	mask uint64
+	// head is the consumer cursor, tail the producer cursor; both only
+	// ever advance. tail−head is the occupancy.
+	head     atomic.Uint64 //p2p:atomic
+	tail     atomic.Uint64 //p2p:atomic
+	overflow atomic.Uint64 //p2p:atomic
+}
+
+// NewMissRing returns a ring with capacity rounded up to a power of
+// two (minimum 2).
+func NewMissRing[T any](capacity int) *MissRing[T] {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	return &MissRing[T]{buf: make([]T, n), mask: uint64(n - 1)}
+}
+
+// Cap returns the ring capacity.
+func (r *MissRing[T]) Cap() int { return len(r.buf) }
+
+// TryPush enqueues v, returning false (and counting the overflow) when
+// the ring is full. Producer-side only.
+//
+//p2p:hotpath
+func (r *MissRing[T]) TryPush(v T) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() == uint64(len(r.buf)) {
+		r.overflow.Add(1)
+		return false
+	}
+	r.buf[t&r.mask] = v
+	r.tail.Store(t + 1)
+	return true
+}
+
+// Drain appends every queued element to dst and returns the extended
+// slice. Consumer-side only; pass a reusable dst[:0] to keep the slow
+// path allocation-free at steady state.
+func (r *MissRing[T]) Drain(dst []T) []T {
+	h := r.head.Load()
+	t := r.tail.Load()
+	for ; h != t; h++ {
+		dst = append(dst, r.buf[h&r.mask])
+	}
+	r.head.Store(h)
+	return dst
+}
+
+// Len returns the current occupancy (approximate under concurrency).
+func (r *MissRing[T]) Len() int { return int(r.tail.Load() - r.head.Load()) }
+
+// Overflow returns how many pushes failed on a full ring.
+func (r *MissRing[T]) Overflow() uint64 { return r.overflow.Load() }

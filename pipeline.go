@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"p2pbound/internal/metrics"
+	"p2pbound/internal/offload"
 	"p2pbound/internal/packet"
 )
 
@@ -65,6 +66,13 @@ type PipelineConfig struct {
 	// shard ring. Default ShedBlock (backpressure).
 	OnOverload ShedPolicy
 
+	// OffloadEvery, when positive, allocates a kernel-offload flat map
+	// (one section per shard — see OffloadMap) and has each shard worker
+	// republish its section after every OffloadEvery batches, so the
+	// exported verdict map lags the live filters by a bounded number of
+	// batches. Zero disables the offload tier.
+	OffloadEvery int
+
 	// testGate, when non-nil, holds every shard worker at startup until
 	// the channel is closed. Chaos tests use it to saturate the rings
 	// deterministically; it must be closed before Close is called.
@@ -100,6 +108,12 @@ type Pipeline struct {
 	closed    atomic.Bool //p2p:atomic
 	policy    ShedPolicy
 	gate      <-chan struct{}
+
+	// offloadMap, when non-nil, is the flat verdict map the shard
+	// workers publish into every offloadEvery batches (section index ==
+	// shard index). Readers attach via OffloadMap at any time.
+	offloadMap   *offload.Map
+	offloadEvery int
 
 	// Verdict and shed counters are striped per shard (cache-line-padded
 	// atomic cells), so concurrent shard workers never contend on a
@@ -152,6 +166,14 @@ func NewPipeline(cfg Config, pcfg PipelineConfig) (*Pipeline, error) {
 		dropped:     metrics.NewCounter(shards),
 		shedPassed:  metrics.NewCounter(shards),
 		shedDropped: metrics.NewCounter(shards),
+	}
+	if pcfg.OffloadEvery > 0 {
+		om, err := sharded.NewOffloadMap()
+		if err != nil {
+			return nil, err
+		}
+		p.offloadMap = om
+		p.offloadEvery = pcfg.OffloadEvery
 	}
 	if cfg.Telemetry != nil {
 		cfg.Telemetry.attachPipeline(p)
@@ -363,6 +385,7 @@ func (p *Pipeline) worker(sh int, batchSize int) {
 	batch := make([]Packet, 0, batchSize)
 	verdicts := make([]Decision, 0, batchSize)
 	spin := 0
+	sinceOffload := 0
 	for {
 		batch = r.take(batch[:0], batchSize)
 		if len(batch) == 0 {
@@ -370,6 +393,11 @@ func (p *Pipeline) worker(sh int, batchSize int) {
 				// Re-check after observing closed: any Submit that
 				// returned before Close is visible to this take.
 				if batch = r.take(batch[:0], batchSize); len(batch) == 0 {
+					if p.offloadMap != nil {
+						// Final publish so the exported map reflects every
+						// decided packet once the pipeline is quiescent.
+						_ = p.sharded.PublishOffloadShard(p.offloadMap, sh)
+					}
 					return
 				}
 			} else {
@@ -380,6 +408,16 @@ func (p *Pipeline) worker(sh int, batchSize int) {
 		}
 		spin = 0
 		verdicts = limiter.ProcessBatch(batch, verdicts[:0])
+		if p.offloadMap != nil {
+			if sinceOffload++; sinceOffload >= p.offloadEvery {
+				// Between batches, on the shard's owning goroutine — the
+				// single-writer position Section.Publish requires. A
+				// publish error (impossible for a geometry-matched map)
+				// only leaves the section stale, which escalation covers.
+				_ = p.sharded.PublishOffloadShard(p.offloadMap, sh)
+				sinceOffload = 0
+			}
+		}
 		var pass, drop int64
 		for _, v := range verdicts {
 			if v == Pass {
